@@ -1,0 +1,92 @@
+// E4 — §3.2 fail-over time.
+//
+// Paper claim: "The fail-over time of Rainwall is under two seconds. ...
+// the client, instead of losing the connection, will only see about a
+// 2-second hiccup in the traffic flow, before it fully resumes."
+//
+// A client flow runs through a 2-gateway cluster; the owning gateway's
+// cable is pulled mid-flow; the measured gap is the longest run of
+// depressed aggregate throughput after the failure. Swept over the token
+// hold interval, which dominates detection latency.
+#include <cstdio>
+
+#include "apps/rainwall/rainwall_cluster.h"
+#include "bench/util/gc_harness.h"
+
+using namespace raincore;
+using namespace raincore::apps;
+using raincore::bench::print_banner;
+
+namespace {
+
+struct Result {
+  Time gap;
+  double before_mbps;
+  double after_mbps;
+};
+
+Result run_failover(Time token_hold, std::uint64_t seed) {
+  RainwallClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.node.session.token_hold = token_hold;
+  cfg.node.vip_pool = {"10.1.0.1", "10.1.0.2", "10.1.0.3", "10.1.0.4"};
+  // Long-lived download flows (the paper's scenario is a client downloading
+  // a file through the firewall when the cable is pulled), ~80 Mb/s steady
+  // — under one gateway's capacity so full recovery is possible.
+  cfg.traffic.arrivals_per_sec = 50;
+  cfg.traffic.mean_duration_s = 12.0;
+  cfg.traffic.mean_rate_bps = 1.3e5;
+
+  RainwallCluster c({1, 2}, cfg);
+  if (!c.start()) return {seconds(99), 0, 0};
+  c.run(seconds(15));
+  double before = c.mean_mbps(c.now() - seconds(4), c.now());
+
+  Time fail_at = c.now();
+  c.fail_node(2);
+  c.run(seconds(8));
+  double after = c.mean_mbps(fail_at + seconds(4), c.now());
+
+  Result r;
+  // The "hiccup": longest stretch after the cut with aggregate throughput
+  // below 75% of the pre-failure level (reassigned flows not yet resumed).
+  r.gap = c.longest_gap_below(before * 0.75, fail_at);
+  r.before_mbps = before;
+  r.after_mbps = after;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Raincore bench E4: Rainwall fail-over time",
+               "IPPS'01 paper §3.2 (fail-over under two seconds)");
+
+  std::printf("\nTwo gateways, ~80 Mb/s of long-lived download flows; at t the\n");
+  std::printf("serving gateway's cable is pulled. Gap = longest stretch with\n");
+  std::printf("aggregate throughput below 75%% of the pre-failure level.\n\n");
+  std::printf("%14s | %12s %14s %14s | %12s\n", "token hold", "gap (ms)",
+              "before Mb/s", "after Mb/s", "paper bound");
+  std::printf("------------------------------------------------------------"
+              "----------------\n");
+
+  for (Time hold : {millis(5), millis(20), millis(50), millis(100)}) {
+    // Three seeds per configuration; report the worst gap.
+    Time worst = 0;
+    double before = 0, after = 0;
+    for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+      Result r = run_failover(hold, seed);
+      worst = std::max(worst, r.gap);
+      before = r.before_mbps;
+      after = r.after_mbps;
+    }
+    std::printf("%11lld ms | %12.0f %14.1f %14.1f | %12s\n",
+                static_cast<long long>(hold / kNanosPerMilli),
+                to_millis(worst), before, after, "< 2000 ms");
+  }
+
+  std::printf("\nExpected shape (paper): traffic resumes on the surviving\n");
+  std::printf("gateway well inside 2 s; the gap grows with the token interval\n");
+  std::printf("(detection latency) but stays bounded.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E5 — §4.1 delivery-latency discussion.
+//
+// Paper claim: "Raincore is designed for a high throughput, high-speed
+// networking environment. It is realistic to assume that the network
+// latency is very low. This fact alleviates the latency concerns over the
+// token-based protocols."
+//
+// Measures the submit-to-last-delivery latency of a multicast for Raincore
+// (as a function of the token interval and cluster size) against the
+// broadcast baselines, plus the extra round that safe ordering costs.
+#include <cstdio>
+
+#include "bench/util/gc_harness.h"
+
+using namespace raincore;
+using namespace raincore::bench;
+
+namespace {
+
+Histogram run_case(Stack stack, std::size_t n, Time hold, int msgs) {
+  session::SessionConfig scfg;
+  scfg.token_hold = hold;
+  GcCluster c(stack, n, scfg);
+  c.start();
+  c.run(seconds(1));
+  c.reset_metrics();
+  for (int i = 0; i < msgs; ++i) {
+    c.multicast(1 + (i % n), 128);
+    c.run(millis(25));
+  }
+  c.run(seconds(2));
+  return c.latency();
+}
+
+Histogram run_safe(std::size_t n, Time hold, int msgs) {
+  session::SessionConfig scfg;
+  scfg.token_hold = hold;
+  scfg.eligible.clear();
+  GcCluster c(Stack::kRaincore, n, scfg);
+  c.start();
+  c.run(seconds(1));
+  c.reset_metrics();
+  // Safe-ordered payloads submitted through the session API directly.
+  Histogram h;
+  std::map<std::uint64_t, std::pair<Time, std::size_t>> track;
+  std::uint64_t next_id = 1;
+  for (NodeId id = 1; id <= n; ++id) {
+    c.session(id).set_deliver_handler(
+        [&, n](NodeId, const Bytes& p, session::Ordering) {
+          if (p.size() < 8) return;
+          ByteReader r(p);
+          std::uint64_t mid = r.u64();
+          auto& t = track[mid];
+          if (++t.second == n) h.record_time(c.net().now() - t.first);
+        });
+  }
+  for (int i = 0; i < msgs; ++i) {
+    ByteWriter w(16);
+    w.u64(next_id);
+    track[next_id] = {c.net().now(), 0};
+    ++next_id;
+    c.session(1 + (i % n)).multicast(w.take(), session::Ordering::kSafe);
+    c.run(millis(25));
+  }
+  c.run(seconds(3));
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Raincore bench E5: multicast delivery latency",
+               "IPPS'01 paper §4.1 (latency of token- vs broadcast-based GC)");
+
+  std::printf("\nLatency = submit until the message has been delivered at ALL\n");
+  std::printf("members. LAN one-way latency 100 us. 200 messages per case.\n\n");
+  std::printf("%-18s %4s %11s | %10s %10s %10s\n", "stack", "N", "token hold",
+              "p50 (ms)", "mean (ms)", "p95 (ms)");
+  std::printf("----------------------------------------------------------------"
+              "-------\n");
+
+  const int kMsgs = 200;
+  for (std::size_t n : {2, 4, 8}) {
+    for (Time hold : {millis(1), millis(5), millis(20)}) {
+      Histogram h = run_case(Stack::kRaincore, n, hold, kMsgs);
+      std::printf("%-18s %4zu %8lld ms | %10.2f %10.2f %10.2f\n", "raincore",
+                  n, static_cast<long long>(hold / kNanosPerMilli),
+                  h.percentile(0.5) / 1e6, h.mean() / 1e6,
+                  h.percentile(0.95) / 1e6);
+    }
+    {
+      Histogram h = run_safe(n, millis(5), kMsgs);
+      std::printf("%-18s %4zu %8s    | %10.2f %10.2f %10.2f\n",
+                  "raincore-safe", n, "5 ms", h.percentile(0.5) / 1e6,
+                  h.mean() / 1e6, h.percentile(0.95) / 1e6);
+    }
+    for (Stack s : {Stack::kBroadcast, Stack::kSequencer, Stack::kTwoPhase}) {
+      Histogram h = run_case(s, n, millis(5), kMsgs);
+      std::printf("%-18s %4zu %11s | %10.2f %10.2f %10.2f\n", stack_name(s), n,
+                  "-", h.percentile(0.5) / 1e6, h.mean() / 1e6,
+                  h.percentile(0.95) / 1e6);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Expected shape (paper): token latency ~ N*hold/2 — milliseconds\n");
+  std::printf("at LAN speeds, i.e. acceptable for state sharing; broadcast is\n");
+  std::printf("sub-millisecond but pays the §4.1 CPU/packet costs. Safe\n");
+  std::printf("ordering costs exactly one extra token round over agreed.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E8 — engineering micro-benchmarks (google-benchmark): serialization,
+// simulator event throughput, transport round trips, and a full token-ring
+// protocol cycle. These quantify the substrate itself, making the sim-based
+// numbers in E1–E7 interpretable.
+#include <benchmark/benchmark.h>
+
+#include "bench/util/gc_harness.h"
+#include "session/token.h"
+#include "transport/transport.h"
+
+using namespace raincore;
+
+namespace {
+
+void BM_TokenSerialize(benchmark::State& state) {
+  session::Token t;
+  t.lineage = 42;
+  t.seq = 12345;
+  t.view_id = 7;
+  for (NodeId i = 1; i <= 8; ++i) t.ring.push_back(i);
+  for (int i = 0; i < state.range(0); ++i) {
+    session::AttachedMessage m;
+    m.origin = 1 + (i % 8);
+    m.seq = i;
+    m.payload = Bytes(128, 0xcd);
+    t.msgs.push_back(std::move(m));
+  }
+  for (auto _ : state) {
+    Bytes b = t.encode();
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenSerialize)->Arg(0)->Arg(16)->Arg(128);
+
+void BM_TokenDeserialize(benchmark::State& state) {
+  session::Token t;
+  t.lineage = 42;
+  for (NodeId i = 1; i <= 8; ++i) t.ring.push_back(i);
+  for (int i = 0; i < state.range(0); ++i) {
+    session::AttachedMessage m;
+    m.origin = 1;
+    m.seq = i;
+    m.payload = Bytes(128, 0xcd);
+    t.msgs.push_back(std::move(m));
+  }
+  Bytes b = t.encode();
+  for (auto _ : state) {
+    ByteReader r(b);
+    session::Token out;
+    bool ok = session::Token::deserialize(r, out);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenDeserialize)->Arg(0)->Arg(16)->Arg(128);
+
+void BM_EventLoopSchedule(benchmark::State& state) {
+  net::EventLoop loop;
+  for (auto _ : state) {
+    loop.schedule(1000, [] {});
+    loop.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventLoopSchedule);
+
+void BM_SimNetworkDatagram(benchmark::State& state) {
+  net::SimNetwork net;
+  auto& a = net.add_node(1);
+  net.add_node(2).set_receiver([](net::Datagram&&) {});
+  Bytes payload(state.range(0), 0xee);
+  for (auto _ : state) {
+    a.send(net::Address{2, 0}, payload, 0);
+    net.loop().run_for(micros(200));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimNetworkDatagram)->Arg(64)->Arg(1024);
+
+void BM_TransportRoundTrip(benchmark::State& state) {
+  net::SimNetwork net;
+  auto& e1 = net.add_node(1);
+  auto& e2 = net.add_node(2);
+  transport::ReliableTransport t1(e1), t2(e2);
+  t2.set_message_handler([](NodeId, Bytes&&) {});
+  for (auto _ : state) {
+    bool done = false;
+    t1.send(2, Bytes(64, 0x11),
+            [&](transport::TransferId, NodeId) { done = true; });
+    while (!done) net.loop().step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransportRoundTrip);
+
+void BM_TokenRingFullRotation(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  session::SessionConfig scfg;
+  scfg.token_hold = 0;  // rotate as fast as the wire allows
+  bench::GcCluster c(bench::Stack::kRaincore, n, scfg);
+  c.start();
+  c.run(seconds(1));
+  std::uint64_t before = c.session(1).stats().tokens_received.value();
+  for (auto _ : state) {
+    std::uint64_t target = before + 1;
+    while (c.session(1).stats().tokens_received.value() < target) {
+      c.net().loop().step();
+    }
+    before = target;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenRingFullRotation)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// E3 — Figure 3: Rainwall throughput and scaling.
+//
+// Paper numbers (Sun Ultra-5 360 MHz gateways, switched Fast Ethernet,
+// HTTP clients/Apache servers): 95 Mb/s at 1 node, 187 at 2 (×1.97), 357 at
+// 4 (×3.76); Rainwall CPU usage below 1% throughout.
+//
+// Here the same experiment runs on the simulated substrate: overloaded web
+// traffic through 1/2/4 gateways whose per-node ceiling comes from the
+// packet-engine CPU model (≈95 Mb/s), with Raincore doing the cluster state
+// sharing. Nothing is fitted to the paper's outputs — the scaling emerges
+// from NIC/CPU saturation, load imbalance and GC overhead.
+#include <cstdio>
+
+#include "apps/rainwall/rainwall_cluster.h"
+#include "bench/util/gc_harness.h"
+
+using namespace raincore;
+using namespace raincore::apps;
+using raincore::bench::print_banner;
+
+namespace {
+
+struct Result {
+  double mbps;
+  double gc_cpu_pct;
+  std::uint64_t conns;
+};
+
+Result run_cluster(std::size_t n_nodes) {
+  RainwallClusterConfig cfg;
+  cfg.seed = 2001;
+  for (std::size_t i = 0; i < 8; ++i) {
+    cfg.node.vip_pool.push_back("10.1.0." + std::to_string(i + 1));
+  }
+  // Offered load far above 4-node capacity so every configuration is
+  // saturated (the paper's benchmark measures peak forwarding).
+  cfg.traffic.arrivals_per_sec = 400;
+  cfg.traffic.mean_duration_s = 2.0;
+  cfg.traffic.mean_rate_bps = 1.5e6;  // ~1.2 Gb/s steady offered
+
+  std::vector<NodeId> ids;
+  for (NodeId i = 1; i <= n_nodes; ++i) ids.push_back(i);
+  RainwallCluster c(ids, cfg);
+  if (!c.start()) {
+    std::fprintf(stderr, "cluster of %zu failed to start\n", n_nodes);
+    return {0, 0, 0};
+  }
+  c.run(seconds(4));  // warm up to steady state
+  Time measure_from = c.now();
+  c.run(seconds(10));
+
+  Result r;
+  r.mbps = c.mean_mbps(measure_from, c.now());
+  double gc = 0;
+  int cnt = 0;
+  for (const auto& s : c.samples()) {
+    if (s.at >= measure_from) {
+      gc += s.gc_cpu;
+      ++cnt;
+    }
+  }
+  r.gc_cpu_pct = cnt > 0 ? 100.0 * gc / cnt : 0;
+  r.conns = c.connections_started();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Raincore bench E3: Rainwall throughput and scaling",
+               "IPPS'01 paper Figure 3 (95 / 187 / 357 Mb/s at 1 / 2 / 4 nodes)");
+
+  std::printf("\nSimulated gateways: 100 Mb/s Fast Ethernet NIC, CPU forwards\n");
+  std::printf("~95 Mb/s of 1000-byte packets at 100%% utilisation; offered web\n");
+  std::printf("load ~1.2 Gb/s (saturating); 10 s measurement window.\n\n");
+
+  std::printf("%6s | %16s %10s | %16s %10s | %12s\n", "nodes",
+              "throughput Mb/s", "scaling", "paper Mb/s", "paper x",
+              "GC CPU %");
+  std::printf("----------------------------------------------------------------"
+              "--------------\n");
+
+  const double paper_mbps[] = {95, 187, 0, 357};
+  const double paper_scale[] = {1.0, 1.97, 0, 3.76};
+
+  double base = 0;
+  for (std::size_t n : {1, 2, 4}) {
+    Result r = run_cluster(n);
+    if (n == 1) base = r.mbps;
+    double scale = base > 0 ? r.mbps / base : 0;
+    std::printf("%6zu | %16.1f %10.2f | %16.0f %10.2f | %12.3f\n", n, r.mbps,
+                scale, paper_mbps[n - 1], paper_scale[n - 1], r.gc_cpu_pct);
+  }
+
+  std::printf("\nExpected shape (paper): near-linear scaling slightly below\n");
+  std::printf("ideal (1.97x at 2 nodes, 3.76x at 4), GC CPU below 1%%.\n");
+  return 0;
+}

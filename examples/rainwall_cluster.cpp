@@ -1,0 +1,78 @@
+// Rainwall firewall cluster (paper §3.2): load-balanced, fault-tolerant
+// firewalling. Web traffic flows through a 3-gateway cluster with a
+// security policy; a cable pull mid-run causes only a brief hiccup.
+//
+// Run: ./rainwall_cluster
+#include <cstdio>
+
+#include "apps/rainwall/rainwall_cluster.h"
+
+using namespace raincore;
+using namespace raincore::apps;
+
+int main() {
+  RainwallClusterConfig cfg;
+  cfg.seed = 7;
+  cfg.node.vip_pool = {"10.1.0.1", "10.1.0.2", "10.1.0.3",
+                       "10.1.0.4", "10.1.0.5", "10.1.0.6"};
+  cfg.traffic.arrivals_per_sec = 120;
+  cfg.traffic.mean_duration_s = 5.0;
+  // ~150 Mb/s offered: below even a 2-gateway cluster's capacity, so the
+  // fail-over hiccup is measurable (under saturation the lost node's share
+  // could never be re-absorbed and any gap metric would be meaningless).
+  cfg.traffic.mean_rate_bps = 2.5e5;
+
+  RainwallCluster cluster({1, 2, 3}, cfg);
+
+  std::printf("== booting 3 Rainwall gateways ==\n");
+  if (!cluster.start()) {
+    std::printf("cluster failed to form\n");
+    return 1;
+  }
+
+  // A security policy: allow web traffic, deny one hostile client /24
+  // (clients are generated from 10.0.0.0/16, so ~1/256 of connections hit
+  // the deny rule).
+  for (NodeId id : {1u, 2u, 3u}) {
+    Rule deny_hostile;
+    deny_hostile.action = Action::kDeny;
+    deny_hostile.src_net = parse_ip("10.0.7.0");
+    deny_hostile.src_mask = parse_ip("255.255.255.0");
+    cluster.node(id).policy().add_rule(deny_hostile);
+  }
+
+  std::printf("== 10 s of web traffic through the cluster ==\n");
+  cluster.run(seconds(10));
+  auto report = [&](const char* label, Time from, Time to) {
+    std::printf("  %-22s %7.1f Mb/s aggregate\n", label,
+                cluster.mean_mbps(from, to));
+  };
+  report("steady state:", cluster.now() - seconds(5), cluster.now());
+  for (NodeId id : {1u, 2u, 3u}) {
+    std::printf("  node %u: %zu active connections, cpu %.0f%%\n", id,
+                cluster.node(id).engine().active_connections(),
+                100 * cluster.node(id).engine().cpu_utilization());
+  }
+
+  std::printf("== pulling the cable on gateway 2 ==\n");
+  Time fail_at = cluster.now();
+  cluster.fail_node(2);
+  cluster.run(seconds(8));
+  report("after fail-over:", fail_at + seconds(4), cluster.now());
+  Time gap = cluster.longest_gap_below(
+      cluster.mean_mbps(fail_at - seconds(4), fail_at) * 0.75, fail_at);
+  std::printf("  traffic hiccup: %s (paper bound: 2 s)\n",
+              format_time(gap).c_str());
+
+  std::printf("== summary ==\n");
+  std::printf("  connections started: %llu, refused at dead gateway: %llu\n",
+              static_cast<unsigned long long>(cluster.connections_started()),
+              static_cast<unsigned long long>(cluster.connections_lost()));
+  std::uint64_t denied = 0;
+  for (NodeId id : {1u, 3u}) {
+    denied += cluster.node(id).policy().denies().value();
+  }
+  std::printf("  policy denials (hostile subnet): %llu\n",
+              static_cast<unsigned long long>(denied));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// The same Raincore protocol stack on real UDP sockets (loopback) — the
+// deployment configuration the paper describes: the Transport Service "uses
+// UDP as the packet sending and receiving interface" (§2.1).
+//
+// Five nodes run in one process over 127.0.0.1 sockets, form a group, and
+// multicast; one node is crash-stopped and the survivors reconverge — all
+// in real time.
+//
+// Run: ./udp_cluster
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "net/udp_network.h"
+#include "session/session_node.h"
+
+using namespace raincore;
+
+int main() {
+  net::UdpConfig ucfg;
+  ucfg.base_port = 47000;
+  net::UdpNetwork net(ucfg);
+
+  session::SessionConfig cfg;
+  cfg.eligible = {1, 2, 3, 4, 5};
+  cfg.token_hold = millis(10);
+
+  std::map<NodeId, std::unique_ptr<session::SessionNode>> nodes;
+  try {
+    for (NodeId id = 1; id <= 5; ++id) {
+      auto& env = net.add_node(id);
+      nodes[id] = std::make_unique<session::SessionNode>(env, cfg);
+      nodes[id]->set_deliver_handler(
+          [id](NodeId origin, const Bytes& payload, session::Ordering) {
+            std::printf("  [udp] node %u delivered from %u: %.*s\n", id, origin,
+                        static_cast<int>(payload.size()), payload.data());
+          });
+    }
+  } catch (const std::exception& e) {
+    std::printf("socket setup failed (%s) — is the port range free?\n",
+                e.what());
+    return 1;
+  }
+
+  std::printf("== forming group over UDP/127.0.0.1:%u.. ==\n", ucfg.base_port);
+  nodes[1]->found();
+  for (NodeId id = 2; id <= 5; ++id) nodes[id]->join({1});
+  net.run_for(seconds(2));
+
+  auto view = nodes[3]->view();
+  std::printf("node 3's view (#%llu):",
+              static_cast<unsigned long long>(view.view_id));
+  for (NodeId m : view.members) std::printf(" %u", m);
+  std::printf("\n");
+
+  std::printf("== multicast over real sockets ==\n");
+  std::string msg = "hello over UDP";
+  nodes[2]->multicast(Bytes(msg.begin(), msg.end()));
+  net.run_for(seconds(1));
+
+  std::printf("== crash-stopping node 4 ==\n");
+  nodes[4]->stop();
+  net.run_for(seconds(3));
+  view = nodes[1]->view();
+  std::printf("node 1's view after failure (#%llu):",
+              static_cast<unsigned long long>(view.view_id));
+  for (NodeId m : view.members) std::printf(" %u", m);
+  std::printf("\n");
+
+  std::printf("done: %llu real token roundtrips observed at node 1\n",
+              static_cast<unsigned long long>(
+                  nodes[1]->stats().tokens_received.value()));
+  return 0;
+}

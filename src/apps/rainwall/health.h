@@ -1,0 +1,73 @@
+// Critical-resource health monitoring (paper §2.4, §3.2): Rainwall
+// "monitors the health of critical resources such as the applications, the
+// network interfaces, as well as the remote Internet links. When any of
+// the critical resources fails, Rainwall will shift traffic away from the
+// failed node" — and a node "will shut down itself when any of its critical
+// resources becomes unavailable" (the split-brain prevention device).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace raincore::apps {
+
+class ResourceMonitor {
+ public:
+  /// Returns true while the resource is healthy.
+  using Probe = std::function<bool()>;
+  /// Invoked once, with the first resource that failed.
+  using FailureFn = std::function<void(const std::string& name)>;
+
+  ResourceMonitor(net::NodeEnv& env, Time check_interval)
+      : env_(env), interval_(check_interval) {}
+  ~ResourceMonitor() { stop(); }
+
+  void add_resource(std::string name, Probe probe) {
+    resources_.push_back({std::move(name), std::move(probe)});
+  }
+  void set_failure_handler(FailureFn fn) { on_failure_ = std::move(fn); }
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    arm();
+  }
+  void stop() {
+    running_ = false;
+    if (timer_) env_.cancel(timer_), timer_ = 0;
+  }
+  bool running() const { return running_; }
+
+ private:
+  struct Resource {
+    std::string name;
+    Probe probe;
+  };
+
+  void arm() {
+    timer_ = env_.schedule(interval_, [this] {
+      timer_ = 0;
+      if (!running_) return;
+      for (const Resource& r : resources_) {
+        if (!r.probe()) {
+          running_ = false;
+          if (on_failure_) on_failure_(r.name);
+          return;
+        }
+      }
+      arm();
+    });
+  }
+
+  net::NodeEnv& env_;
+  Time interval_;
+  std::vector<Resource> resources_;
+  FailureFn on_failure_;
+  net::TimerId timer_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace raincore::apps

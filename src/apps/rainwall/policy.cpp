@@ -1,0 +1,21 @@
+#include "apps/rainwall/policy.h"
+
+#include <cstdio>
+
+namespace raincore::apps {
+
+std::uint32_t parse_ip(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4) return 0;
+  if (a > 255 || b > 255 || c > 255 || d > 255) return 0;
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+std::string format_ip(std::uint32_t ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+}  // namespace raincore::apps

@@ -1,0 +1,65 @@
+// Simulated LAN segment with an ARP cache.
+//
+// Stands in for the physical subnet of §3.1: moving a virtual IP means the
+// new owner broadcasts a gratuitous ARP that refreshes every neighbour's
+// cache, after which traffic for that VIP reaches the new owner. MAC
+// addresses (here: node ids) never move.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace raincore::apps {
+
+class Subnet {
+ public:
+  /// Physical reachability: a node whose cable is pulled cannot put frames
+  /// on this segment, so its gratuitous ARPs must not refresh any cache.
+  /// (This is precisely the split-brain situation of §2.4: the disconnected
+  /// node happily claims every VIP — on its own, empty, side of the cut.)
+  using ReachableFn = std::function<bool(NodeId)>;
+  void set_reachability(ReachableFn fn) { reachable_ = std::move(fn); }
+
+  /// The new owner announces itself; all caches on the segment refresh.
+  void gratuitous_arp(const std::string& vip, NodeId owner) {
+    if (reachable_ && !reachable_(owner)) {
+      arps_dropped_.inc();
+      return;
+    }
+    arp_cache_[vip] = owner;
+    gratuitous_arps_.inc();
+    log_.push_back({vip, owner});
+  }
+
+  /// Where traffic addressed to this VIP currently lands.
+  std::optional<NodeId> resolve(const std::string& vip) const {
+    auto it = arp_cache_.find(vip);
+    if (it == arp_cache_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void flush(const std::string& vip) { arp_cache_.erase(vip); }
+
+  struct ArpEvent {
+    std::string vip;
+    NodeId owner;
+  };
+  const std::vector<ArpEvent>& arp_log() const { return log_; }
+  const Counter& gratuitous_arps() const { return gratuitous_arps_; }
+  const Counter& arps_dropped() const { return arps_dropped_; }
+
+ private:
+  std::map<std::string, NodeId> arp_cache_;
+  std::vector<ArpEvent> log_;
+  Counter gratuitous_arps_;
+  Counter arps_dropped_;
+  ReachableFn reachable_;
+};
+
+}  // namespace raincore::apps

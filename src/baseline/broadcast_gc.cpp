@@ -1,0 +1,40 @@
+#include "baseline/broadcast_gc.h"
+
+namespace raincore::baseline {
+
+BroadcastGC::BroadcastGC(net::NodeEnv& env, std::vector<NodeId> group,
+                        transport::TransportConfig tcfg)
+    : env_(env), group_(std::move(group)), transport_(env, tcfg) {
+  transport_.set_message_handler(
+      [this](NodeId src, Bytes&& p) { on_message(src, std::move(p)); });
+}
+
+MsgSeq BroadcastGC::multicast(Bytes payload) {
+  MsgSeq seq = ++next_seq_;
+  ByteWriter w(payload.size() + 8);
+  w.u64(seq);
+  w.raw(payload.data(), payload.size());
+  Bytes framed = w.take();
+  for (NodeId peer : group_) {
+    if (peer == env_.node()) continue;
+    transport_.send(peer, framed);
+  }
+  if (on_deliver_) on_deliver_(env_.node(), payload);
+  return seq;
+}
+
+void BroadcastGC::on_message(NodeId src, Bytes&& payload) {
+  ByteReader r(payload);
+  MsgSeq seq = r.u64();
+  if (!r.ok()) return;
+  Bytes body(payload.begin() + 8, payload.end());
+  SenderState& s = senders_[src];
+  s.buffered[seq] = std::move(body);
+  while (!s.buffered.empty() && s.buffered.begin()->first == s.next_expected) {
+    if (on_deliver_) on_deliver_(src, s.buffered.begin()->second);
+    s.buffered.erase(s.buffered.begin());
+    ++s.next_expected;
+  }
+}
+
+}  // namespace raincore::baseline

@@ -1,0 +1,46 @@
+// Baseline 1: reliable "broadcast" emulated by N−1 acknowledged unicasts,
+// FIFO-ordered per sender (no total order). This is the cheapest possible
+// broadcast-based protocol in a unicast environment — the paper's
+// "(N−1)² packets of M bytes ... doubled if acknowledgements are
+// implemented" case (§4.1).
+#pragma once
+
+#include <map>
+
+#include "baseline/group_comm.h"
+#include "transport/transport.h"
+
+namespace raincore::baseline {
+
+class BroadcastGC final : public GroupComm {
+ public:
+  BroadcastGC(net::NodeEnv& env, std::vector<NodeId> group,
+                 transport::TransportConfig tcfg = {});
+
+  MsgSeq multicast(Bytes payload) override;
+  void set_deliver_handler(DeliverFn fn) override { on_deliver_ = std::move(fn); }
+  const Counter& task_switches() const override {
+    return transport_.task_switches();
+  }
+  const char* name() const override { return "broadcast-unicast"; }
+
+  transport::ReliableTransport& transport() { return transport_; }
+
+ private:
+  void on_message(NodeId src, Bytes&& payload);
+
+  net::NodeEnv& env_;
+  std::vector<NodeId> group_;
+  transport::ReliableTransport transport_;
+  DeliverFn on_deliver_;
+  MsgSeq next_seq_ = 0;
+
+  /// Per-sender FIFO re-ordering (retransmissions can reorder arrivals).
+  struct SenderState {
+    MsgSeq next_expected = 1;
+    std::map<MsgSeq, Bytes> buffered;
+  };
+  std::map<NodeId, SenderState> senders_;
+};
+
+}  // namespace raincore::baseline

@@ -1,0 +1,34 @@
+// Common interface for the baseline group-communication protocols used by
+// the §4.1 overhead comparison. These are the "broadcast-based protocols"
+// the paper argues against in a unicast environment: every multicast turns
+// into N−1 reliable unicasts (§4.1), with optional ordering machinery on
+// top (fixed sequencer, or two-phase commit).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace raincore::baseline {
+
+class GroupComm {
+ public:
+  using DeliverFn = std::function<void(NodeId origin, const Bytes& payload)>;
+
+  virtual ~GroupComm() = default;
+
+  /// Reliably multicasts to the (static) group; returns a per-origin seq.
+  virtual MsgSeq multicast(Bytes payload) = 0;
+  virtual void set_deliver_handler(DeliverFn fn) = 0;
+
+  /// CPU task-switch count: entries into group-communication processing
+  /// (datagram arrivals + protocol timers), same definition as Raincore's.
+  virtual const Counter& task_switches() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace raincore::baseline

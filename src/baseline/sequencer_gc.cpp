@@ -1,0 +1,72 @@
+#include "baseline/sequencer_gc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace raincore::baseline {
+
+SequencerGC::SequencerGC(net::NodeEnv& env, std::vector<NodeId> group,
+                        transport::TransportConfig tcfg)
+    : env_(env), group_(std::move(group)), transport_(env, tcfg) {
+  assert(!group_.empty());
+  sequencer_ = *std::min_element(group_.begin(), group_.end());
+  transport_.set_message_handler(
+      [this](NodeId src, Bytes&& p) { on_message(src, std::move(p)); });
+}
+
+MsgSeq SequencerGC::multicast(Bytes payload) {
+  MsgSeq seq = ++next_local_;
+  if (is_sequencer()) {
+    broadcast_ordered(env_.node(), payload);
+  } else {
+    ByteWriter w(payload.size() + 1);
+    w.u8(static_cast<std::uint8_t>(Kind::kSubmit));
+    w.raw(payload.data(), payload.size());
+    transport_.send(sequencer_, w.take());
+  }
+  return seq;
+}
+
+void SequencerGC::broadcast_ordered(NodeId origin, const Bytes& body) {
+  std::uint64_t gseq = next_global_++;
+  ByteWriter w(body.size() + 16);
+  w.u8(static_cast<std::uint8_t>(Kind::kOrdered));
+  w.u64(gseq);
+  w.u32(origin);
+  w.raw(body.data(), body.size());
+  Bytes framed = w.take();
+  for (NodeId peer : group_) {
+    if (peer == env_.node()) continue;
+    transport_.send(peer, framed);
+  }
+  pending_[gseq] = {origin, body};
+  deliver_in_order();
+}
+
+void SequencerGC::on_message(NodeId src, Bytes&& payload) {
+  ByteReader r(payload);
+  auto kind = static_cast<Kind>(r.u8());
+  if (kind == Kind::kSubmit) {
+    if (!is_sequencer()) return;
+    Bytes body(payload.begin() + 1, payload.end());
+    broadcast_ordered(src, body);
+  } else if (kind == Kind::kOrdered) {
+    std::uint64_t gseq = r.u64();
+    NodeId origin = r.u32();
+    if (!r.ok()) return;
+    Bytes body(payload.begin() + 13, payload.end());
+    pending_[gseq] = {origin, std::move(body)};
+    deliver_in_order();
+  }
+}
+
+void SequencerGC::deliver_in_order() {
+  while (!pending_.empty() && pending_.begin()->first == next_deliver_) {
+    auto& [origin, body] = pending_.begin()->second;
+    if (on_deliver_) on_deliver_(origin, body);
+    pending_.erase(pending_.begin());
+    ++next_deliver_;
+  }
+}
+
+}  // namespace raincore::baseline

@@ -1,0 +1,48 @@
+// Baseline 2: totally-ordered broadcast via a fixed sequencer (ISIS-style
+// "ABCAST with a token site", here the lowest node ID). Senders forward to
+// the sequencer, which assigns a global sequence and re-broadcasts with
+// N−1 acknowledged unicasts; receivers deliver in global-sequence order.
+#pragma once
+
+#include <map>
+
+#include "baseline/group_comm.h"
+#include "transport/transport.h"
+
+namespace raincore::baseline {
+
+class SequencerGC final : public GroupComm {
+ public:
+  SequencerGC(net::NodeEnv& env, std::vector<NodeId> group,
+                 transport::TransportConfig tcfg = {});
+
+  MsgSeq multicast(Bytes payload) override;
+  void set_deliver_handler(DeliverFn fn) override { on_deliver_ = std::move(fn); }
+  const Counter& task_switches() const override {
+    return transport_.task_switches();
+  }
+  const char* name() const override { return "sequencer"; }
+
+  bool is_sequencer() const { return env_.node() == sequencer_; }
+  transport::ReliableTransport& transport() { return transport_; }
+
+ private:
+  enum class Kind : std::uint8_t { kSubmit = 1, kOrdered = 2 };
+
+  void on_message(NodeId src, Bytes&& payload);
+  void broadcast_ordered(NodeId origin, const Bytes& body);
+  void deliver_in_order();
+
+  net::NodeEnv& env_;
+  std::vector<NodeId> group_;
+  NodeId sequencer_;
+  transport::ReliableTransport transport_;
+  DeliverFn on_deliver_;
+  MsgSeq next_local_ = 0;
+  std::uint64_t next_global_ = 1;  // used only by the sequencer
+
+  std::uint64_t next_deliver_ = 1;
+  std::map<std::uint64_t, std::pair<NodeId, Bytes>> pending_;
+};
+
+}  // namespace raincore::baseline

@@ -1,0 +1,77 @@
+#include "baseline/two_phase_gc.h"
+
+namespace raincore::baseline {
+
+TwoPhaseGC::TwoPhaseGC(net::NodeEnv& env, std::vector<NodeId> group,
+                      transport::TransportConfig tcfg)
+    : env_(env), group_(std::move(group)), transport_(env, tcfg) {
+  transport_.set_message_handler(
+      [this](NodeId src, Bytes&& p) { on_message(src, std::move(p)); });
+}
+
+MsgSeq TwoPhaseGC::multicast(Bytes payload) {
+  MsgSeq id = ++next_seq_;
+  Pending p;
+  p.payload = payload;
+  for (NodeId peer : group_) {
+    if (peer != env_.node()) p.awaiting_votes.insert(peer);
+  }
+  if (p.awaiting_votes.empty()) {
+    if (on_deliver_) on_deliver_(env_.node(), payload);
+    return id;
+  }
+  ByteWriter w(payload.size() + 16);
+  w.u8(static_cast<std::uint8_t>(Kind::kPrepare));
+  w.u64(id);
+  w.raw(payload.data(), payload.size());
+  Bytes framed = w.take();
+  coordinating_[id] = std::move(p);
+  for (NodeId peer : group_) {
+    if (peer != env_.node()) transport_.send(peer, framed);
+  }
+  return id;
+}
+
+void TwoPhaseGC::on_message(NodeId src, Bytes&& payload) {
+  ByteReader r(payload);
+  auto kind = static_cast<Kind>(r.u8());
+  MsgSeq id = r.u64();
+  if (!r.ok()) return;
+
+  switch (kind) {
+    case Kind::kPrepare: {
+      prepared_[{src, id}] = Bytes(payload.begin() + 9, payload.end());
+      ByteWriter w(9);
+      w.u8(static_cast<std::uint8_t>(Kind::kVote));
+      w.u64(id);
+      transport_.send(src, w.take());
+      break;
+    }
+    case Kind::kVote: {
+      auto it = coordinating_.find(id);
+      if (it == coordinating_.end()) return;
+      it->second.awaiting_votes.erase(src);
+      if (!it->second.awaiting_votes.empty()) return;
+      // All votes in: commit everywhere, deliver locally.
+      ByteWriter w(9);
+      w.u8(static_cast<std::uint8_t>(Kind::kCommit));
+      w.u64(id);
+      Bytes framed = w.take();
+      for (NodeId peer : group_) {
+        if (peer != env_.node()) transport_.send(peer, framed);
+      }
+      if (on_deliver_) on_deliver_(env_.node(), it->second.payload);
+      coordinating_.erase(it);
+      break;
+    }
+    case Kind::kCommit: {
+      auto it = prepared_.find({src, id});
+      if (it == prepared_.end()) return;
+      if (on_deliver_) on_deliver_(src, it->second);
+      prepared_.erase(it);
+      break;
+    }
+  }
+}
+
+}  // namespace raincore::baseline

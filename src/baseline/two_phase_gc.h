@@ -1,0 +1,54 @@
+// Baseline 3: consistent multicast via per-message two-phase commit — the
+// paper's "up to 6·M·N task-switching actions" comparison point (§4.1).
+//
+// The sender coordinates: PREPARE to all peers, wait for every VOTE, then
+// COMMIT to all; receivers buffer on PREPARE and deliver on COMMIT. Every
+// leg is an acknowledged reliable unicast, so each message costs the
+// network 6·(N−1) datagrams (3 legs × data+ack) and wakes each node's
+// group-communication stack several times.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "baseline/group_comm.h"
+#include "transport/transport.h"
+
+namespace raincore::baseline {
+
+class TwoPhaseGC final : public GroupComm {
+ public:
+  TwoPhaseGC(net::NodeEnv& env, std::vector<NodeId> group,
+                transport::TransportConfig tcfg = {});
+
+  MsgSeq multicast(Bytes payload) override;
+  void set_deliver_handler(DeliverFn fn) override { on_deliver_ = std::move(fn); }
+  const Counter& task_switches() const override {
+    return transport_.task_switches();
+  }
+  const char* name() const override { return "two-phase-commit"; }
+
+  transport::ReliableTransport& transport() { return transport_; }
+
+ private:
+  enum class Kind : std::uint8_t { kPrepare = 1, kVote = 2, kCommit = 3 };
+
+  struct Pending {  // coordinator side
+    Bytes payload;
+    std::set<NodeId> awaiting_votes;
+  };
+
+  void on_message(NodeId src, Bytes&& payload);
+
+  net::NodeEnv& env_;
+  std::vector<NodeId> group_;
+  transport::ReliableTransport transport_;
+  DeliverFn on_deliver_;
+  MsgSeq next_seq_ = 0;
+  std::map<MsgSeq, Pending> coordinating_;
+  /// Participant side: buffered PREPAREs awaiting COMMIT, keyed by
+  /// (coordinator, msg id).
+  std::map<std::pair<NodeId, MsgSeq>, Bytes> prepared_;
+};
+
+}  // namespace raincore::baseline

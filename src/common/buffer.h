@@ -1,0 +1,137 @@
+// Bounds-checked binary serialization used for every Raincore wire format.
+//
+// All integers are encoded little-endian with explicit widths so that the
+// same byte stream is valid across the simulated network and real UDP
+// sockets. Readers never throw: a malformed packet flips the reader into a
+// failed state that callers must check with ok().
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raincore {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends fixed-width little-endian values to a growing byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    append_le(bits);
+  }
+
+  /// Length-prefixed (u32) raw byte blob.
+  void bytes(const Bytes& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+  /// Unprefixed raw append.
+  void raw(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& view() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+/// Reads fixed-width little-endian values; enters a sticky failed state on
+/// any out-of-bounds access instead of throwing.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() { return read_le<std::uint8_t>(); }
+  std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(read_le<std::uint64_t>()); }
+  double f64() {
+    std::uint64_t bits = read_le<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Bytes bytes() {
+    std::uint32_t n = u32();
+    Bytes out;
+    if (!take_raw(n, out)) return {};
+    return out;
+  }
+
+  std::string str() {
+    std::uint32_t n = u32();
+    Bytes out;
+    if (!take_raw(n, out)) return {};
+    return std::string(out.begin(), out.end());
+  }
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  T read_le() {
+    if (!ok_ || size_ - pos_ < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool take_raw(std::size_t n, Bytes& out) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    out.assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace raincore

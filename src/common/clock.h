@@ -1,0 +1,34 @@
+// Clock abstraction: protocol code never reads wall time directly, so the
+// same objects run under the virtual-time simulator and real UDP drivers.
+#pragma once
+
+#include "common/types.h"
+
+namespace raincore {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Time now() const = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock (used by the UDP driver).
+class RealClock final : public Clock {
+ public:
+  Time now() const override;
+};
+
+/// Manually advanced clock (owned by the simulation event loop).
+class ManualClock final : public Clock {
+ public:
+  Time now() const override { return now_; }
+  void advance_to(Time t) {
+    if (t > now_) now_ = t;
+  }
+  void advance_by(Time d) { now_ += d; }
+
+ private:
+  Time now_ = 0;
+};
+
+}  // namespace raincore

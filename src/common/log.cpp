@@ -1,0 +1,34 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace raincore {
+namespace log_detail {
+
+LogLevel& global_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void vlog(LogLevel level, const char* module, const char* fmt, std::va_list ap) {
+  char body[1024];
+  std::vsnprintf(body, sizeof(body), fmt, ap);
+  std::fprintf(stderr, "[%s] %-9s %s\n", level_name(level), module, body);
+}
+
+}  // namespace log_detail
+}  // namespace raincore

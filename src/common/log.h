@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// Protocol modules log through RC_LOG so tests can raise verbosity when
+// debugging a failing scenario; the default level is kWarn to keep test and
+// benchmark output clean.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/types.h"
+
+namespace raincore {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+namespace log_detail {
+LogLevel& global_level();
+void vlog(LogLevel level, const char* module, const char* fmt, std::va_list ap);
+}  // namespace log_detail
+
+inline void set_log_level(LogLevel level) { log_detail::global_level() = level; }
+inline LogLevel log_level() { return log_detail::global_level(); }
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_detail::global_level());
+}
+
+// printf-style logging with a module tag, e.g.
+//   rc_log(LogLevel::kDebug, "session", "node %u regenerated token", id);
+inline void rc_log(LogLevel level, const char* module, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  log_detail::vlog(level, module, fmt, ap);
+  va_end(ap);
+}
+
+#define RC_LOG(level, module, ...)                           \
+  do {                                                       \
+    if (::raincore::log_enabled(level)) {                    \
+      ::raincore::rc_log((level), (module), __VA_ARGS__);    \
+    }                                                        \
+  } while (0)
+
+#define RC_TRACE(module, ...) RC_LOG(::raincore::LogLevel::kTrace, module, __VA_ARGS__)
+#define RC_DEBUG(module, ...) RC_LOG(::raincore::LogLevel::kDebug, module, __VA_ARGS__)
+#define RC_INFO(module, ...) RC_LOG(::raincore::LogLevel::kInfo, module, __VA_ARGS__)
+#define RC_WARN(module, ...) RC_LOG(::raincore::LogLevel::kWarn, module, __VA_ARGS__)
+#define RC_ERROR(module, ...) RC_LOG(::raincore::LogLevel::kError, module, __VA_ARGS__)
+
+}  // namespace raincore

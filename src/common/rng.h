@@ -1,0 +1,57 @@
+// Deterministic, seedable random number generation (splitmix64 core).
+//
+// Every stochastic element of the simulator (latency jitter, packet loss,
+// traffic arrival) draws from an explicitly seeded Rng so that any test or
+// benchmark run is exactly reproducible from its seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace raincore {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    double u = next_double();
+    // Guard against log(0).
+    if (u <= 0.0) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  /// Derives an independent child generator (for per-node streams).
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace raincore

@@ -1,0 +1,58 @@
+#include "common/stats.h"
+
+#include <cstdio>
+#include <numeric>
+
+namespace raincore {
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  double idx = q * static_cast<double>(samples_.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::string format_row(const std::vector<std::string>& cells,
+                       const std::vector<int>& widths) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    int w = i < widths.size() ? widths[i] : 12;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%*s", w, cells[i].c_str());
+    out += buf;
+    if (i + 1 < cells.size()) out += "  ";
+  }
+  return out;
+}
+
+}  // namespace raincore

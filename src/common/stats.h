@@ -1,0 +1,59 @@
+// Counters and histograms used to *measure* the paper's evaluation metrics
+// (task switches, packets, bytes, latencies) rather than computing them from
+// formulas. Plain value types; no global registry, owners aggregate.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace raincore {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  void reset() { value_ = 0; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Streaming min/mean/max plus exact percentiles over retained samples.
+/// Retains every sample; callers that record unbounded streams should use
+/// reset() between measurement windows.
+class Histogram {
+ public:
+  void record(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+  void record_time(Time t) { record(static_cast<double>(t)); }
+
+  std::size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// q in [0, 1]; exact order statistic over the retained samples.
+  double percentile(double q) const;
+  void reset() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Formats a fixed-width numeric table row for the bench harnesses.
+std::string format_row(const std::vector<std::string>& cells,
+                       const std::vector<int>& widths);
+
+}  // namespace raincore

@@ -1,0 +1,22 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace raincore {
+
+std::string format_time(Time t) {
+  char buf[64];
+  if (t >= kNanosPerSec) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(t));
+  } else if (t >= kNanosPerMilli) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_millis(t));
+  } else if (t >= kNanosPerMicro) {
+    std::snprintf(buf, sizeof(buf), "%.3fus",
+                  static_cast<double>(t) / static_cast<double>(kNanosPerMicro));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace raincore

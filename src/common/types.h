@@ -1,0 +1,48 @@
+// Core identifier and time types shared by every Raincore module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace raincore {
+
+/// Cluster-unique node identifier. The paper uses node IDs both for ring
+/// ordering and as merge tie-breakers (the group ID is the lowest node ID
+/// in the membership), so NodeId must be totally ordered.
+using NodeId = std::uint32_t;
+
+/// Group identifier: by convention the lowest NodeId in the membership.
+using GroupId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Token sequence number; incremented on every hop, never wraps in practice.
+using TokenSeq = std::uint64_t;
+
+/// Per-origin multicast message sequence number.
+using MsgSeq = std::uint64_t;
+
+/// Simulation / wall time in nanoseconds. Signed so durations subtract
+/// naturally; the simulator only ever produces non-negative instants.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosPerMicro = 1'000;
+inline constexpr Time kNanosPerMilli = 1'000'000;
+inline constexpr Time kNanosPerSec = 1'000'000'000;
+
+constexpr Time micros(std::int64_t n) { return n * kNanosPerMicro; }
+constexpr Time millis(std::int64_t n) { return n * kNanosPerMilli; }
+constexpr Time seconds(std::int64_t n) { return n * kNanosPerSec; }
+
+/// Converts a Time to fractional seconds for reporting.
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerSec);
+}
+constexpr double to_millis(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerMilli);
+}
+
+std::string format_time(Time t);
+
+}  // namespace raincore

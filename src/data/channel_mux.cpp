@@ -1,0 +1,39 @@
+#include "data/channel_mux.h"
+
+#include "common/log.h"
+
+namespace raincore::data {
+
+ChannelMux::ChannelMux(session::SessionNode& node) : node_(node) {
+  node_.set_deliver_handler(
+      [this](NodeId origin, const Bytes& payload, session::Ordering o) {
+        if (payload.size() < 2) return;
+        ByteReader r(payload);
+        Channel ch = r.u16();
+        auto it = channels_.find(ch);
+        if (it == channels_.end()) return;
+        Bytes body(payload.begin() + 2, payload.end());
+        it->second(origin, body, o);
+      });
+  node_.set_view_handler([this](const session::View& v) {
+    for (auto& fn : view_fns_) fn(v);
+  });
+}
+
+MsgSeq ChannelMux::send(Channel ch, Bytes payload, session::Ordering o) {
+  ByteWriter w(payload.size() + 2);
+  w.u16(ch);
+  w.raw(payload.data(), payload.size());
+  return node_.multicast(w.take(), o);
+}
+
+void ChannelMux::subscribe(Channel ch, ChannelFn fn) {
+  channels_[ch] = std::move(fn);
+}
+
+void ChannelMux::subscribe_views(ViewFn fn) {
+  if (!node_.view().members.empty()) fn(node_.view());
+  view_fns_.push_back(std::move(fn));
+}
+
+}  // namespace raincore::data

@@ -1,0 +1,46 @@
+// Channel multiplexer: lets several services (lock manager, replicated map,
+// applications) share one SessionNode's multicast stream and view events.
+// Frames every multicast with a 16-bit channel id.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "session/session_node.h"
+
+namespace raincore::data {
+
+using Channel = std::uint16_t;
+
+class ChannelMux {
+ public:
+  using ChannelFn =
+      std::function<void(NodeId origin, const Bytes& payload, session::Ordering)>;
+  using ViewFn = std::function<void(const session::View&)>;
+
+  explicit ChannelMux(session::SessionNode& node);
+  ChannelMux(const ChannelMux&) = delete;
+  ChannelMux& operator=(const ChannelMux&) = delete;
+
+  /// Multicasts on a channel with the given ordering.
+  MsgSeq send(Channel ch, Bytes payload,
+              session::Ordering o = session::Ordering::kAgreed);
+
+  /// At most one subscriber per channel (services own their channels).
+  void subscribe(Channel ch, ChannelFn fn);
+  /// Any number of view subscribers; also invoked immediately with the
+  /// current view if the node already has one.
+  void subscribe_views(ViewFn fn);
+
+  session::SessionNode& session() { return node_; }
+  NodeId self() const { return node_.id(); }
+  const session::View& view() const { return node_.view(); }
+
+ private:
+  session::SessionNode& node_;
+  std::map<Channel, ChannelFn> channels_;
+  std::vector<ViewFn> view_fns_;
+};
+
+}  // namespace raincore::data

@@ -1,0 +1,107 @@
+// Raincore Distributed Data Service — the OSI layer-6 box of the paper's
+// Figure 2, as one coherent facade. Composes the channel mux, the
+// replicated map, the distributed lock manager and the synchronisation
+// primitives over a single SessionNode, and adds typed shared variables:
+// the paper's §5 ambition of programming the cluster "with the ease of
+// developing a multi-thread shared-memory application".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "data/channel_mux.h"
+#include "data/lock_manager.h"
+#include "data/replicated_map.h"
+#include "data/sync_primitives.h"
+
+namespace raincore::data {
+
+/// Reserved channel plan for the facade (applications use >= kUserBase).
+struct DataChannels {
+  static constexpr Channel kMap = 1;
+  static constexpr Channel kLocks = 2;
+  static constexpr Channel kBarrier = 3;
+  static constexpr Channel kCounter = 4;
+  static constexpr Channel kQueue = 5;
+  static constexpr Channel kUserBase = 16;
+};
+
+class DataService {
+ public:
+  explicit DataService(session::SessionNode& session, std::size_t barrier_parties = 0)
+      : mux_(session),
+        map_(mux_, DataChannels::kMap),
+        locks_(mux_, DataChannels::kLocks),
+        barrier_(mux_, DataChannels::kBarrier,
+                 barrier_parties > 0 ? barrier_parties : 1),
+        counter_(mux_, DataChannels::kCounter),
+        queue_(mux_, DataChannels::kQueue) {}
+
+  ChannelMux& mux() { return mux_; }
+  ReplicatedMap& map() { return map_; }
+  LockManager& locks() { return locks_; }
+  DistributedBarrier& barrier() { return barrier_; }
+  DistributedCounter& counter() { return counter_; }
+  DistributedQueue& queue() { return queue_; }
+  session::SessionNode& session() { return mux_.session(); }
+
+ private:
+  ChannelMux mux_;
+  ReplicatedMap map_;
+  LockManager locks_;
+  DistributedBarrier barrier_;
+  DistributedCounter counter_;
+  DistributedQueue queue_;
+};
+
+/// A typed replicated variable stored under one key of a ReplicatedMap.
+/// Writes replicate in agreed order; reads are local. T must round-trip
+/// through operator<< / operator>> (arithmetic types, std::string, ...).
+template <typename T>
+class SharedValue {
+ public:
+  SharedValue(ReplicatedMap& map, std::string key, T initial = T{})
+      : map_(map), key_(std::move(key)), default_(std::move(initial)) {}
+
+  /// Replicated write (visible cluster-wide after one token round).
+  void set(const T& v) {
+    std::ostringstream os;
+    os << v;
+    map_.put(key_, os.str());
+  }
+
+  /// Local read of the last applied value.
+  T get() const {
+    auto s = map_.get(key_);
+    if (!s) return default_;
+    std::istringstream is(*s);
+    T v = default_;
+    is >> v;
+    return v;
+  }
+
+  bool is_set() const { return map_.contains(key_); }
+  const std::string& key() const { return key_; }
+
+ private:
+  ReplicatedMap& map_;
+  std::string key_;
+  T default_;
+};
+
+/// std::string specialisation: whole-value semantics (operator>> would stop
+/// at whitespace).
+template <>
+inline std::string SharedValue<std::string>::get() const {
+  auto s = map_.get(key_);
+  return s ? *s : default_;
+}
+
+template <>
+inline void SharedValue<std::string>::set(const std::string& v) {
+  map_.put(key_, v);
+}
+
+}  // namespace raincore::data

@@ -1,0 +1,187 @@
+#include "data/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace raincore::data {
+
+namespace {
+constexpr const char* kMod = "dlm";
+}
+
+LockManager::LockManager(ChannelMux& mux, Channel channel)
+    : mux_(mux), channel_(channel) {
+  mux_.subscribe(channel_,
+                 [this](NodeId origin, const Bytes& payload, session::Ordering) {
+                   on_message(origin, payload);
+                 });
+  mux_.subscribe_views([this](const session::View& v) { on_view(v); });
+}
+
+void LockManager::on_view(const session::View& v) {
+  if (mux_.session().generation() != generation_) {
+    // Crash-restart: our lock table is from a previous incarnation.
+    generation_ = mux_.session().generation();
+    locks_.clear();
+    epoch_members_.clear();
+    any_epoch_ = false;
+    grant_fns_.clear();
+    last_epoch_view_sent_ = 0;
+  }
+  if (!v.has(mux_.self())) return;
+  // The lowest-id member announces every membership change into the agreed
+  // stream so all replicas purge dead nodes at the same point.
+  if (v.members.empty() || v.view_id == last_epoch_view_sent_) return;
+  NodeId lowest = *std::min_element(v.members.begin(), v.members.end());
+  if (lowest != mux_.self()) return;
+  last_epoch_view_sent_ = v.view_id;
+  ByteWriter w(16 + v.members.size() * 4);
+  w.u8(static_cast<std::uint8_t>(Op::kEpoch));
+  w.u32(static_cast<std::uint32_t>(v.members.size()));
+  for (NodeId n : v.members) w.u32(n);
+  mux_.send(channel_, w.take());
+}
+
+void LockManager::acquire(const std::string& name, GrantFn on_granted) {
+  std::uint64_t req = next_req_++;
+  if (on_granted) grant_fns_[{name, req}] = std::move(on_granted);
+  ByteWriter w(name.size() + 16);
+  w.u8(static_cast<std::uint8_t>(Op::kAcquire));
+  w.str(name);
+  w.u64(req);
+  mux_.send(channel_, w.take());
+}
+
+void LockManager::release(const std::string& name) {
+  ByteWriter w(name.size() + 8);
+  w.u8(static_cast<std::uint8_t>(Op::kRelease));
+  w.str(name);
+  mux_.send(channel_, w.take());
+}
+
+bool LockManager::held_by_me(const std::string& name) const {
+  auto o = owner(name);
+  return o && *o == mux_.self();
+}
+
+std::optional<NodeId> LockManager::owner(const std::string& name) const {
+  auto it = locks_.find(name);
+  if (it == locks_.end() || it->second.queue.empty()) return std::nullopt;
+  return it->second.queue.front().node;
+}
+
+std::size_t LockManager::waiters(const std::string& name) const {
+  auto it = locks_.find(name);
+  if (it == locks_.end() || it->second.queue.empty()) return 0;
+  return it->second.queue.size() - 1;
+}
+
+void LockManager::maybe_grant(const std::string& name) {
+  auto lit = locks_.find(name);
+  if (lit == locks_.end() || lit->second.queue.empty()) return;
+  const Waiter& head = lit->second.queue.front();
+  if (head.node != mux_.self()) return;
+  // Grant exactly the request that reached the head — never a newer
+  // request of ours riding on a not-yet-released previous ownership.
+  auto it = grant_fns_.find({name, head.req});
+  if (it == grant_fns_.end()) return;
+  GrantFn fn = std::move(it->second);
+  grant_fns_.erase(it);
+  stats_.grants.inc();
+  if (fn) fn(name);
+}
+
+void LockManager::apply_acquire(const std::string& name, NodeId node,
+                                std::uint64_t req) {
+  if (any_epoch_ && epoch_members_.count(node) == 0) return;  // dead origin
+  LockState& s = locks_[name];
+  for (const Waiter& w : s.queue) {
+    if (w.node == node && w.req == req) return;  // duplicate
+  }
+  s.queue.push_back(Waiter{node, req});
+  maybe_grant(name);
+}
+
+void LockManager::apply_release(const std::string& name, NodeId node) {
+  auto it = locks_.find(name);
+  if (it == locks_.end()) return;
+  auto& q = it->second.queue;
+  bool was_owner = !q.empty() && q.front().node == node;
+  // A release removes the node's *earliest* entry only: the current
+  // ownership (or, if it never reached the head, the earliest request).
+  for (auto w = q.begin(); w != q.end(); ++w) {
+    if (w->node == node) {
+      q.erase(w);
+      break;
+    }
+  }
+  if (q.empty()) {
+    locks_.erase(it);
+    stats_.releases.inc();
+    return;
+  }
+  if (was_owner) {
+    stats_.releases.inc();
+    maybe_grant(name);
+  }
+}
+
+void LockManager::apply_epoch(const std::vector<NodeId>& members) {
+  epoch_members_.clear();
+  epoch_members_.insert(members.begin(), members.end());
+  any_epoch_ = true;
+  // Deterministic purge of dead owners and waiters, identical on every
+  // replica because EPOCH sits in the agreed stream.
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    auto& q = it->second.queue;
+    NodeId old_owner = q.empty() ? kInvalidNode : q.front().node;
+    std::size_t before = q.size();
+    q.erase(std::remove_if(q.begin(), q.end(),
+                           [&](const Waiter& w) {
+                             return epoch_members_.count(w.node) == 0;
+                           }),
+            q.end());
+    std::size_t purged = before - q.size();
+    if (purged > 0) {
+      stats_.purged_waiters.inc(purged);
+      if (!q.empty() && old_owner != q.front().node) stats_.purged_owners.inc();
+    }
+    if (q.empty()) {
+      it = locks_.erase(it);
+      continue;
+    }
+    maybe_grant(it->first);
+    ++it;
+  }
+}
+
+void LockManager::on_message(NodeId origin, const Bytes& payload) {
+  ByteReader r(payload);
+  auto op = static_cast<Op>(r.u8());
+  switch (op) {
+    case Op::kAcquire: {
+      std::string name = r.str();
+      std::uint64_t req = r.u64();
+      if (r.ok()) apply_acquire(name, origin, req);
+      break;
+    }
+    case Op::kRelease: {
+      std::string name = r.str();
+      if (r.ok()) apply_release(name, origin);
+      break;
+    }
+    case Op::kEpoch: {
+      std::uint32_t n = r.u32();
+      if (!r.ok() || n > 1'000'000) return;
+      std::vector<NodeId> members;
+      members.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) members.push_back(r.u32());
+      if (r.ok()) apply_epoch(members);
+      break;
+    }
+  }
+  (void)kMod;
+}
+
+}  // namespace raincore::data

@@ -1,0 +1,88 @@
+// Raincore distributed lock manager (paper §2.7): named data locks built on
+// the session service. "The data locks ... can be associated with one or
+// more shared data items, and can be owned by a node without requiring the
+// node to remain in the EATING state."
+//
+// Every replica applies ACQUIRE/RELEASE operations in the agreed multicast
+// order (which the token — the master lock — serialises), so all lock
+// tables are identical. Failure handling is deterministic too: on a view
+// change the lowest-id member multicasts an EPOCH record carrying the new
+// member list; every replica purges dead holders/waiters at the same point
+// in the operation stream, so promotions never diverge.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "data/channel_mux.h"
+
+namespace raincore::data {
+
+class LockManager {
+ public:
+  using GrantFn = std::function<void(const std::string& name)>;
+
+  LockManager(ChannelMux& mux, Channel channel);
+
+  /// Requests the named lock; on_granted fires when this node becomes the
+  /// owner (possibly immediately after the own request circles the ring).
+  void acquire(const std::string& name, GrantFn on_granted = {});
+
+  /// Releases a lock this node owns (no-op otherwise, queued request is
+  /// withdrawn if still waiting).
+  void release(const std::string& name);
+
+  bool held_by_me(const std::string& name) const;
+  std::optional<NodeId> owner(const std::string& name) const;
+  std::size_t waiters(const std::string& name) const;
+
+  struct Stats {
+    Counter grants, releases, purged_owners, purged_waiters;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Op : std::uint8_t {
+    kAcquire = 1,
+    kRelease = 2,
+    kEpoch = 3,
+  };
+
+  /// One queued request: grants are tied to the request identity, not just
+  /// the node — a node that re-acquires while its release is still in
+  /// flight must not be granted off its *previous* ownership.
+  struct Waiter {
+    NodeId node = kInvalidNode;
+    std::uint64_t req = 0;
+  };
+  struct LockState {
+    std::deque<Waiter> queue;  ///< front = owner
+  };
+
+  void on_message(NodeId origin, const Bytes& payload);
+  void on_view(const session::View& v);
+  void apply_acquire(const std::string& name, NodeId node, std::uint64_t req);
+  void apply_release(const std::string& name, NodeId node);
+  void apply_epoch(const std::vector<NodeId>& members);
+  void maybe_grant(const std::string& name);
+
+  ChannelMux& mux_;
+  Channel channel_;
+  std::map<std::string, LockState> locks_;
+  /// Member set as of the last applied EPOCH (in-stream view). Operations
+  /// from nodes outside it are ignored deterministically.
+  std::set<NodeId> epoch_members_;
+  bool any_epoch_ = false;
+  std::uint64_t generation_ = 0;  ///< session incarnation we belong to
+  std::uint64_t last_epoch_view_sent_ = 0;
+  std::uint64_t next_req_ = 1;
+  /// Pending grant callbacks keyed by (lock name, request id).
+  std::map<std::pair<std::string, std::uint64_t>, GrantFn> grant_fns_;
+  Stats stats_;
+};
+
+}  // namespace raincore::data

@@ -1,0 +1,144 @@
+#include "data/replicated_map.h"
+
+#include "common/log.h"
+
+namespace raincore::data {
+
+namespace {
+constexpr const char* kMod = "repmap";
+}
+
+ReplicatedMap::ReplicatedMap(ChannelMux& mux, Channel channel)
+    : mux_(mux), channel_(channel) {
+  mux_.subscribe(channel_,
+                 [this](NodeId origin, const Bytes& payload, session::Ordering) {
+                   on_message(origin, payload);
+                 });
+  mux_.subscribe_views([this](const session::View& v) { on_view(v); });
+}
+
+void ReplicatedMap::on_view(const session::View& v) {
+  // A new session generation means this node crash-restarted: the replica
+  // state belongs to the previous incarnation and must be dropped before
+  // re-syncing as a fresh joiner.
+  if (mux_.session().generation() != generation_) {
+    generation_ = mux_.session().generation();
+    data_.clear();
+    replay_.clear();
+    synced_ = false;
+    sync_requested_ = false;
+    was_member_ = false;
+  }
+  if (!v.has(mux_.self())) return;
+  if (!was_member_) {
+    was_member_ = true;
+    if (v.members.size() == 1) {
+      // Founding member of a fresh group: nothing to catch up with.
+      synced_ = true;
+    } else if (!synced_ && !sync_requested_) {
+      // Joiner: ask the group for a snapshot through the agreed stream.
+      sync_requested_ = true;
+      ByteWriter w(1);
+      w.u8(static_cast<std::uint8_t>(Op::kSyncRequest));
+      mux_.send(channel_, w.take());
+    }
+  }
+}
+
+void ReplicatedMap::put(const std::string& key, const std::string& value) {
+  ByteWriter w(key.size() + value.size() + 16);
+  w.u8(static_cast<std::uint8_t>(Op::kPut));
+  w.str(key);
+  w.str(value);
+  mux_.send(channel_, w.take());
+}
+
+void ReplicatedMap::erase(const std::string& key) {
+  ByteWriter w(key.size() + 8);
+  w.u8(static_cast<std::uint8_t>(Op::kErase));
+  w.str(key);
+  mux_.send(channel_, w.take());
+}
+
+std::optional<std::string> ReplicatedMap::get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ReplicatedMap::apply_put(const std::string& key, std::string value,
+                              NodeId origin) {
+  data_[key] = std::move(value);
+  if (on_change_) on_change_(key, data_[key], origin);
+}
+
+void ReplicatedMap::apply_erase(const std::string& key, NodeId origin) {
+  if (data_.erase(key) > 0 && on_change_) on_change_(key, std::nullopt, origin);
+}
+
+void ReplicatedMap::on_message(NodeId origin, const Bytes& payload) {
+  ByteReader r(payload);
+  auto op = static_cast<Op>(r.u8());
+  switch (op) {
+    case Op::kPut: {
+      std::string key = r.str();
+      std::string value = r.str();
+      if (!r.ok()) return;
+      if (sync_requested_ && !synced_) replay_.emplace_back(origin, payload);
+      apply_put(key, std::move(value), origin);
+      break;
+    }
+    case Op::kErase: {
+      std::string key = r.str();
+      if (!r.ok()) return;
+      if (sync_requested_ && !synced_) replay_.emplace_back(origin, payload);
+      apply_erase(key, origin);
+      break;
+    }
+    case Op::kSyncRequest: {
+      if (origin == mux_.self()) return;
+      // The lowest-id synced member answers; everyone computes the same
+      // responder from the shared view, so exactly one snapshot is sent.
+      NodeId responder = kInvalidNode;
+      for (NodeId n : mux_.view().members) {
+        if (n != origin && n < responder) responder = n;
+      }
+      if (responder != mux_.self() || !synced_) return;
+      ByteWriter w(64);
+      w.u8(static_cast<std::uint8_t>(Op::kSnapshot));
+      w.u32(origin);  // addressee
+      w.u32(static_cast<std::uint32_t>(data_.size()));
+      for (const auto& [k, v] : data_) {
+        w.str(k);
+        w.str(v);
+      }
+      mux_.send(channel_, w.take());
+      break;
+    }
+    case Op::kSnapshot: {
+      NodeId addressee = r.u32();
+      std::uint32_t n = r.u32();
+      if (!r.ok()) return;
+      if (addressee != mux_.self() || synced_) return;
+      data_.clear();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string k = r.str();
+        std::string v = r.str();
+        if (!r.ok()) return;
+        data_[k] = std::move(v);
+      }
+      synced_ = true;
+      // Replay the operations ordered after our sync request but before the
+      // snapshot message; apply-by-overwrite makes this idempotent.
+      std::vector<std::pair<NodeId, Bytes>> replay;
+      replay.swap(replay_);
+      for (auto& [o, p] : replay) on_message(o, p);
+      RC_INFO(kMod, "node %u synced snapshot of %u entries (+%zu replayed)",
+              mux_.self(), n, replay.size());
+      if (on_change_) on_change_("", std::nullopt, origin);
+      break;
+    }
+  }
+}
+
+}  // namespace raincore::data

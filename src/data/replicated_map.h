@@ -1,0 +1,74 @@
+// Replicated key-value map — the Raincore Distributed Data Service's
+// shared-state primitive ("share the assignment of the virtual IPs", §3.1;
+// "connection assignment information shared among the cluster", §3.2).
+//
+// All mutations travel as agreed-ordered multicasts, so every member applies
+// them in the same total order and the replicas stay identical. A joining
+// node requests a snapshot; because the snapshot reply is itself in the
+// agreed stream, it linearises cleanly against concurrent updates.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "data/channel_mux.h"
+
+namespace raincore::data {
+
+class ReplicatedMap {
+ public:
+  /// key, new value (nullopt = erased), origin of the mutation.
+  using ChangeFn = std::function<void(const std::string& key,
+                                      const std::optional<std::string>& value,
+                                      NodeId origin)>;
+
+  ReplicatedMap(ChannelMux& mux, Channel channel);
+
+  /// Replicated mutations (applied locally when the own multicast returns
+  /// around the ring — same order as everywhere else).
+  void put(const std::string& key, const std::string& value);
+  void erase(const std::string& key);
+
+  /// Local reads.
+  std::optional<std::string> get(const std::string& key) const;
+  bool contains(const std::string& key) const { return data_.count(key) > 0; }
+  std::size_t size() const { return data_.size(); }
+  const std::map<std::string, std::string>& contents() const { return data_; }
+
+  /// True once this replica has caught up with the group state (always true
+  /// for founding members; joiners flip after their snapshot arrives).
+  bool synced() const { return synced_; }
+
+  void set_change_handler(ChangeFn fn) { on_change_ = std::move(fn); }
+
+ private:
+  enum class Op : std::uint8_t {
+    kPut = 1,
+    kErase = 2,
+    kSyncRequest = 3,
+    kSnapshot = 4,
+  };
+
+  void on_message(NodeId origin, const Bytes& payload);
+  void on_view(const session::View& v);
+  void apply_put(const std::string& key, std::string value, NodeId origin);
+  void apply_erase(const std::string& key, NodeId origin);
+
+  ChannelMux& mux_;
+  Channel channel_;
+  std::map<std::string, std::string> data_;
+  bool synced_ = false;
+  bool was_member_ = false;
+  bool sync_requested_ = false;
+  std::uint64_t generation_ = 0;  ///< session incarnation we belong to
+  /// Joiner-side replay buffer: the snapshot covers exactly the operations
+  /// ordered before our kSyncRequest, but it is *attached* by the responder
+  /// one round later — so every op we deliver between sending the request
+  /// and receiving the snapshot must be replayed on top of it.
+  std::vector<std::pair<NodeId, Bytes>> replay_;
+  ChangeFn on_change_;
+};
+
+}  // namespace raincore::data

@@ -1,0 +1,133 @@
+#include "data/sync_primitives.h"
+
+namespace raincore::data {
+
+// --- DistributedBarrier --------------------------------------------------------
+
+namespace {
+enum class BarrierOp : std::uint8_t { kArrive = 1 };
+enum class CounterOp : std::uint8_t { kAdd = 1 };
+enum class QueueOp : std::uint8_t { kPush = 1, kPop = 2 };
+}  // namespace
+
+DistributedBarrier::DistributedBarrier(ChannelMux& mux, Channel channel,
+                                       std::size_t parties)
+    : mux_(mux), channel_(channel), parties_(parties) {
+  mux_.subscribe(channel_,
+                 [this](NodeId origin, const Bytes& payload, session::Ordering) {
+                   on_message(origin, payload);
+                 });
+}
+
+void DistributedBarrier::arrive() {
+  ByteWriter w(16);
+  w.u8(static_cast<std::uint8_t>(BarrierOp::kArrive));
+  w.u64(generation_);
+  mux_.send(channel_, w.take());
+}
+
+void DistributedBarrier::on_message(NodeId origin, const Bytes& payload) {
+  ByteReader r(payload);
+  if (static_cast<BarrierOp>(r.u8()) != BarrierOp::kArrive) return;
+  std::uint64_t gen = r.u64();
+  if (!r.ok() || gen != generation_) return;  // stale arrival of a past gen
+  arrived_.insert(origin);
+  if (arrived_.size() >= parties_) {
+    std::uint64_t released = generation_;
+    ++generation_;
+    arrived_.clear();
+    if (on_released_) on_released_(released);
+  }
+}
+
+// --- DistributedCounter --------------------------------------------------------
+
+DistributedCounter::DistributedCounter(ChannelMux& mux, Channel channel)
+    : mux_(mux), channel_(channel) {
+  mux_.subscribe(channel_,
+                 [this](NodeId origin, const Bytes& payload, session::Ordering) {
+                   on_message(origin, payload);
+                 });
+}
+
+void DistributedCounter::add(std::int64_t delta, ResultFn on_applied) {
+  std::uint64_t op = next_op_++;
+  if (on_applied) pending_[op] = std::move(on_applied);
+  ByteWriter w(24);
+  w.u8(static_cast<std::uint8_t>(CounterOp::kAdd));
+  w.u64(op);
+  w.i64(delta);
+  mux_.send(channel_, w.take());
+}
+
+void DistributedCounter::on_message(NodeId origin, const Bytes& payload) {
+  ByteReader r(payload);
+  if (static_cast<CounterOp>(r.u8()) != CounterOp::kAdd) return;
+  std::uint64_t op = r.u64();
+  std::int64_t delta = r.i64();
+  if (!r.ok()) return;
+  value_ += delta;
+  if (origin == mux_.self()) {
+    auto it = pending_.find(op);
+    if (it != pending_.end()) {
+      ResultFn fn = std::move(it->second);
+      pending_.erase(it);
+      fn(value_);
+    }
+  }
+}
+
+// --- DistributedQueue ----------------------------------------------------------
+
+DistributedQueue::DistributedQueue(ChannelMux& mux, Channel channel)
+    : mux_(mux), channel_(channel) {
+  mux_.subscribe(channel_,
+                 [this](NodeId origin, const Bytes& payload, session::Ordering) {
+                   on_message(origin, payload);
+                 });
+}
+
+void DistributedQueue::push(std::string item) {
+  ByteWriter w(item.size() + 8);
+  w.u8(static_cast<std::uint8_t>(QueueOp::kPush));
+  w.str(item);
+  mux_.send(channel_, w.take());
+}
+
+void DistributedQueue::try_pop(PopFn fn) {
+  std::uint64_t req = next_req_++;
+  pending_[req] = std::move(fn);
+  ByteWriter w(16);
+  w.u8(static_cast<std::uint8_t>(QueueOp::kPop));
+  w.u64(req);
+  mux_.send(channel_, w.take());
+}
+
+void DistributedQueue::on_message(NodeId origin, const Bytes& payload) {
+  ByteReader r(payload);
+  auto op = static_cast<QueueOp>(r.u8());
+  if (op == QueueOp::kPush) {
+    std::string item = r.str();
+    if (!r.ok()) return;
+    items_.push_back(std::move(item));
+  } else if (op == QueueOp::kPop) {
+    std::uint64_t req = r.u64();
+    if (!r.ok()) return;
+    // Every replica pops identically; only the requester's callback fires.
+    std::optional<std::string> item;
+    if (!items_.empty()) {
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    if (origin == mux_.self()) {
+      auto it = pending_.find(req);
+      if (it != pending_.end()) {
+        PopFn fn = std::move(it->second);
+        pending_.erase(it);
+        fn(std::move(item));
+      }
+    }
+  }
+}
+
+}  // namespace raincore::data

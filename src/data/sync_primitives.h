@@ -1,0 +1,99 @@
+// Distributed synchronisation primitives on top of the Raincore Data
+// Service — the paper's §5 ambition: "provide developers an environment
+// where they will be able to develop distributed networking applications
+// with the ease of developing a multi-thread shared-memory application".
+//
+// All three primitives are replicated state machines over the agreed
+// multicast stream: every member applies the same operations in the same
+// order, so the replicas never diverge, and membership EPOCH records (as in
+// the lock manager) make failure handling deterministic.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "data/channel_mux.h"
+
+namespace raincore::data {
+
+/// Cluster-wide barrier: fires the callback on every member once `parties`
+/// distinct nodes have arrived. Reusable: each generation is independent.
+class DistributedBarrier {
+ public:
+  using ReleasedFn = std::function<void(std::uint64_t generation)>;
+
+  DistributedBarrier(ChannelMux& mux, Channel channel, std::size_t parties);
+
+  /// Announces this node's arrival at the current barrier generation.
+  void arrive();
+
+  void set_released_handler(ReleasedFn fn) { on_released_ = std::move(fn); }
+  std::uint64_t generation() const { return generation_; }
+  std::size_t waiting() const { return arrived_.size(); }
+
+ private:
+  void on_message(NodeId origin, const Bytes& payload);
+
+  ChannelMux& mux_;
+  Channel channel_;
+  std::size_t parties_;
+  std::uint64_t generation_ = 0;
+  std::set<NodeId> arrived_;
+  ReleasedFn on_released_;
+};
+
+/// Replicated atomic counter with fetch-style callbacks: add() returns the
+/// post-operation value to the caller when its operation is ordered.
+class DistributedCounter {
+ public:
+  using ResultFn = std::function<void(std::int64_t value)>;
+
+  DistributedCounter(ChannelMux& mux, Channel channel);
+
+  /// Applies delta in agreed order; on_applied (optional) fires on *this*
+  /// node with the counter value immediately after its own operation.
+  void add(std::int64_t delta, ResultFn on_applied = {});
+
+  std::int64_t value() const { return value_; }
+
+ private:
+  void on_message(NodeId origin, const Bytes& payload);
+
+  ChannelMux& mux_;
+  Channel channel_;
+  std::int64_t value_ = 0;
+  std::uint64_t next_op_ = 1;
+  std::map<std::uint64_t, ResultFn> pending_;
+};
+
+/// Replicated FIFO queue with exclusive pop: every member sees the same
+/// queue; a pop request is granted to exactly one requester (the one whose
+/// request is ordered first while the queue is non-empty).
+class DistributedQueue {
+ public:
+  using PopFn = std::function<void(std::optional<std::string> item)>;
+
+  DistributedQueue(ChannelMux& mux, Channel channel);
+
+  void push(std::string item);
+  /// Requests one item; fires with nullopt if the queue is empty at the
+  /// point the request is ordered.
+  void try_pop(PopFn fn);
+
+  std::size_t size() const { return items_.size(); }
+  const std::deque<std::string>& items() const { return items_; }
+
+ private:
+  void on_message(NodeId origin, const Bytes& payload);
+
+  ChannelMux& mux_;
+  Channel channel_;
+  std::deque<std::string> items_;
+  std::uint64_t next_req_ = 1;
+  std::map<std::uint64_t, PopFn> pending_;
+};
+
+}  // namespace raincore::data

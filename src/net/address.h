@@ -1,0 +1,41 @@
+// Network addressing for the Raincore substrate.
+//
+// The paper's Transport Service allows "each node to have multiple physical
+// addresses" (redundant links, §2.1). We model a physical address as
+// (node, interface-index); both the simulator and the UDP driver resolve it
+// to an actual endpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+
+namespace raincore::net {
+
+struct Address {
+  NodeId node = kInvalidNode;
+  std::uint8_t iface = 0;
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+  /// Packs into a sortable 64-bit key (node in high bits).
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(node) << 8) | iface;
+  }
+
+  std::string to_string() const {
+    return std::to_string(node) + "." + std::to_string(iface);
+  }
+};
+
+}  // namespace raincore::net
+
+template <>
+struct std::hash<raincore::net::Address> {
+  std::size_t operator()(const raincore::net::Address& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.key());
+  }
+};

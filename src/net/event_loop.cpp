@@ -1,0 +1,46 @@
+#include "net/event_loop.h"
+
+namespace raincore::net {
+
+TimerId EventLoop::schedule_at(Time when, EventFn fn) {
+  if (when < now()) when = now();
+  TimerId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    Event ev{top.when, top.seq, top.id, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    clock_.advance_to(ev.when);
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    Event ev{top.when, top.seq, top.id, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    clock_.advance_to(ev.when);
+    ev.fn();
+  }
+  clock_.advance_to(deadline);
+}
+
+bool EventLoop::idle() const { return pending() == 0; }
+
+}  // namespace raincore::net

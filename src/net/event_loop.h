@@ -1,0 +1,76 @@
+// Virtual-time event loop driving the simulated network.
+//
+// All protocol activity in a simulation — datagram deliveries, protocol
+// timers, workload arrivals — is an event on this single queue. Events at
+// the same instant run in scheduling order, making every run bit-for-bit
+// reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/types.h"
+
+namespace raincore::net {
+
+using TimerId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  const Clock& clock() const { return clock_; }
+  Time now() const { return clock_.now(); }
+
+  /// Schedules fn to run at now() + delay (delay may be 0). Returns an id
+  /// usable with cancel().
+  TimerId schedule(Time delay, EventFn fn) { return schedule_at(now() + delay, std::move(fn)); }
+
+  /// Schedules fn at an absolute instant (clamped to now()).
+  TimerId schedule_at(Time when, EventFn fn);
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(TimerId id) { cancelled_.insert(id); }
+
+  /// Runs events until the queue is empty or the virtual clock would pass
+  /// `deadline`. The clock is left at min(deadline, last event time).
+  void run_until(Time deadline);
+
+  /// Convenience: run_until(now() + d).
+  void run_for(Time d) { run_until(now() + d); }
+
+  /// Runs a single event if one is pending; returns false when idle.
+  bool step();
+
+  bool idle() const;
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // tie-break: FIFO among same-instant events
+    TimerId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  ManualClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TimerId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+};
+
+}  // namespace raincore::net

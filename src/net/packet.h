@@ -1,0 +1,15 @@
+// A datagram in flight: unreliable, unordered, possibly dropped.
+#pragma once
+
+#include "common/buffer.h"
+#include "net/address.h"
+
+namespace raincore::net {
+
+struct Datagram {
+  Address src;
+  Address dst;
+  Bytes payload;
+};
+
+}  // namespace raincore::net

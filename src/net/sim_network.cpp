@@ -1,0 +1,194 @@
+#include "net/sim_network.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace raincore::net {
+
+class SimNetwork::SimNodeEnv final : public NodeEnv {
+ public:
+  SimNodeEnv(SimNetwork& net, NodeId id, std::uint8_t n_ifaces, Rng rng)
+      : net_(net), id_(id), n_ifaces_(n_ifaces), rng_(rng) {}
+
+  NodeId node() const override { return id_; }
+  std::uint8_t iface_count() const override { return n_ifaces_; }
+
+  void send(const Address& to, Bytes payload, std::uint8_t from_iface) override {
+    assert(from_iface < n_ifaces_);
+    Datagram d;
+    d.src = Address{id_, from_iface};
+    d.dst = to;
+    d.payload = std::move(payload);
+    net_.do_send(std::move(d));
+  }
+
+  TimerId schedule(Time delay, EventFn fn) override {
+    return net_.loop_.schedule(delay, std::move(fn));
+  }
+  void cancel(TimerId id) override { net_.loop_.cancel(id); }
+  Time now() const override { return net_.loop_.now(); }
+  Rng& rng() override { return rng_; }
+
+  void set_receiver(ReceiveFn fn) override { receiver_ = std::move(fn); }
+
+  void deliver(Datagram&& d) {
+    if (receiver_) receiver_(std::move(d));
+  }
+
+ private:
+  SimNetwork& net_;
+  NodeId id_;
+  std::uint8_t n_ifaces_;
+  Rng rng_;
+  ReceiveFn receiver_;
+};
+
+SimNetwork::SimNetwork(SimNetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+SimNetwork::~SimNetwork() = default;
+
+NodeEnv& SimNetwork::add_node(NodeId id, std::uint8_t n_ifaces) {
+  assert(n_ifaces >= 1);
+  auto [it, inserted] = nodes_.try_emplace(
+      id, std::make_unique<SimNodeEnv>(*this, id, n_ifaces, rng_.fork()));
+  assert(inserted && "duplicate node id");
+  node_up_[id] = true;
+  return *it->second;
+}
+
+bool SimNetwork::has_node(NodeId id) const { return nodes_.count(id) > 0; }
+
+void SimNetwork::set_link_up(NodeId a, NodeId b, bool up, bool bidirectional) {
+  node_links_[{a, b}].up = up;
+  if (bidirectional) node_links_[{b, a}].up = up;
+}
+
+void SimNetwork::set_link_up(const Address& a, const Address& b, bool up,
+                             bool bidirectional) {
+  addr_links_[{a.key(), b.key()}].up = up;
+  if (bidirectional) addr_links_[{b.key(), a.key()}].up = up;
+}
+
+void SimNetwork::set_drop_rate(NodeId a, NodeId b, double p, bool bidirectional) {
+  node_links_[{a, b}].drop = p;
+  if (bidirectional) node_links_[{b, a}].drop = p;
+}
+
+void SimNetwork::set_latency(NodeId a, NodeId b, Time latency, Time jitter,
+                             bool bidirectional) {
+  node_links_[{a, b}].latency = latency;
+  node_links_[{a, b}].jitter = jitter;
+  if (bidirectional) {
+    node_links_[{b, a}].latency = latency;
+    node_links_[{b, a}].jitter = jitter;
+  }
+}
+
+void SimNetwork::set_node_up(NodeId id, bool up) { node_up_[id] = up; }
+
+bool SimNetwork::node_up(NodeId id) const {
+  auto it = node_up_.find(id);
+  return it != node_up_.end() && it->second;
+}
+
+void SimNetwork::partition(std::vector<std::vector<NodeId>> groups) {
+  partitions_ = std::move(groups);
+}
+
+void SimNetwork::heal_partition() { partitions_.clear(); }
+
+bool SimNetwork::crosses_partition(NodeId a, NodeId b) const {
+  if (partitions_.empty()) return false;
+  int ga = -1, gb = -1;
+  for (std::size_t g = 0; g < partitions_.size(); ++g) {
+    for (NodeId n : partitions_[g]) {
+      if (n == a) ga = static_cast<int>(g);
+      if (n == b) gb = static_cast<int>(g);
+    }
+  }
+  // Unlisted nodes remain reachable from everywhere.
+  if (ga < 0 || gb < 0) return false;
+  return ga != gb;
+}
+
+SimNetwork::EffectiveLink SimNetwork::resolve(const Address& src,
+                                              const Address& dst) const {
+  EffectiveLink e{true, cfg_.default_drop, cfg_.default_latency,
+                  cfg_.default_jitter};
+  if (auto it = node_links_.find({src.node, dst.node}); it != node_links_.end()) {
+    const LinkOverride& o = it->second;
+    if (o.up) e.up = *o.up;
+    if (o.drop) e.drop = *o.drop;
+    if (o.latency) e.latency = *o.latency;
+    if (o.jitter) e.jitter = *o.jitter;
+  }
+  if (auto it = addr_links_.find({src.key(), dst.key()}); it != addr_links_.end()) {
+    const LinkOverride& o = it->second;
+    if (o.up) e.up = *o.up;
+    if (o.drop) e.drop = *o.drop;
+    if (o.latency) e.latency = *o.latency;
+    if (o.jitter) e.jitter = *o.jitter;
+  }
+  return e;
+}
+
+void SimNetwork::do_send(Datagram&& d) {
+  NodeStats& src_stats = stats_[d.src.node];
+  src_stats.pkts_sent.inc();
+  src_stats.bytes_sent.inc(d.payload.size());
+
+  auto drop = [&] { src_stats.pkts_dropped.inc(); };
+
+  if (!node_up(d.src.node) || !node_up(d.dst.node)) return drop();
+  if (crosses_partition(d.src.node, d.dst.node)) return drop();
+  auto dst_it = nodes_.find(d.dst.node);
+  if (dst_it == nodes_.end()) return drop();
+
+  EffectiveLink link = resolve(d.src, d.dst);
+  if (!link.up) return drop();
+  if (link.drop > 0.0 && rng_.chance(link.drop)) return drop();
+
+  Time delay = link.latency;
+  if (link.jitter > 0) delay += rng_.uniform(0, link.jitter);
+  Time when = loop_.now() + delay;
+  if (cfg_.preserve_order) {
+    auto key = std::make_pair(d.src.key(), d.dst.key());
+    Time& last = last_delivery_[key];
+    if (when < last) when = last;
+    last = when;
+  }
+
+  SimNodeEnv* dst = dst_it->second.get();
+  loop_.schedule_at(when, [this, dst, d = std::move(d)]() mutable {
+    // Re-check reachability at delivery time: a link cut or node failure
+    // that happens while the packet is in flight loses the packet, exactly
+    // like pulling a cable.
+    if (!node_up(d.src.node) || !node_up(d.dst.node)) return;
+    if (crosses_partition(d.src.node, d.dst.node)) return;
+    if (!resolve(d.src, d.dst).up) return;
+    NodeStats& s = stats_[d.dst.node];
+    s.pkts_recv.inc();
+    s.bytes_recv.inc(d.payload.size());
+    dst->deliver(std::move(d));
+  });
+}
+
+const SimNetwork::NodeStats& SimNetwork::stats(NodeId id) const {
+  return stats_[id];
+}
+
+SimNetwork::NodeStats SimNetwork::totals() const {
+  NodeStats t;
+  for (const auto& [id, s] : stats_) {
+    t.pkts_sent.inc(s.pkts_sent.value());
+    t.pkts_recv.inc(s.pkts_recv.value());
+    t.bytes_sent.inc(s.bytes_sent.value());
+    t.bytes_recv.inc(s.bytes_recv.value());
+    t.pkts_dropped.inc(s.pkts_dropped.value());
+  }
+  return t;
+}
+
+void SimNetwork::reset_stats() { stats_.clear(); }
+
+}  // namespace raincore::net

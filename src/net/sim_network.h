@@ -1,0 +1,107 @@
+// Deterministic in-process packet network with fault injection.
+//
+// This is the testbed substitute for the paper's switched Fast Ethernet lab:
+// a virtual-time fabric with per-link latency/jitter/loss, link cuts, node
+// disconnects and named partitions, plus exact packet/byte counters used by
+// the §4.1 overhead benchmarks. Unicast only — matching the paper's design
+// assumption that no broadcast medium is available.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "net/network.h"
+
+namespace raincore::net {
+
+struct SimNetConfig {
+  Time default_latency = micros(100);  ///< one-way latency, switched LAN scale
+  Time default_jitter = 0;             ///< uniform extra delay in [0, jitter]
+  double default_drop = 0.0;           ///< per-packet loss probability
+  bool preserve_order = true;          ///< FIFO per directed (src,dst) pair
+  std::uint64_t seed = 42;
+};
+
+/// Partial per-link override; unset fields fall back to node-pair overrides
+/// and then to the network defaults.
+struct LinkOverride {
+  std::optional<bool> up;
+  std::optional<double> drop;
+  std::optional<Time> latency;
+  std::optional<Time> jitter;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(SimNetConfig cfg = {});
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+  ~SimNetwork();
+
+  EventLoop& loop() { return loop_; }
+  Time now() const { return loop_.now(); }
+  Rng& rng() { return rng_; }
+
+  /// Registers a node with n_ifaces physical addresses (node, 0..n-1).
+  /// The returned environment is owned by the network.
+  NodeEnv& add_node(NodeId id, std::uint8_t n_ifaces = 1);
+  bool has_node(NodeId id) const;
+
+  // --- Fault injection -----------------------------------------------------
+
+  /// Cuts or restores every interface pair between two nodes.
+  void set_link_up(NodeId a, NodeId b, bool up, bool bidirectional = true);
+  /// Cuts or restores one specific interface pair (directed unless bidir).
+  void set_link_up(const Address& a, const Address& b, bool up,
+                   bool bidirectional = true);
+  void set_drop_rate(NodeId a, NodeId b, double p, bool bidirectional = true);
+  void set_latency(NodeId a, NodeId b, Time latency, Time jitter = 0,
+                   bool bidirectional = true);
+  /// Disconnected nodes can neither send nor receive ("cable unplugged").
+  void set_node_up(NodeId id, bool up);
+  bool node_up(NodeId id) const;
+
+  /// Splits the fabric into isolated groups; traffic between different
+  /// groups is dropped. Nodes not listed stay reachable from every group.
+  void partition(std::vector<std::vector<NodeId>> groups);
+  void heal_partition();
+
+  // --- Measurement ---------------------------------------------------------
+
+  struct NodeStats {
+    Counter pkts_sent, pkts_recv, bytes_sent, bytes_recv, pkts_dropped;
+  };
+  const NodeStats& stats(NodeId id) const;
+  /// Sum over all nodes (sent-side totals).
+  NodeStats totals() const;
+  void reset_stats();
+
+ private:
+  class SimNodeEnv;
+  struct EffectiveLink {
+    bool up;
+    double drop;
+    Time latency;
+    Time jitter;
+  };
+
+  void do_send(Datagram&& d);
+  EffectiveLink resolve(const Address& src, const Address& dst) const;
+  bool crosses_partition(NodeId a, NodeId b) const;
+
+  SimNetConfig cfg_;
+  EventLoop loop_;
+  Rng rng_;
+  std::map<NodeId, std::unique_ptr<SimNodeEnv>> nodes_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, LinkOverride> addr_links_;
+  std::map<std::pair<NodeId, NodeId>, LinkOverride> node_links_;
+  std::map<NodeId, bool> node_up_;
+  std::vector<std::vector<NodeId>> partitions_;
+  mutable std::map<NodeId, NodeStats> stats_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Time> last_delivery_;
+};
+
+}  // namespace raincore::net

@@ -1,0 +1,174 @@
+#include "net/udp_network.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/log.h"
+
+namespace raincore::net {
+
+class UdpNetwork::UdpNodeEnv final : public NodeEnv {
+ public:
+  UdpNodeEnv(UdpNetwork& net, NodeId id, std::uint8_t n_ifaces, Rng rng)
+      : net_(net), id_(id), n_ifaces_(n_ifaces), rng_(rng) {
+    fds_.resize(n_ifaces, -1);
+    for (std::uint8_t i = 0; i < n_ifaces; ++i) {
+      int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+      if (fd < 0) throw std::runtime_error("socket() failed");
+      int flags = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(net.port_of(Address{id, i}));
+      ::inet_pton(AF_INET, net.cfg_.bind_ip.c_str(), &addr.sin_addr);
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw std::runtime_error("bind() failed for node " + std::to_string(id));
+      }
+      fds_[i] = fd;
+    }
+  }
+
+  ~UdpNodeEnv() override {
+    for (int fd : fds_) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+
+  NodeId node() const override { return id_; }
+  std::uint8_t iface_count() const override { return n_ifaces_; }
+
+  void send(const Address& to, Bytes payload, std::uint8_t from_iface) override {
+    assert(from_iface < n_ifaces_);
+    // Wire framing: [src_node u32][src_iface u8] + payload, so the receiver
+    // recovers the logical source address regardless of ephemeral routing.
+    ByteWriter w(payload.size() + 5);
+    w.u32(id_);
+    w.u8(from_iface);
+    w.raw(payload.data(), payload.size());
+    Bytes framed = w.take();
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(net_.port_of(to));
+    ::inet_pton(AF_INET, net_.cfg_.bind_ip.c_str(), &addr.sin_addr);
+    ::sendto(fds_[from_iface], framed.data(), framed.size(), 0,
+             reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+
+  TimerId schedule(Time delay, EventFn fn) override {
+    return net_.schedule(delay, std::move(fn));
+  }
+  void cancel(TimerId id) override { net_.cancel(id); }
+  Time now() const override { return net_.clock_.now(); }
+  Rng& rng() override { return rng_; }
+  void set_receiver(ReceiveFn fn) override { receiver_ = std::move(fn); }
+
+  void drain(std::uint8_t iface) {
+    std::uint8_t buf[65536];
+    for (;;) {
+      ssize_t n = ::recv(fds_[iface], buf, sizeof(buf), 0);
+      if (n < 0) break;
+      if (n < 5) continue;  // malformed frame
+      ByteReader r(buf, static_cast<std::size_t>(n));
+      Datagram d;
+      d.src.node = r.u32();
+      d.src.iface = r.u8();
+      d.dst = Address{id_, iface};
+      d.payload.assign(buf + 5, buf + n);
+      if (receiver_) receiver_(std::move(d));
+    }
+  }
+
+  const std::vector<int>& fds() const { return fds_; }
+
+ private:
+  UdpNetwork& net_;
+  NodeId id_;
+  std::uint8_t n_ifaces_;
+  Rng rng_;
+  ReceiveFn receiver_;
+  std::vector<int> fds_;
+};
+
+UdpNetwork::UdpNetwork(UdpConfig cfg) : cfg_(cfg) {}
+UdpNetwork::~UdpNetwork() = default;
+
+std::uint16_t UdpNetwork::port_of(const Address& a) const {
+  return static_cast<std::uint16_t>(cfg_.base_port + a.node * kMaxIfaces +
+                                    a.iface);
+}
+
+NodeEnv& UdpNetwork::add_node(NodeId id, std::uint8_t n_ifaces) {
+  assert(n_ifaces >= 1 && n_ifaces <= kMaxIfaces);
+  auto [it, inserted] = nodes_.try_emplace(
+      id, std::make_unique<UdpNodeEnv>(*this, id, n_ifaces, Rng(0xacedull ^ id)));
+  assert(inserted && "duplicate node id");
+  return *it->second;
+}
+
+TimerId UdpNetwork::schedule(Time delay, EventFn fn) {
+  TimerId id = next_timer_id_++;
+  timers_.push(PendingTimer{clock_.now() + delay, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void UdpNetwork::cancel(TimerId id) { cancelled_.insert(id); }
+
+void UdpNetwork::poll_once(Time max_wait) {
+  // Fire due timers first.
+  while (!timers_.empty()) {
+    const PendingTimer& top = timers_.top();
+    if (cancelled_.erase(top.id) > 0) {
+      timers_.pop();
+      continue;
+    }
+    if (top.when > clock_.now()) break;
+    EventFn fn = std::move(const_cast<PendingTimer&>(top).fn);
+    timers_.pop();
+    fn();
+  }
+
+  Time wait = max_wait;
+  if (!timers_.empty()) {
+    Time until_timer = timers_.top().when - clock_.now();
+    if (until_timer < wait) wait = until_timer;
+  }
+  if (wait < 0) wait = 0;
+  int timeout_ms = static_cast<int>(wait / kNanosPerMilli);
+  if (timeout_ms < 1) timeout_ms = 1;
+
+  std::vector<pollfd> pfds;
+  std::vector<std::pair<UdpNodeEnv*, std::uint8_t>> owners;
+  for (auto& [id, env] : nodes_) {
+    for (std::uint8_t i = 0; i < env->iface_count(); ++i) {
+      pfds.push_back(pollfd{env->fds()[i], POLLIN, 0});
+      owners.emplace_back(env.get(), i);
+    }
+  }
+  int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (rc > 0) {
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if (pfds[i].revents & POLLIN) owners[i].first->drain(owners[i].second);
+    }
+  }
+}
+
+void UdpNetwork::run_for(Time d) {
+  stopping_ = false;
+  Time deadline = clock_.now() + d;
+  while (!stopping_ && clock_.now() < deadline) {
+    poll_once(std::min<Time>(deadline - clock_.now(), millis(10)));
+  }
+}
+
+}  // namespace raincore::net

@@ -1,0 +1,79 @@
+// Real-socket driver: the same NodeEnv contract as the simulator, backed by
+// UDP sockets on loopback (matching the paper's deployment, which uses UDP
+// as the unreliable packet interface under the Transport Service).
+//
+// All registered nodes live in one process and are driven by one
+// single-threaded poll loop; examples run the loop on a dedicated thread.
+// Address (node, iface) maps to port base_port + node*kMaxIfaces + iface.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_set>
+
+#include "common/clock.h"
+#include "net/network.h"
+
+namespace raincore::net {
+
+struct UdpConfig {
+  std::string bind_ip = "127.0.0.1";
+  std::uint16_t base_port = 45000;
+};
+
+class UdpNetwork {
+ public:
+  static constexpr int kMaxIfaces = 4;
+
+  explicit UdpNetwork(UdpConfig cfg = {});
+  UdpNetwork(const UdpNetwork&) = delete;
+  UdpNetwork& operator=(const UdpNetwork&) = delete;
+  ~UdpNetwork();
+
+  /// Binds n_ifaces sockets for the node. Throws std::runtime_error if a
+  /// port is unavailable.
+  NodeEnv& add_node(NodeId id, std::uint8_t n_ifaces = 1);
+
+  /// Runs the poll loop for a real-time duration (or until stop()).
+  void run_for(Time d);
+  /// Requests the loop to exit; safe to call from a handler.
+  void stop() { stopping_ = true; }
+
+  Time now() const { return clock_.now(); }
+
+ private:
+  class UdpNodeEnv;
+  friend class UdpNodeEnv;
+
+  struct PendingTimer {
+    Time when;
+    std::uint64_t seq;
+    TimerId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const PendingTimer& a, const PendingTimer& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimerId schedule(Time delay, EventFn fn);
+  void cancel(TimerId id);
+  void poll_once(Time max_wait);
+  std::uint16_t port_of(const Address& a) const;
+
+  UdpConfig cfg_;
+  RealClock clock_;
+  std::map<NodeId, std::unique_ptr<UdpNodeEnv>> nodes_;
+  std::priority_queue<PendingTimer, std::vector<PendingTimer>, Later> timers_;
+  std::unordered_set<TimerId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_timer_id_ = 1;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace raincore::net

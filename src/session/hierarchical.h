@@ -1,0 +1,139 @@
+// Hierarchical Raincore (the paper's §5 future-work item: "we are currently
+// working on the hierarchical design that extends the scalability of the
+// protocol").
+//
+// Nodes are statically partitioned into local token rings. The lowest-id
+// live member of each ring is its *leader* and additionally participates in
+// a global ring (a second Raincore session in a disjoint logical id space —
+// on real deployments, a second UDP port on the same machine). Multicasts
+// travel: local ring → leader → global ring → other leaders → their local
+// rings. Leadership fails over automatically with local membership.
+//
+// Ordering: FIFO per origin across the whole hierarchy, agreed (total)
+// order within each ring's deliveries of its local traffic. Global total
+// order across rings is deliberately not promised — that is the classical
+// price of hierarchical group communication, traded for token roundtrip
+// times that scale with ring size instead of cluster size.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "net/sim_network.h"
+#include "session/session_node.h"
+
+namespace raincore::session {
+
+struct HierarchyConfig {
+  /// Static partition of all nodes into local rings.
+  std::vector<std::vector<NodeId>> rings;
+  /// Session parameters used for both the local and the global ring.
+  SessionConfig session;
+  /// Logical id offset for the global ring's id space.
+  NodeId global_offset = 1u << 20;
+  /// Leadership must be held this long before the node joins the global
+  /// ring. During bootstrap every node transiently leads its own singleton
+  /// ring; without the grace period all of them would found global
+  /// sessions that then have to merge and resign again.
+  Time leader_grace = millis(1500);
+
+  int ring_of(NodeId node) const {
+    for (std::size_t r = 0; r < rings.size(); ++r) {
+      for (NodeId n : rings[r]) {
+        if (n == node) return static_cast<int>(r);
+      }
+    }
+    return -1;
+  }
+};
+
+class HierarchicalNode {
+ public:
+  using DeliverFn = std::function<void(NodeId origin, const Bytes& payload)>;
+
+  /// `local_env` carries the local ring's traffic; `global_env` (a second
+  /// logical endpoint of the same machine) carries the global ring's and is
+  /// only active while this node is its ring's leader.
+  HierarchicalNode(net::NodeEnv& local_env, net::NodeEnv& global_env,
+                   HierarchyConfig cfg);
+  ~HierarchicalNode() { stop(); }  // cancels the grace timer's `this` capture
+
+  /// Starts the local session (founding or joining its ring peers).
+  void start();
+  void stop();
+
+  /// Hierarchy-wide FIFO multicast: delivered on every node of every ring.
+  MsgSeq multicast(Bytes payload);
+
+  void set_deliver_handler(DeliverFn fn) { on_deliver_ = std::move(fn); }
+
+  NodeId id() const { return local_.id(); }
+  bool is_leader() const { return leader_; }
+  const View& local_view() const { return local_.view(); }
+  const View& global_view() const { return global_.view(); }
+  SessionNode& local_session() { return local_; }
+  SessionNode& global_session() { return global_; }
+
+  struct Stats {
+    Counter forwarded_to_global, injected_from_global, duplicates_dropped;
+    Counter leadership_gained, leadership_lost;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct WireMsg {
+    std::uint32_t ring = 0;
+    NodeId origin = kInvalidNode;
+    std::uint32_t incarnation = 0;
+    MsgSeq seq = 0;
+    Bytes payload;
+  };
+  static Bytes encode(const WireMsg& m);
+  static bool decode(const Bytes& b, WireMsg& m);
+
+  void on_local_deliver(const Bytes& payload);
+  void on_global_deliver(const Bytes& payload);
+  void on_local_view(const View& v);
+  bool already_delivered(const WireMsg& m);
+
+  HierarchyConfig cfg_;
+  int my_ring_;
+  net::NodeEnv& env_;
+  SessionNode local_;
+  SessionNode global_;
+  bool leader_ = false;
+  bool started_ = false;
+  net::TimerId grace_timer_ = 0;
+  std::uint32_t incarnation_;
+  MsgSeq next_seq_ = 0;
+  DeliverFn on_deliver_;
+
+  /// Exactly-once delivery across the (possibly duplicating) leader
+  /// fail-over paths: per-origin-incarnation watermark plus sparse set.
+  struct OriginSeen {
+    std::uint32_t incarnation = 0;
+    MsgSeq watermark = 0;
+    std::set<MsgSeq> above;
+  };
+  std::map<NodeId, OriginSeen> seen_;
+  Stats stats_;
+};
+
+/// Convenience: builds envs for all nodes of a hierarchy on one simulated
+/// network and wires the HierarchicalNodes together (used by tests/benches).
+class HierarchyHarness {
+ public:
+  HierarchyHarness(net::SimNetwork& net, HierarchyConfig cfg);
+
+  void start_all();
+  HierarchicalNode& node(NodeId id) { return *nodes_.at(id); }
+  std::vector<NodeId> all_ids() const;
+  const HierarchyConfig& config() const { return cfg_; }
+
+ private:
+  HierarchyConfig cfg_;
+  std::map<NodeId, std::unique_ptr<HierarchicalNode>> nodes_;
+};
+
+}  // namespace raincore::session

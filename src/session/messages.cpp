@@ -1,0 +1,84 @@
+#include "session/messages.h"
+
+namespace raincore::session {
+
+Bytes encode_token_msg(const Token& t) {
+  ByteWriter w(128);
+  w.u8(static_cast<std::uint8_t>(SessionMsgType::kToken));
+  t.serialize(w);
+  return w.take();
+}
+
+Bytes encode_911(const Msg911& m) {
+  ByteWriter w(32);
+  w.u8(static_cast<std::uint8_t>(SessionMsgType::k911));
+  w.u32(m.requester);
+  w.u64(m.request_id);
+  w.u64(m.last_copy_seq);
+  return w.take();
+}
+
+Bytes encode_911_reply(const Msg911Reply& m) {
+  ByteWriter w(32);
+  w.u8(static_cast<std::uint8_t>(SessionMsgType::k911Reply));
+  w.u32(m.responder);
+  w.u64(m.request_id);
+  w.u8(m.granted ? 1 : 0);
+  w.u64(m.responder_copy_seq);
+  return w.take();
+}
+
+Bytes encode_bodyodor(const MsgBodyOdor& m) {
+  ByteWriter w(16);
+  w.u8(static_cast<std::uint8_t>(SessionMsgType::kBodyOdor));
+  w.u32(m.sender);
+  w.u32(m.group_id);
+  return w.take();
+}
+
+bool peek_type(const Bytes& payload, SessionMsgType& out) {
+  if (payload.empty()) return false;
+  out = static_cast<SessionMsgType>(payload[0]);
+  return true;
+}
+
+namespace {
+bool skip_type(ByteReader& r, SessionMsgType expect) {
+  return r.u8() == static_cast<std::uint8_t>(expect);
+}
+}  // namespace
+
+bool decode_token_msg(const Bytes& payload, Token& out) {
+  ByteReader r(payload);
+  if (!skip_type(r, SessionMsgType::kToken)) return false;
+  return Token::deserialize(r, out) && r.at_end();
+}
+
+bool decode_911(const Bytes& payload, Msg911& out) {
+  ByteReader r(payload);
+  if (!skip_type(r, SessionMsgType::k911)) return false;
+  out.requester = r.u32();
+  out.request_id = r.u64();
+  out.last_copy_seq = r.u64();
+  return r.ok() && r.at_end();
+}
+
+bool decode_911_reply(const Bytes& payload, Msg911Reply& out) {
+  ByteReader r(payload);
+  if (!skip_type(r, SessionMsgType::k911Reply)) return false;
+  out.responder = r.u32();
+  out.request_id = r.u64();
+  out.granted = r.u8() != 0;
+  out.responder_copy_seq = r.u64();
+  return r.ok() && r.at_end();
+}
+
+bool decode_bodyodor(const Bytes& payload, MsgBodyOdor& out) {
+  ByteReader r(payload);
+  if (!skip_type(r, SessionMsgType::kBodyOdor)) return false;
+  out.sender = r.u32();
+  out.group_id = r.u32();
+  return r.ok() && r.at_end();
+}
+
+}  // namespace raincore::session

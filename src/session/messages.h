@@ -1,0 +1,57 @@
+// Session-layer wire messages (everything that is not the token itself):
+// the 911 token-recovery/join request (§2.3), its reply, and the BODYODOR
+// discovery message (§2.4).
+#pragma once
+
+#include "common/buffer.h"
+#include "common/types.h"
+#include "session/token.h"
+
+namespace raincore::session {
+
+enum class SessionMsgType : std::uint8_t {
+  kToken = 1,
+  k911 = 2,
+  k911Reply = 3,
+  kBodyOdor = 4,
+  /// Open group communication (§2.6): a node outside the group sends a
+  /// message to any member, which forwards it to the whole group.
+  kOpenSubmit = 5,
+};
+
+/// 911: "request for the right to regenerate the TOKEN" — and, when sent by
+/// a non-member, a join request (the unification in §2.3).
+struct Msg911 {
+  NodeId requester = kInvalidNode;
+  std::uint64_t request_id = 0;   ///< matches replies to rounds
+  TokenSeq last_copy_seq = 0;     ///< seq of requester's last token copy
+};
+
+struct Msg911Reply {
+  NodeId responder = kInvalidNode;
+  std::uint64_t request_id = 0;
+  bool granted = false;
+  TokenSeq responder_copy_seq = 0;
+};
+
+/// BODYODOR: periodic low-frequency liveness advert to eligible-but-absent
+/// nodes, carrying the sender's group ID for the merge tie-break.
+struct MsgBodyOdor {
+  NodeId sender = kInvalidNode;
+  GroupId group_id = kInvalidNode;
+};
+
+Bytes encode_token_msg(const Token& t);
+Bytes encode_911(const Msg911& m);
+Bytes encode_911_reply(const Msg911Reply& m);
+Bytes encode_bodyodor(const MsgBodyOdor& m);
+
+/// Peeks the message type; returns false on an empty payload.
+bool peek_type(const Bytes& payload, SessionMsgType& out);
+
+bool decode_token_msg(const Bytes& payload, Token& out);
+bool decode_911(const Bytes& payload, Msg911& out);
+bool decode_911_reply(const Bytes& payload, Msg911Reply& out);
+bool decode_bodyodor(const Bytes& payload, MsgBodyOdor& out);
+
+}  // namespace raincore::session

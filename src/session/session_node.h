@@ -1,0 +1,276 @@
+// Raincore Distributed Session Service (paper §2).
+//
+// One SessionNode per cluster member. It implements:
+//   - the fault-tolerant token-ring protocol (§2.2): EATING / HUNGRY /
+//     STARVING states, per-hop token sequence numbers, aggressive failure
+//     detection driven by the transport's failure-on-delivery notification;
+//   - the 911 token-recovery and join protocol (§2.3), including the
+//     join/recovery unification that bypasses broken links and undoes
+//     failure-detector false alarms;
+//   - the BODYODOR discovery and TBM merge protocols (§2.4) for split-brain
+//     healing, with group-ID ordering as the deadlock-free tie-break;
+//   - atomic reliable multicast with agreed ordering for free and safe
+//     ordering at the cost of one extra token round (§2.6);
+//   - token-based mutual exclusion (§2.7): callbacks run while EATING.
+//
+// The node is a passive state machine over a NodeEnv, so it runs unchanged
+// under the deterministic simulator and the UDP driver.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/stats.h"
+#include "session/messages.h"
+#include "transport/transport.h"
+
+namespace raincore::session {
+
+/// A membership view as adopted from the token.
+struct View {
+  std::uint64_t view_id = 0;
+  GroupId group_id = kInvalidNode;
+  std::vector<NodeId> members;  ///< ring order
+
+  bool has(NodeId n) const {
+    return std::find(members.begin(), members.end(), n) != members.end();
+  }
+  bool operator==(const View&) const = default;
+};
+
+enum class Ordering : std::uint8_t {
+  kAgreed,  ///< total order, delivered on first token sighting
+  kSafe,    ///< total order, delivered after a full confirmation round
+};
+
+struct SessionConfig {
+  /// How long a node holds the token before passing it on ("passed at a
+  /// regular time interval", §2.2). Token roundtrip rate L ≈ 1/(N·hold).
+  Time token_hold = millis(5);
+  /// HUNGRY → STARVING timeout (§2.3). Must exceed a worst-case roundtrip
+  /// including one failure-detection chain.
+  Time hungry_timeout = millis(800);
+  /// Retry/abandon interval for an unfinished 911 round.
+  Time starving_retry = millis(250);
+  /// BODYODOR advert period ("regular, but low frequency", §2.4).
+  Time bodyodor_interval = millis(500);
+  /// Join-request (911 to a contact) retry period for fresh joiners.
+  Time join_retry = millis(300);
+  /// After this node removes a peer on a failed token pass, it refuses to
+  /// re-admit that peer itself for this long. Another member (whose link to
+  /// the peer works) admits it instead — this is what turns the paper's
+  /// ABCD ring into ACBD around a broken A→B link (§2.3).
+  Time readmit_backoff = millis(1500);
+  /// Flow control: own messages attached per token visit.
+  std::size_t max_msgs_per_visit = 128;
+  /// Nodes eligible to ever be members (discovery targets, §2.4). Empty
+  /// means "no discovery" — merges only happen via explicit join().
+  std::vector<NodeId> eligible;
+  /// Quorum decider (§2.4, split-brain prevention strategy 1): if set to
+  /// the maximum group size N, a node shuts itself down whenever its view
+  /// shrinks to N/2 or fewer members. 0 disables (strategy 2: sub-groups
+  /// stay functional and merge later — the Raincore default).
+  std::size_t quorum_of = 0;
+  transport::TransportConfig transport;
+};
+
+class SessionNode {
+ public:
+  enum class State { kIdle, kHungry, kEating, kStarving };
+
+  using DeliverFn =
+      std::function<void(NodeId origin, const Bytes& payload, Ordering)>;
+  using ViewFn = std::function<void(const View&)>;
+  /// Invoked when the quorum decider (§2.4) shuts this node down.
+  using QuorumShutdownFn = std::function<void()>;
+
+  SessionNode(net::NodeEnv& env, SessionConfig cfg = {});
+  SessionNode(const SessionNode&) = delete;
+  SessionNode& operator=(const SessionNode&) = delete;
+  ~SessionNode();
+
+  // --- Lifecycle -----------------------------------------------------------
+
+  /// Founds a singleton group holding a fresh token. Discovery (BODYODOR)
+  /// then merges groups of eligible nodes into one.
+  void found();
+
+  /// Joins an existing group by sending 911 join requests to the contacts
+  /// (retried round-robin until a token arrives).
+  void join(std::vector<NodeId> contacts);
+
+  /// Graceful leave: removes itself from the ring at the next EATING state
+  /// and stops. Pending outbound messages are attached before leaving.
+  void leave();
+
+  /// Crash-stop: ceases all protocol activity immediately.
+  void stop();
+
+  /// Withdraws a pending graceful leave that has not completed yet.
+  void cancel_leave() {
+    if (started_) leaving_ = false;
+  }
+  bool leaving() const { return leaving_; }
+
+  bool started() const { return started_; }
+
+  // --- Group communication ---------------------------------------------------
+
+  /// Atomic reliable multicast to the current group (self included).
+  /// Returns the per-origin sequence number in the chosen ordering class.
+  MsgSeq multicast(Bytes payload, Ordering ordering = Ordering::kAgreed);
+
+  /// Mutual exclusion service (§2.7): fn runs while this node is EATING —
+  /// no other node can be EATING at the same time.
+  void run_exclusive(std::function<void()> fn);
+
+  /// Open group communication (§2.6): submits a payload to the group
+  /// through `member`, which reliably multicasts it on our behalf. Usable
+  /// by non-members (the submitting node never joins the ring); delivery
+  /// handlers see the gateway member as the origin.
+  void submit_open(NodeId member, Bytes payload);
+
+  void set_deliver_handler(DeliverFn fn) { on_deliver_ = std::move(fn); }
+  void set_view_handler(ViewFn fn) { on_view_ = std::move(fn); }
+  void set_quorum_shutdown_handler(QuorumShutdownFn fn) {
+    on_quorum_shutdown_ = std::move(fn);
+  }
+  void set_eligible(std::vector<NodeId> eligible);
+
+  // --- Introspection ---------------------------------------------------------
+
+  NodeId id() const { return env_.node(); }
+  State state() const { return state_; }
+  /// Incremented on every found()/join(): lets layered services detect a
+  /// crash-restart of this node and drop their own stale replicas.
+  std::uint64_t generation() const { return generation_; }
+  const View& view() const { return view_; }
+  const Token& last_copy() const { return last_copy_; }
+  bool holds_token() const { return state_ == State::kEating; }
+  std::size_t pending_out() const { return pending_out_.size(); }
+  transport::ReliableTransport& transport() { return transport_; }
+  const SessionConfig& config() const { return cfg_; }
+
+  /// Debug/test introspection: TBM tokens held while awaiting our own.
+  std::size_t pending_foreign_count() const { return pending_foreign_.size(); }
+  bool hungry_timer_armed() const { return hungry_timer_ != 0; }
+  bool hold_timer_armed() const { return hold_timer_ != 0; }
+
+  struct Stats {
+    Counter tokens_received, tokens_passed, stale_tokens_dropped;
+    Counter msgs_sent, msgs_delivered;
+    Counter regenerations, merges, joins_processed, removals;
+    Counter starvations, denials_sent, view_changes;
+    Histogram roundtrip;  ///< observed token roundtrip times (ns)
+  };
+  const Stats& stats() const { return stats_; }
+  Stats& stats() { return stats_; }
+
+ private:
+  // Message plumbing.
+  void on_transport_message(NodeId src, Bytes&& payload);
+  void handle_token(Token&& t);
+  void handle_911(const Msg911& m);
+  void handle_911_reply(const Msg911Reply& m);
+  void handle_bodyodor(const MsgBodyOdor& m);
+
+  // Token-ring machinery.
+  void process_attached(Token& t);
+  void attach_pending(Token& t);
+  void process_joins(Token& t);
+  void begin_eating(Token&& t);
+  void eating_cycle();
+  void pass_token();
+  void send_token_to_successor();
+  void on_pass_failure(NodeId failed);
+  void adopt_view_from(const Token& t);
+  void note_lineage(std::uint64_t lineage, TokenSeq seq);
+  bool is_stale(const Token& t) const;
+  void complete_leave();
+
+  // 911 machinery.
+  void enter_starving();
+  void start_911_round();
+  void finish_911_round_if_complete();
+  void regenerate_token();
+
+  // Merge machinery.
+  void send_bodyodors();
+  Token merge_tokens(Token own);
+  void send_join_request();
+
+  // Timers.
+  void arm_hungry_timer();
+  void disarm_hungry_timer();
+  void arm_hold_timer();
+  void arm_bodyodor_timer();
+
+  void fire_view_change();
+  void deliver(const AttachedMessage& m);
+  void reset_protocol_state();
+
+  net::NodeEnv& env_;
+  SessionConfig cfg_;
+  transport::ReliableTransport transport_;
+
+  bool started_ = false;
+  bool leaving_ = false;
+  std::uint64_t generation_ = 0;
+  State state_ = State::kIdle;
+  View view_;
+
+  Token token_;       ///< valid while EATING (the token we hold)
+  Token last_copy_;   ///< local copy of the token as last seen/sent (§2.3)
+  /// Newest token seq observed per lineage (stale-token suppression).
+  std::map<std::uint64_t, TokenSeq> seen_lineage_;
+
+  // Multicast state.
+  std::uint32_t incarnation_ = 0;
+  MsgSeq next_agreed_seq_ = 0;
+  MsgSeq next_safe_seq_ = 0;
+  /// Per-origin delivery watermarks, reset when the origin's incarnation
+  /// changes (crash-restart).
+  struct OriginState {
+    std::uint32_t incarnation = 0;
+    MsgSeq agreed = 0;
+    MsgSeq safe = 0;
+  };
+  std::map<NodeId, OriginState> origin_state_;
+  std::deque<AttachedMessage> pending_out_;
+  std::deque<std::function<void()>> exclusive_queue_;
+
+  // Join / merge state.
+  std::set<NodeId> pending_joins_;         ///< plain 911 joiners
+  std::map<NodeId, Time> readmit_after_;   ///< per-peer re-admit cooldown
+  std::deque<NodeId> pending_merge_invites_;  ///< BODYODOR senders to invite
+  std::vector<Token> pending_foreign_;     ///< TBM tokens held awaiting own token
+  std::vector<NodeId> join_contacts_;
+  std::size_t join_contact_idx_ = 0;
+
+  // 911 round state.
+  std::uint64_t next_911_id_ = 1;
+  std::uint64_t active_911_ = 0;  ///< 0 when no round in flight
+  std::set<NodeId> awaiting_grant_;
+  std::set<NodeId> round_dead_;   ///< failures observed during the round
+
+  // Timers.
+  net::TimerId hungry_timer_ = 0;
+  net::TimerId hold_timer_ = 0;
+  net::TimerId bodyodor_timer_ = 0;
+  net::TimerId starving_timer_ = 0;
+  net::TimerId join_timer_ = 0;
+
+  std::set<NodeId> eligible_;
+  Time last_token_rx_ = -1;
+
+  DeliverFn on_deliver_;
+  ViewFn on_view_;
+  QuorumShutdownFn on_quorum_shutdown_;
+  Stats stats_;
+};
+
+}  // namespace raincore::session

@@ -1,0 +1,87 @@
+#include "session/token.h"
+
+#include <cassert>
+
+namespace raincore::session {
+
+NodeId Token::successor_of(NodeId n) const {
+  assert(!ring.empty());
+  auto it = std::find(ring.begin(), ring.end(), n);
+  if (it == ring.end()) return ring.front();
+  ++it;
+  return it == ring.end() ? ring.front() : *it;
+}
+
+bool Token::remove(NodeId n) {
+  auto it = std::find(ring.begin(), ring.end(), n);
+  if (it == ring.end()) return false;
+  ring.erase(it);
+  return true;
+}
+
+void Token::insert_after(NodeId after, NodeId joiner) {
+  auto it = std::find(ring.begin(), ring.end(), after);
+  if (it == ring.end()) {
+    ring.push_back(joiner);
+  } else {
+    ring.insert(it + 1, joiner);
+  }
+}
+
+void Token::serialize(ByteWriter& w) const {
+  w.u64(lineage);
+  w.u64(seq);
+  w.u64(view_id);
+  w.u8(tbm ? 1 : 0);
+  w.u32(merge_target);
+  w.u32(static_cast<std::uint32_t>(ring.size()));
+  for (NodeId n : ring) w.u32(n);
+  w.u32(static_cast<std::uint32_t>(msgs.size()));
+  for (const AttachedMessage& m : msgs) {
+    w.u32(m.origin);
+    w.u32(m.incarnation);
+    w.u64(m.seq);
+    w.u8(m.safe ? 1 : 0);
+    w.u16(m.hops);
+    w.u16(m.ring_at_attach);
+    w.bytes(m.payload);
+  }
+}
+
+bool Token::deserialize(ByteReader& r, Token& out) {
+  out.lineage = r.u64();
+  out.seq = r.u64();
+  out.view_id = r.u64();
+  out.tbm = r.u8() != 0;
+  out.merge_target = r.u32();
+  std::uint32_t nring = r.u32();
+  if (!r.ok() || nring > 1'000'000) return false;
+  out.ring.clear();
+  out.ring.reserve(nring);
+  for (std::uint32_t i = 0; i < nring; ++i) out.ring.push_back(r.u32());
+  std::uint32_t nmsgs = r.u32();
+  if (!r.ok() || nmsgs > 10'000'000) return false;
+  out.msgs.clear();
+  out.msgs.reserve(nmsgs);
+  for (std::uint32_t i = 0; i < nmsgs; ++i) {
+    AttachedMessage m;
+    m.origin = r.u32();
+    m.incarnation = r.u32();
+    m.seq = r.u64();
+    m.safe = r.u8() != 0;
+    m.hops = r.u16();
+    m.ring_at_attach = r.u16();
+    m.payload = r.bytes();
+    if (!r.ok()) return false;
+    out.msgs.push_back(std::move(m));
+  }
+  return r.ok();
+}
+
+Bytes Token::encode() const {
+  ByteWriter w(64 + msgs.size() * 32);
+  serialize(w);
+  return w.take();
+}
+
+}  // namespace raincore::session

@@ -1,0 +1,70 @@
+// The TOKEN (paper §2.2): the single message that carries the authoritative
+// group membership, a per-hop sequence number, and the piggybacked multicast
+// messages ("the token is the locomotive for the reliable multicast").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/types.h"
+
+namespace raincore::session {
+
+/// One multicast message riding on the token.
+struct AttachedMessage {
+  NodeId origin = kInvalidNode;
+  std::uint32_t incarnation = 0;  ///< origin's process incarnation; lets
+                                  ///< receivers reset sequence watermarks
+                                  ///< when a node crash-restarts
+  MsgSeq seq = 0;          ///< per-origin, per-ordering-class sequence
+  bool safe = false;       ///< safe ordering: delivered on the second round
+  std::uint16_t hops = 0;  ///< nodes that have processed this message
+  std::uint16_t ring_at_attach = 0;  ///< ring size when attached
+  Bytes payload;
+
+  bool operator==(const AttachedMessage&) const = default;
+};
+
+struct Token {
+  /// Token lineage: random id minted when a group is founded and re-minted
+  /// on every merge. Duplicate/stale-token suppression compares sequence
+  /// numbers only within a lineage, so tokens of distinct groups are never
+  /// misjudged against each other's sequence space.
+  std::uint64_t lineage = 0;
+  TokenSeq seq = 0;        ///< incremented on every hop; 911 arbitration key
+  std::uint64_t view_id = 0;  ///< incremented on every membership change
+  bool tbm = false;        ///< To-Be-Merged flag (paper §2.4)
+  NodeId merge_target = kInvalidNode;  ///< BODYODOR sender being merged
+  std::vector<NodeId> ring;            ///< membership in ring order
+  std::vector<AttachedMessage> msgs;   ///< piggybacked multicast messages
+
+  /// Group ID: by convention the lowest node ID in the membership.
+  GroupId group_id() const {
+    GroupId g = kInvalidNode;
+    for (NodeId n : ring) g = std::min(g, n);
+    return g;
+  }
+
+  bool has(NodeId n) const {
+    return std::find(ring.begin(), ring.end(), n) != ring.end();
+  }
+
+  /// Ring successor of n (wraps); n itself if it is the only member.
+  NodeId successor_of(NodeId n) const;
+
+  /// Removes a member, preserving ring order. Returns true if removed.
+  bool remove(NodeId n);
+
+  /// Inserts `joiner` immediately after `after` in the ring.
+  void insert_after(NodeId after, NodeId joiner);
+
+  void serialize(ByteWriter& w) const;
+  static bool deserialize(ByteReader& r, Token& out);
+  Bytes encode() const;
+
+  bool operator==(const Token&) const = default;
+};
+
+}  // namespace raincore::session

@@ -1,0 +1,97 @@
+#include "session/trace.h"
+
+#include <cstdio>
+
+namespace raincore::session {
+
+std::string TraceEvent::to_string() const {
+  char buf[256];
+  switch (kind) {
+    case TraceEventKind::kViewChange: {
+      std::string m;
+      for (NodeId n : members) {
+        if (!m.empty()) m += ",";
+        m += std::to_string(n);
+      }
+      std::snprintf(buf, sizeof(buf), "[%s] view #%llu {%s}",
+                    format_time(at).c_str(),
+                    static_cast<unsigned long long>(view_id), m.c_str());
+      break;
+    }
+    case TraceEventKind::kDeliver:
+      std::snprintf(buf, sizeof(buf), "[%s] deliver from %u (%zu bytes, %s)",
+                    format_time(at).c_str(), origin, payload_size,
+                    ordering == Ordering::kSafe ? "safe" : "agreed");
+      break;
+    case TraceEventKind::kQuorumShutdown:
+      std::snprintf(buf, sizeof(buf), "[%s] quorum shutdown",
+                    format_time(at).c_str());
+      break;
+  }
+  return buf;
+}
+
+SessionTracer::SessionTracer(SessionNode& node, std::size_t capacity)
+    : node_(node), capacity_(capacity) {
+  node_.set_deliver_handler(
+      [this](NodeId origin, const Bytes& payload, Ordering o) {
+        TraceEvent ev;
+        ev.at = now();
+        ev.kind = TraceEventKind::kDeliver;
+        ev.origin = origin;
+        ev.payload_size = payload.size();
+        ev.ordering = o;
+        record(std::move(ev));
+        if (fwd_deliver_) fwd_deliver_(origin, payload, o);
+      });
+  node_.set_view_handler([this](const View& v) {
+    TraceEvent ev;
+    ev.at = now();
+    ev.kind = TraceEventKind::kViewChange;
+    ev.view_id = v.view_id;
+    ev.members = v.members;
+    record(std::move(ev));
+    if (fwd_view_) fwd_view_(v);
+  });
+  node_.set_quorum_shutdown_handler([this] {
+    TraceEvent ev;
+    ev.at = now();
+    ev.kind = TraceEventKind::kQuorumShutdown;
+    record(std::move(ev));
+  });
+}
+
+Time SessionTracer::now() const { return node_.transport().env().now(); }
+
+void SessionTracer::record(TraceEvent ev) {
+  events_.push_back(std::move(ev));
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+std::size_t SessionTracer::count(TraceEventKind kind) const {
+  std::size_t c = 0;
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind == kind) ++c;
+  }
+  return c;
+}
+
+std::vector<TraceEvent> SessionTracer::window(Time from, Time to) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& ev : events_) {
+    if (ev.at >= from && ev.at <= to) out.push_back(ev);
+  }
+  return out;
+}
+
+std::string SessionTracer::dump(std::size_t n) const {
+  std::string out;
+  std::size_t start = events_.size() > n ? events_.size() - n : 0;
+  for (std::size_t i = start; i < events_.size(); ++i) {
+    out += events_[i].to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace raincore::session

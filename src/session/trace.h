@@ -1,0 +1,65 @@
+// Protocol event tracing: a bounded, queryable event log attached to a
+// SessionNode's statistics hooks. Production-debugging aid (what did the
+// ring look like when the fail-over happened?) and a test utility for
+// asserting protocol event sequences.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "session/session_node.h"
+
+namespace raincore::session {
+
+enum class TraceEventKind : std::uint8_t {
+  kViewChange,
+  kDeliver,
+  kQuorumShutdown,
+};
+
+struct TraceEvent {
+  Time at = 0;
+  TraceEventKind kind = TraceEventKind::kViewChange;
+  std::uint64_t view_id = 0;       ///< kViewChange
+  std::vector<NodeId> members;     ///< kViewChange
+  NodeId origin = kInvalidNode;    ///< kDeliver
+  std::size_t payload_size = 0;    ///< kDeliver
+  Ordering ordering = Ordering::kAgreed;  ///< kDeliver
+
+  std::string to_string() const;
+};
+
+/// Hooks a SessionNode's view/deliver/quorum callbacks and records a
+/// bounded event history. Installing a tracer claims those callbacks;
+/// applications that need them too should chain through the tracer's
+/// forwarding setters.
+class SessionTracer {
+ public:
+  explicit SessionTracer(SessionNode& node, std::size_t capacity = 4096);
+
+  /// Chained application handlers (invoked after recording).
+  void set_deliver_handler(SessionNode::DeliverFn fn) { fwd_deliver_ = std::move(fn); }
+  void set_view_handler(SessionNode::ViewFn fn) { fwd_view_ = std::move(fn); }
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::size_t count(TraceEventKind kind) const;
+  /// Events within [from, to] of the given kind.
+  std::vector<TraceEvent> window(Time from, Time to) const;
+  void clear() { events_.clear(); }
+
+  /// Human-readable dump of the most recent `n` events.
+  std::string dump(std::size_t n = 32) const;
+
+ private:
+  void record(TraceEvent ev);
+  Time now() const;
+
+  SessionNode& node_;
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  SessionNode::DeliverFn fwd_deliver_;
+  SessionNode::ViewFn fwd_view_;
+};
+
+}  // namespace raincore::session

@@ -1,0 +1,208 @@
+#include "transport/transport.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace raincore::transport {
+
+namespace {
+constexpr const char* kMod = "transport";
+constexpr std::size_t kDataHeader = 9;  // type u8 + seq u64
+}  // namespace
+
+ReliableTransport::ReliableTransport(net::NodeEnv& env, TransportConfig cfg)
+    : env_(env), cfg_(cfg) {
+  env_.set_receiver([this](net::Datagram&& d) { on_datagram(std::move(d)); });
+}
+
+ReliableTransport::~ReliableTransport() {
+  for (auto& [id, f] : inflight_) {
+    if (f.timer) env_.cancel(f.timer);
+  }
+}
+
+void ReliableTransport::set_peer_ifaces(NodeId peer, std::uint8_t count) {
+  assert(count >= 1);
+  peer_ifaces_[peer] = count;
+}
+
+std::uint8_t ReliableTransport::peer_iface_count(NodeId peer) const {
+  auto it = peer_ifaces_.find(peer);
+  return it != peer_ifaces_.end() ? it->second
+                                  : std::max<std::uint8_t>(1, cfg_.default_peer_ifaces);
+}
+
+Time ReliableTransport::failure_detection_bound(NodeId peer) const {
+  int rounds = cfg_.attempts_per_address;
+  if (cfg_.strategy == SendStrategy::kSequential) {
+    rounds *= peer_iface_count(peer);
+  }
+  return cfg_.rto * rounds;
+}
+
+void ReliableTransport::set_enabled(bool enabled) {
+  enabled_ = enabled;
+  if (!enabled_) {
+    for (auto& [id, f] : inflight_) {
+      if (f.timer) env_.cancel(f.timer);
+    }
+    inflight_.clear();
+    ack_index_.clear();
+  }
+}
+
+TransferId ReliableTransport::send(NodeId dst, Bytes payload,
+                                   DeliveredFn delivered, FailedFn failed) {
+  if (!enabled_) return 0;
+  TransferId id = next_transfer_id_++;
+  InFlight f;
+  f.dst = dst;
+  f.wire_seq = ++next_seq_to_[dst];
+  f.payload = std::move(payload);
+  f.delivered = std::move(delivered);
+  f.failed = std::move(failed);
+  ack_index_[{dst, f.wire_seq}] = id;
+  inflight_.emplace(id, std::move(f));
+  attempt(id);
+  return id;
+}
+
+void ReliableTransport::send_unreliable(NodeId dst, Bytes payload) {
+  if (!enabled_) return;
+  ByteWriter w(payload.size() + 1);
+  w.u8(static_cast<std::uint8_t>(WireType::kRaw));
+  w.raw(payload.data(), payload.size());
+  env_.send(net::Address{dst, 0}, w.take(), 0);
+}
+
+void ReliableTransport::cancel(TransferId id) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;
+  if (it->second.timer) env_.cancel(it->second.timer);
+  ack_index_.erase({it->second.dst, it->second.wire_seq});
+  inflight_.erase(it);
+}
+
+void ReliableTransport::transmit(const InFlight& f, std::uint8_t to_iface) {
+  ByteWriter w(f.payload.size() + kDataHeader);
+  w.u8(static_cast<std::uint8_t>(WireType::kData));
+  w.u64(f.wire_seq);
+  w.raw(f.payload.data(), f.payload.size());
+  // Pair local interface i with remote interface i where possible, so that
+  // redundant links form independent physical paths.
+  std::uint8_t from = static_cast<std::uint8_t>(
+      to_iface < env_.iface_count() ? to_iface : env_.iface_count() - 1);
+  env_.send(net::Address{f.dst, to_iface}, w.take(), from);
+}
+
+void ReliableTransport::attempt(TransferId id) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;
+  InFlight& f = it->second;
+  const std::uint8_t n_addrs = peer_iface_count(f.dst);
+
+  if (cfg_.strategy == SendStrategy::kSequential) {
+    if (f.attempts_done >= cfg_.attempts_per_address) {
+      f.attempts_done = 0;
+      ++f.addr_index;
+    }
+    if (f.addr_index >= n_addrs) {
+      finish(id, /*ok=*/false);
+      return;
+    }
+    transmit(f, f.addr_index);
+    ++f.attempts_done;
+  } else {
+    if (f.rounds_done >= cfg_.attempts_per_address) {
+      finish(id, /*ok=*/false);
+      return;
+    }
+    for (std::uint8_t a = 0; a < n_addrs; ++a) transmit(f, a);
+    ++f.rounds_done;
+  }
+
+  f.timer = env_.schedule(cfg_.rto, [this, id] {
+    task_switches_.inc();  // retransmission timer wakes the GC stack
+    attempt(id);
+  });
+}
+
+void ReliableTransport::finish(TransferId id, bool ok) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;
+  InFlight f = std::move(it->second);
+  if (f.timer) env_.cancel(f.timer);
+  ack_index_.erase({f.dst, f.wire_seq});
+  inflight_.erase(it);
+  if (ok) {
+    if (f.delivered) f.delivered(id, f.dst);
+  } else {
+    RC_DEBUG(kMod, "node %u: failure-on-delivery to %u (transfer %llu)",
+             env_.node(), f.dst, static_cast<unsigned long long>(id));
+    if (f.failed) f.failed(id, f.dst);
+  }
+}
+
+void ReliableTransport::on_datagram(net::Datagram&& d) {
+  if (!enabled_) return;
+  task_switches_.inc();  // datagram arrival wakes the GC stack
+  ByteReader r(d.payload);
+  auto type = static_cast<WireType>(r.u8());
+  switch (type) {
+    case WireType::kData: {
+      std::uint64_t seq = r.u64();
+      if (!r.ok() || d.payload.size() < kDataHeader) return;
+      // Always acknowledge, even duplicates: the original ack may be lost.
+      ByteWriter ack(kDataHeader);
+      ack.u8(static_cast<std::uint8_t>(WireType::kAck));
+      ack.u64(seq);
+      env_.send(d.src, ack.take(), d.dst.iface);
+
+      PeerRecv& pr = recv_state_[d.src.node];
+      if (seq <= pr.watermark || pr.above.count(seq) > 0) return;  // duplicate
+      pr.above.insert(seq);
+      while (pr.above.count(pr.watermark + 1) > 0) {
+        pr.above.erase(pr.watermark + 1);
+        ++pr.watermark;
+      }
+      // A transfer abandoned by the sender (failure-on-delivery) leaves a
+      // permanent gap below us; skip over stale gaps so `above` stays
+      // bounded. The sender never retransmits an abandoned seq, so treating
+      // the gap as seen is safe.
+      constexpr std::size_t kMaxAbove = 4096;
+      while (pr.above.size() > kMaxAbove) {
+        pr.watermark = *pr.above.begin();
+        pr.above.erase(pr.above.begin());
+        while (pr.above.count(pr.watermark + 1) > 0) {
+          pr.above.erase(pr.watermark + 1);
+          ++pr.watermark;
+        }
+      }
+      if (on_message_) {
+        Bytes payload(d.payload.begin() + kDataHeader, d.payload.end());
+        on_message_(d.src.node, std::move(payload));
+      }
+      break;
+    }
+    case WireType::kAck: {
+      std::uint64_t seq = r.u64();
+      if (!r.ok()) return;
+      auto it = ack_index_.find({d.src.node, seq});
+      if (it != ack_index_.end()) finish(it->second, /*ok=*/true);
+      break;
+    }
+    case WireType::kRaw: {
+      if (on_message_ && !d.payload.empty()) {
+        Bytes payload(d.payload.begin() + 1, d.payload.end());
+        on_message_(d.src.node, std::move(payload));
+      }
+      break;
+    }
+    default:
+      RC_WARN(kMod, "node %u: dropping malformed datagram from %u", env_.node(),
+              d.src.node);
+  }
+}
+
+}  // namespace raincore::transport

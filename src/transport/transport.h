@@ -1,0 +1,142 @@
+// Raincore Transport Service (paper §2.1).
+//
+// Atomic reliable point-to-point unicast with acknowledgement, built on the
+// unreliable datagram interface (NodeEnv). Matches the paper's three
+// distinguishing properties:
+//
+//  1. Atomic, connection-less: a transfer is delivered exactly once or not
+//     at all; there is no stream state to reconcile when nodes come and go.
+//  2. Multi-address: a peer may expose several physical addresses
+//     (redundant links); sends can walk them sequentially or hit them in
+//     parallel.
+//  3. Failure-on-delivery notification: when every sending effort fails the
+//     upper layer is told — this is the Session Service's local-view
+//     failure detector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/buffer.h"
+#include "common/stats.h"
+#include "net/network.h"
+
+namespace raincore::transport {
+
+enum class SendStrategy : std::uint8_t {
+  kSequential,  ///< exhaust address 0, then address 1, ...
+  kParallel,    ///< every attempt round sends on all address pairs at once
+};
+
+struct TransportConfig {
+  Time rto = millis(50);        ///< retransmission timeout per attempt
+  int attempts_per_address = 3; ///< attempts before a (sequential) address is abandoned
+  SendStrategy strategy = SendStrategy::kSequential;
+  /// Physical addresses assumed per peer unless set_peer_ifaces overrides
+  /// (redundant links, §2.1: "allows each node to have multiple physical
+  /// addresses").
+  std::uint8_t default_peer_ifaces = 1;
+};
+
+/// Identifies one in-flight transfer at the sender.
+using TransferId = std::uint64_t;
+
+class ReliableTransport {
+ public:
+  using MessageFn = std::function<void(NodeId src, Bytes&& payload)>;
+  using DeliveredFn = std::function<void(TransferId, NodeId peer)>;
+  using FailedFn = std::function<void(TransferId, NodeId peer)>;
+
+  ReliableTransport(net::NodeEnv& env, TransportConfig cfg = {});
+  ReliableTransport(const ReliableTransport&) = delete;
+  ReliableTransport& operator=(const ReliableTransport&) = delete;
+  ~ReliableTransport();
+
+  /// Installs the upper-layer message handler (one per node).
+  void set_message_handler(MessageFn fn) { on_message_ = std::move(fn); }
+
+  /// Declares how many physical addresses a peer has (default 1).
+  void set_peer_ifaces(NodeId peer, std::uint8_t count);
+
+  /// Starts an atomic reliable transfer. `delivered` fires on the first
+  /// acknowledgement; `failed` is the failure-on-delivery notification and
+  /// fires after all sending efforts are exhausted.
+  TransferId send(NodeId dst, Bytes payload, DeliveredFn delivered = {},
+                  FailedFn failed = {});
+
+  /// Fire-and-forget datagram bypassing acks/retransmission (used for
+  /// low-frequency advisory traffic such as BODYODOR discovery).
+  void send_unreliable(NodeId dst, Bytes payload);
+
+  /// Abandons an in-flight transfer without a failure notification.
+  void cancel(TransferId id);
+
+  /// Crash-stop support: a disabled transport neither sends, acknowledges,
+  /// nor delivers — to its peers it is indistinguishable from a dead node.
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_; }
+
+  std::size_t in_flight() const { return inflight_.size(); }
+  NodeId node() const { return env_.node(); }
+  net::NodeEnv& env() { return env_; }
+  const TransportConfig& config() const { return cfg_; }
+
+  /// Upper bound on how long a transfer can stay unresolved before either
+  /// the delivered or the failure-on-delivery notification fires.
+  Time failure_detection_bound(NodeId peer) const;
+
+  // --- Measurement (the §4.1 CPU metric) -----------------------------------
+  /// One "task switch" per entry into group-communication processing: every
+  /// datagram arrival and every retransmission timer that fires.
+  const Counter& task_switches() const { return task_switches_; }
+  Counter& task_switches() { return task_switches_; }
+
+ private:
+  enum class WireType : std::uint8_t { kData = 1, kAck = 2, kRaw = 3 };
+
+  struct InFlight {
+    NodeId dst = kInvalidNode;
+    std::uint64_t wire_seq = 0;  // per-destination sequence number
+    Bytes payload;
+    int attempts_done = 0;   // attempts on the current address (sequential)
+    int rounds_done = 0;     // attempt rounds (parallel)
+    std::uint8_t addr_index = 0;
+    net::TimerId timer = 0;
+    DeliveredFn delivered;
+    FailedFn failed;
+  };
+
+  void on_datagram(net::Datagram&& d);
+  void attempt(TransferId id);
+  void transmit(const InFlight& f, std::uint8_t to_iface);
+  std::uint8_t peer_iface_count(NodeId peer) const;
+  void finish(TransferId id, bool ok);
+
+  net::NodeEnv& env_;
+  TransportConfig cfg_;
+  MessageFn on_message_;
+  bool enabled_ = true;
+
+  std::uint64_t next_transfer_id_ = 1;
+  std::unordered_map<NodeId, std::uint64_t> next_seq_to_;
+  std::map<TransferId, InFlight> inflight_;
+  /// (peer, wire_seq) -> transfer, for resolving acknowledgements.
+  std::map<std::pair<NodeId, std::uint64_t>, TransferId> ack_index_;
+
+  /// Receiver-side exact duplicate suppression per source node: everything
+  /// at or below `watermark` has been delivered; `above` holds delivered
+  /// seqs past the watermark (bounded by in-flight reordering).
+  struct PeerRecv {
+    std::uint64_t watermark = 0;
+    std::set<std::uint64_t> above;
+  };
+  std::unordered_map<NodeId, PeerRecv> recv_state_;
+  std::unordered_map<NodeId, std::uint8_t> peer_ifaces_;
+
+  Counter task_switches_;
+};
+
+}  // namespace raincore::transport

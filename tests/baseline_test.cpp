@@ -1,0 +1,163 @@
+// Baseline group-communication stacks: correctness of delivery and
+// ordering, so the §4.1 overhead comparison is fair (the baselines really
+// do deliver reliably and, where claimed, in total order).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/broadcast_gc.h"
+#include "baseline/sequencer_gc.h"
+#include "baseline/two_phase_gc.h"
+#include "net/sim_network.h"
+
+namespace raincore {
+namespace {
+
+using baseline::BroadcastGC;
+using baseline::GroupComm;
+using baseline::SequencerGC;
+using baseline::TwoPhaseGC;
+
+template <typename T>
+class BaselineCluster {
+ public:
+  BaselineCluster(std::size_t n, net::SimNetConfig ncfg = {},
+                  transport::TransportConfig tcfg = {})
+      : net_(ncfg) {
+    for (NodeId id = 1; id <= n; ++id) ids_.push_back(id);
+    for (NodeId id : ids_) {
+      auto& env = net_.add_node(id);
+      auto gc = std::make_unique<T>(env, ids_, tcfg);
+      gc->set_deliver_handler([this, id](NodeId origin, const Bytes& p) {
+        log_[id].emplace_back(origin, std::string(p.begin(), p.end()));
+      });
+      nodes_[id] = std::move(gc);
+    }
+  }
+
+  T& node(NodeId id) { return *nodes_.at(id); }
+  net::SimNetwork& net() { return net_; }
+  void run(Time d) { net_.loop().run_for(d); }
+  void send(NodeId from, const std::string& s) {
+    nodes_.at(from)->multicast(Bytes(s.begin(), s.end()));
+  }
+  const std::vector<std::pair<NodeId, std::string>>& log(NodeId id) {
+    return log_[id];
+  }
+  const std::vector<NodeId>& ids() const { return ids_; }
+
+ private:
+  net::SimNetwork net_;
+  std::vector<NodeId> ids_;
+  std::map<NodeId, std::unique_ptr<T>> nodes_;
+  std::map<NodeId, std::vector<std::pair<NodeId, std::string>>> log_;
+};
+
+TEST(BroadcastGCTest, DeliversToAllIncludingSelf) {
+  BaselineCluster<BroadcastGC> c(4);
+  c.send(2, "hello");
+  c.run(millis(50));
+  for (NodeId id : c.ids()) {
+    ASSERT_EQ(c.log(id).size(), 1u) << "node " << id;
+    EXPECT_EQ(c.log(id)[0], std::make_pair(NodeId{2}, std::string("hello")));
+  }
+}
+
+TEST(BroadcastGCTest, FifoPerSenderUnderLoss) {
+  net::SimNetConfig ncfg;
+  ncfg.default_drop = 0.2;
+  ncfg.seed = 31;
+  BaselineCluster<BroadcastGC> c(3, ncfg);
+  for (int i = 0; i < 30; ++i) c.send(1, "m" + std::to_string(i));
+  c.run(seconds(5));
+  for (NodeId id : c.ids()) {
+    ASSERT_EQ(c.log(id).size(), 30u) << "node " << id;
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_EQ(c.log(id)[i].second, "m" + std::to_string(i));
+    }
+  }
+}
+
+TEST(SequencerGCTest, TotalOrderAcrossSenders) {
+  BaselineCluster<SequencerGC> c(4);
+  for (int i = 0; i < 10; ++i) {
+    for (NodeId id : c.ids()) c.send(id, "n" + std::to_string(id) + "-" + std::to_string(i));
+  }
+  c.run(seconds(2));
+  const auto& ref = c.log(1);
+  ASSERT_EQ(ref.size(), 40u);
+  for (NodeId id : c.ids()) {
+    EXPECT_EQ(c.log(id), ref) << "node " << id << " diverged from total order";
+  }
+}
+
+TEST(SequencerGCTest, SequencerIsLowestId) {
+  net::SimNetwork net;
+  std::vector<NodeId> ids = {5, 2, 9};
+  auto& env = net.add_node(5);
+  SequencerGC gc(env, ids);
+  EXPECT_FALSE(gc.is_sequencer());
+  auto& env2 = net.add_node(2);
+  SequencerGC gc2(env2, ids);
+  EXPECT_TRUE(gc2.is_sequencer());
+}
+
+TEST(TwoPhaseGCTest, DeliversAfterCommitEverywhere) {
+  BaselineCluster<TwoPhaseGC> c(4);
+  c.send(3, "2pc-msg");
+  c.run(millis(100));
+  for (NodeId id : c.ids()) {
+    ASSERT_EQ(c.log(id).size(), 1u) << "node " << id;
+    EXPECT_EQ(c.log(id)[0].second, "2pc-msg");
+  }
+}
+
+TEST(TwoPhaseGCTest, SurvivesPacketLoss) {
+  net::SimNetConfig ncfg;
+  ncfg.default_drop = 0.15;
+  ncfg.seed = 37;
+  transport::TransportConfig tcfg;
+  tcfg.attempts_per_address = 20;  // non-faulty members: retry through loss
+  BaselineCluster<TwoPhaseGC> c(3, ncfg, tcfg);
+  for (int i = 0; i < 20; ++i) c.send(1 + (i % 3), "x" + std::to_string(i));
+  c.run(seconds(5));
+  for (NodeId id : c.ids()) {
+    EXPECT_EQ(c.log(id).size(), 20u) << "node " << id;
+  }
+}
+
+TEST(TwoPhaseGCTest, CostsRoughlySixLegsPerMessage) {
+  BaselineCluster<TwoPhaseGC> c(4);
+  c.net().reset_stats();
+  c.send(1, "count-me");
+  c.run(millis(100));
+  // 3 legs (prepare, vote, commit) x data+ack x (N-1) peers = 6*(N-1) = 18.
+  EXPECT_EQ(c.net().totals().pkts_sent.value(), 18u);
+}
+
+TEST(BroadcastGCTest, CostsTwoPacketsPerPeer) {
+  BaselineCluster<BroadcastGC> c(4);
+  c.net().reset_stats();
+  c.send(1, "count-me");
+  c.run(millis(100));
+  // data+ack per peer = 2*(N-1) = 6.
+  EXPECT_EQ(c.net().totals().pkts_sent.value(), 6u);
+}
+
+TEST(SingleNodeGroupsDeliverLocally, AllBaselines) {
+  net::SimNetwork net;
+  auto& e1 = net.add_node(1);
+  int delivered = 0;
+  BroadcastGC b(e1, {1});
+  b.set_deliver_handler([&](NodeId, const Bytes&) { ++delivered; });
+  b.multicast(Bytes{1});
+  auto& e2 = net.add_node(2);
+  TwoPhaseGC t(e2, {2});
+  t.set_deliver_handler([&](NodeId, const Bytes&) { ++delivered; });
+  t.multicast(Bytes{1});
+  net.loop().run_for(millis(10));
+  EXPECT_EQ(delivered, 2);
+}
+
+}  // namespace
+}  // namespace raincore

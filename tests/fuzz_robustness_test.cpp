@@ -1,0 +1,120 @@
+// Adversarial robustness: random, truncated and corrupted datagrams aimed
+// at live protocol stacks must never crash a node or wedge the group —
+// networking elements sit on hostile networks.
+#include <gtest/gtest.h>
+
+#include "session/messages.h"
+#include "tests/util/test_cluster.h"
+
+namespace raincore {
+namespace {
+
+using testing::TestCluster;
+
+class FuzzRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzRobustness, RandomDatagramsDoNotCrashOrWedgeTheGroup) {
+  TestCluster c({1, 2, 3});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3}, seconds(10)));
+
+  // Node 9 does not exist in the cluster; we impersonate it by injecting
+  // raw datagrams from an extra endpoint.
+  auto& evil = c.net().add_node(9);
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    Bytes junk(rng.next_below(64) + 1);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    NodeId victim = 1 + static_cast<NodeId>(rng.next_below(3));
+    evil.send(net::Address{victim, 0}, std::move(junk), 0);
+    if (i % 100 == 0) c.run(millis(5));
+  }
+  c.run(seconds(2));
+
+  // The group must still be intact and functional.
+  EXPECT_TRUE(c.converged({1, 2, 3}));
+  c.send(2, "still-alive");
+  c.run(seconds(1));
+  for (NodeId id : {1u, 2u, 3u}) {
+    ASSERT_FALSE(c.delivered(id).empty()) << "node " << id;
+    EXPECT_EQ(c.delivered(id).back().payload, "still-alive");
+  }
+}
+
+TEST_P(FuzzRobustness, TruncatedProtocolMessagesAreRejected) {
+  TestCluster c({1, 2});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2}, seconds(10)));
+
+  // Build VALID transport frames whose session payloads are truncated
+  // protocol messages — the hardest case for the parsers.
+  auto& evil = c.net().add_node(9);
+  Rng rng(GetParam() ^ 0xfu);
+
+  session::Token t = c.node(1).last_copy();
+  std::vector<Bytes> valid = {
+      session::encode_token_msg(t),
+      session::encode_911(session::Msg911{9, 1, 99999}),
+      session::encode_911_reply(session::Msg911Reply{9, 1, true, 5}),
+      session::encode_bodyodor(session::MsgBodyOdor{9, 1}),
+  };
+  std::uint64_t wire_seq = 1;
+  for (int i = 0; i < 500; ++i) {
+    const Bytes& base = valid[rng.next_below(valid.size())];
+    std::size_t cut = rng.next_below(base.size()) + 1;
+    Bytes payload(base.begin(), base.begin() + cut);
+    // Wrap in a transport DATA frame (type 1, u64 seq).
+    ByteWriter w(payload.size() + 9);
+    w.u8(1);
+    w.u64(wire_seq++);
+    w.raw(payload.data(), payload.size());
+    evil.send(net::Address{1 + (i % 2), 0}, w.take(), 0);
+    if (i % 50 == 0) c.run(millis(5));
+  }
+  c.run(seconds(2));
+  EXPECT_TRUE(c.converged({1, 2}));
+  c.send(1, "ok");
+  c.run(seconds(1));
+  EXPECT_EQ(c.delivered(2).back().payload, "ok");
+}
+
+TEST_P(FuzzRobustness, BitFlippedTokensAreHandled) {
+  TestCluster c({1, 2, 3});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3}, seconds(10)));
+  auto& evil = c.net().add_node(9);
+  Rng rng(GetParam() * 31);
+  for (int i = 0; i < 300; ++i) {
+    Bytes msg = session::encode_token_msg(c.node(1).last_copy());
+    // Flip a few random bits.
+    for (int k = 0; k < 4; ++k) {
+      msg[rng.next_below(msg.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    ByteWriter w(msg.size() + 9);
+    w.u8(1);
+    w.u64(1000000 + i);
+    w.raw(msg.data(), msg.size());
+    evil.send(net::Address{1 + (i % 3), 0}, w.take(), 0);
+    if (i % 25 == 0) c.run(millis(10));
+  }
+  // Corrupted tokens may transiently disturb membership (they can parse as
+  // valid-looking tokens); the group must converge back and keep working.
+  c.run(seconds(5));
+  EXPECT_TRUE(c.run_until_converged({1, 2, 3}, seconds(30)))
+      << "group did not recover from corrupted-token injection";
+  c.send(3, "recovered");
+  c.run(seconds(1));
+  for (NodeId id : {1u, 2u, 3u}) {
+    EXPECT_EQ(c.delivered(id).back().payload, "recovered") << "node " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRobustness,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& p) {
+                           return "seed" + std::to_string(p.param);
+                         });
+
+}  // namespace
+}  // namespace raincore

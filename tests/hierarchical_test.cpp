@@ -1,0 +1,200 @@
+// Hierarchical Raincore (the §5 scalability extension): ring formation,
+// leader election and fail-over, cross-ring multicast with exactly-once
+// delivery, and behaviour when a whole ring dies.
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+#include "session/hierarchical.h"
+
+namespace raincore {
+namespace {
+
+using session::HierarchicalNode;
+using session::HierarchyConfig;
+using session::HierarchyHarness;
+
+HierarchyConfig three_rings() {
+  HierarchyConfig cfg;
+  cfg.rings = {{1, 2, 3}, {11, 12, 13}, {21, 22, 23}};
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(HierarchyConfig cfg, net::SimNetConfig ncfg = {})
+      : net(ncfg), h(net, std::move(cfg)) {
+    for (NodeId id : h.all_ids()) {
+      h.node(id).set_deliver_handler(
+          [this, id](NodeId origin, const Bytes& payload) {
+            log[id].emplace_back(origin,
+                                 std::string(payload.begin(), payload.end()));
+          });
+    }
+  }
+
+  bool run_until(std::function<bool()> cond, Time timeout) {
+    Time deadline = net.now() + timeout;
+    while (net.now() < deadline) {
+      if (cond()) return true;
+      net.loop().run_for(millis(20));
+    }
+    return cond();
+  }
+
+  bool locally_converged() {
+    for (const auto& ring : h.config().rings) {
+      for (NodeId n : ring) {
+        if (h.node(n).local_view().members.size() != ring.size()) return false;
+      }
+    }
+    return true;
+  }
+
+  bool globally_connected(std::size_t n_rings) {
+    std::size_t leaders = 0;
+    for (NodeId id : h.all_ids()) {
+      if (h.node(id).is_leader()) {
+        ++leaders;
+        if (h.node(id).global_view().members.size() != n_rings) return false;
+      }
+    }
+    return leaders == n_rings;
+  }
+
+  void send(NodeId from, const std::string& s) {
+    h.node(from).multicast(Bytes(s.begin(), s.end()));
+  }
+
+  int count_delivered(NodeId at, const std::string& s) {
+    int c = 0;
+    for (auto& [o, p] : log[at]) {
+      if (p == s) ++c;
+    }
+    return c;
+  }
+
+  net::SimNetwork net;
+  HierarchyHarness h;
+  std::map<NodeId, std::vector<std::pair<NodeId, std::string>>> log;
+};
+
+TEST(HierarchicalTest, RingsFormAndLeadersConnect) {
+  Fixture f(three_rings());
+  f.h.start_all();
+  ASSERT_TRUE(f.run_until([&] { return f.locally_converged(); }, seconds(20)));
+  ASSERT_TRUE(f.run_until([&] { return f.globally_connected(3); }, seconds(20)));
+  // Leaders are the lowest ids of each ring.
+  EXPECT_TRUE(f.h.node(1).is_leader());
+  EXPECT_TRUE(f.h.node(11).is_leader());
+  EXPECT_TRUE(f.h.node(21).is_leader());
+  EXPECT_FALSE(f.h.node(2).is_leader());
+}
+
+TEST(HierarchicalTest, CrossRingMulticastReachesEveryoneExactlyOnce) {
+  Fixture f(three_rings());
+  f.h.start_all();
+  ASSERT_TRUE(f.run_until([&] { return f.locally_converged(); }, seconds(20)));
+  ASSERT_TRUE(f.run_until([&] { return f.globally_connected(3); }, seconds(20)));
+
+  f.send(12, "from-ring-1");
+  f.send(2, "from-ring-0");
+  f.net.loop().run_for(seconds(3));
+
+  for (NodeId id : f.h.all_ids()) {
+    EXPECT_EQ(f.count_delivered(id, "from-ring-1"), 1) << "node " << id;
+    EXPECT_EQ(f.count_delivered(id, "from-ring-0"), 1) << "node " << id;
+  }
+}
+
+TEST(HierarchicalTest, FifoPerOriginAcrossRings) {
+  Fixture f(three_rings());
+  f.h.start_all();
+  ASSERT_TRUE(f.run_until([&] { return f.locally_converged(); }, seconds(20)));
+  ASSERT_TRUE(f.run_until([&] { return f.globally_connected(3); }, seconds(20)));
+
+  for (int i = 0; i < 10; ++i) f.send(13, "seq-" + std::to_string(i));
+  f.net.loop().run_for(seconds(5));
+
+  for (NodeId id : f.h.all_ids()) {
+    std::vector<std::string> from13;
+    for (auto& [o, p] : f.log[id]) {
+      if (o == 13) from13.push_back(p);
+    }
+    ASSERT_EQ(from13.size(), 10u) << "node " << id;
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(from13[i], "seq-" + std::to_string(i)) << "node " << id;
+    }
+  }
+}
+
+TEST(HierarchicalTest, LeaderFailoverElectsNextAndBridgesAgain) {
+  Fixture f(three_rings());
+  f.h.start_all();
+  ASSERT_TRUE(f.run_until([&] { return f.locally_converged(); }, seconds(20)));
+  ASSERT_TRUE(f.run_until([&] { return f.globally_connected(3); }, seconds(20)));
+
+  // Kill ring 0's leader (node 1) — both its endpoints.
+  f.net.set_node_up(1, false);
+  f.net.set_node_up(f.h.config().global_offset + 1, false);
+  f.h.node(1).stop();
+
+  ASSERT_TRUE(f.run_until([&] { return f.h.node(2).is_leader(); }, seconds(20)))
+      << "next-lowest member did not take over leadership";
+  ASSERT_TRUE(f.run_until(
+      [&] { return f.h.node(2).global_view().members.size() == 3; },
+      seconds(30)))
+      << "new leader did not join the global ring";
+
+  // Cross-ring traffic flows again.
+  f.send(22, "after-failover");
+  f.net.loop().run_for(seconds(5));
+  for (NodeId id : {2u, 3u, 11u, 12u, 13u, 21u, 22u, 23u}) {
+    EXPECT_EQ(f.count_delivered(id, "after-failover"), 1) << "node " << id;
+  }
+}
+
+TEST(HierarchicalTest, WholeRingDeathLeavesOthersWorking) {
+  Fixture f(three_rings());
+  f.h.start_all();
+  ASSERT_TRUE(f.run_until([&] { return f.locally_converged(); }, seconds(20)));
+  ASSERT_TRUE(f.run_until([&] { return f.globally_connected(3); }, seconds(20)));
+
+  for (NodeId n : {11u, 12u, 13u}) {
+    f.net.set_node_up(n, false);
+    f.net.set_node_up(f.h.config().global_offset + n, false);
+    f.h.node(n).stop();
+  }
+  // Remaining leaders reconverge to a 2-member global ring.
+  ASSERT_TRUE(f.run_until(
+      [&] {
+        return f.h.node(1).global_view().members.size() == 2 &&
+               f.h.node(21).global_view().members.size() == 2;
+      },
+      seconds(30)));
+
+  f.send(3, "two-rings-left");
+  f.net.loop().run_for(seconds(3));
+  for (NodeId id : {1u, 2u, 3u, 21u, 22u, 23u}) {
+    EXPECT_EQ(f.count_delivered(id, "two-rings-left"), 1) << "node " << id;
+  }
+}
+
+TEST(HierarchicalTest, ScalesToManyRings) {
+  HierarchyConfig cfg;
+  for (NodeId r = 0; r < 6; ++r) {
+    std::vector<NodeId> ring;
+    for (NodeId k = 1; k <= 4; ++k) ring.push_back(r * 100 + k);
+    cfg.rings.push_back(ring);
+  }
+  Fixture f(cfg);
+  f.h.start_all();
+  ASSERT_TRUE(f.run_until([&] { return f.locally_converged(); }, seconds(40)));
+  ASSERT_TRUE(f.run_until([&] { return f.globally_connected(6); }, seconds(40)));
+  f.send(304, "hello-24-nodes");
+  f.net.loop().run_for(seconds(5));
+  for (NodeId id : f.h.all_ids()) {
+    EXPECT_EQ(f.count_delivered(id, "hello-24-nodes"), 1) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace raincore

@@ -1,0 +1,251 @@
+// Network substrate: event loop ordering/cancellation, simulated fabric
+// delivery, latency, loss, link cuts, partitions and counters.
+#include <gtest/gtest.h>
+
+#include "net/event_loop.h"
+#include "net/sim_network.h"
+
+namespace raincore {
+namespace {
+
+using net::Address;
+using net::Datagram;
+using net::EventLoop;
+using net::SimNetConfig;
+using net::SimNetwork;
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(millis(30), [&] { order.push_back(3); });
+  loop.schedule(millis(10), [&] { order.push_back(1); });
+  loop.schedule(millis(20), [&] { order.push_back(2); });
+  loop.run_until(millis(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), millis(100));
+}
+
+TEST(EventLoopTest, SameInstantIsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule(millis(10), [&order, i] { order.push_back(i); });
+  }
+  loop.run_until(millis(10));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  auto id = loop.schedule(millis(10), [&] { ran = true; });
+  loop.cancel(id);
+  loop.run_until(millis(100));
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  bool ran = false;
+  loop.schedule(millis(50), [&] { ran = true; });
+  loop.run_until(millis(20));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.now(), millis(20));
+  loop.run_until(millis(60));
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoopTest, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule(millis(1), recurse);
+  };
+  loop.schedule(0, recurse);
+  loop.run_until(millis(100));
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(EventLoopTest, StepExecutesExactlyOne) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule(0, [&] { ++count; });
+  loop.schedule(0, [&] { ++count; });
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(loop.step());
+}
+
+class SimNetworkTest : public ::testing::Test {
+ protected:
+  void deliver_setup(SimNetwork& net, std::vector<Datagram>& inbox, NodeId id) {
+    net.add_node(id).set_receiver(
+        [&inbox](Datagram&& d) { inbox.push_back(std::move(d)); });
+  }
+};
+
+TEST_F(SimNetworkTest, DeliversWithConfiguredLatency) {
+  SimNetConfig cfg;
+  cfg.default_latency = millis(5);
+  SimNetwork net(cfg);
+  auto& a = net.add_node(1);
+  std::vector<Datagram> inbox;
+  deliver_setup(net, inbox, 2);
+  a.send(Address{2, 0}, Bytes{1, 2, 3}, 0);
+  net.loop().run_for(millis(4));
+  EXPECT_TRUE(inbox.empty());
+  net.loop().run_for(millis(2));
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].src, (Address{1, 0}));
+  EXPECT_EQ(inbox[0].payload, (Bytes{1, 2, 3}));
+}
+
+TEST_F(SimNetworkTest, DropRateLosesRoughlyThatFraction) {
+  SimNetConfig cfg;
+  cfg.default_drop = 0.3;
+  cfg.seed = 5;
+  SimNetwork net(cfg);
+  auto& a = net.add_node(1);
+  std::vector<Datagram> inbox;
+  deliver_setup(net, inbox, 2);
+  for (int i = 0; i < 1000; ++i) a.send(Address{2, 0}, Bytes{1}, 0);
+  net.loop().run_for(seconds(1));
+  EXPECT_GT(inbox.size(), 600u);
+  EXPECT_LT(inbox.size(), 800u);
+}
+
+TEST_F(SimNetworkTest, LinkCutDropsTraffic) {
+  SimNetwork net;
+  auto& a = net.add_node(1);
+  std::vector<Datagram> inbox;
+  deliver_setup(net, inbox, 2);
+  net.set_link_up(1, 2, false);
+  a.send(Address{2, 0}, Bytes{1}, 0);
+  net.loop().run_for(millis(10));
+  EXPECT_TRUE(inbox.empty());
+  net.set_link_up(1, 2, true);
+  a.send(Address{2, 0}, Bytes{1}, 0);
+  net.loop().run_for(millis(10));
+  EXPECT_EQ(inbox.size(), 1u);
+}
+
+TEST_F(SimNetworkTest, PerInterfaceLinkCutLeavesOtherPathUp) {
+  SimNetwork net;
+  auto& a = net.add_node(1, 2);
+  std::vector<Datagram> inbox;
+  net.add_node(2, 2).set_receiver(
+      [&inbox](Datagram&& d) { inbox.push_back(std::move(d)); });
+  net.set_link_up(Address{1, 0}, Address{2, 0}, false);
+  a.send(Address{2, 0}, Bytes{1}, 0);  // dead path
+  a.send(Address{2, 1}, Bytes{2}, 1);  // alive path
+  net.loop().run_for(millis(10));
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].payload, Bytes{2});
+}
+
+TEST_F(SimNetworkTest, NodeDownIsolatesBothDirections) {
+  SimNetwork net;
+  auto& a = net.add_node(1);
+  std::vector<Datagram> inbox1, inbox2;
+  net.add_node(2).set_receiver(
+      [&inbox2](Datagram&& d) { inbox2.push_back(std::move(d)); });
+  a.set_receiver([&inbox1](Datagram&& d) { inbox1.push_back(std::move(d)); });
+  net.set_node_up(2, false);
+  a.send(Address{2, 0}, Bytes{1}, 0);
+  net.loop().run_for(millis(10));
+  EXPECT_TRUE(inbox2.empty());
+}
+
+TEST_F(SimNetworkTest, InFlightPacketLostWhenLinkCutMidFlight) {
+  SimNetConfig cfg;
+  cfg.default_latency = millis(10);
+  SimNetwork net(cfg);
+  auto& a = net.add_node(1);
+  std::vector<Datagram> inbox;
+  deliver_setup(net, inbox, 2);
+  a.send(Address{2, 0}, Bytes{1}, 0);
+  net.loop().run_for(millis(5));
+  net.set_link_up(1, 2, false);  // cut while the packet is in flight
+  net.loop().run_for(millis(10));
+  EXPECT_TRUE(inbox.empty());
+}
+
+TEST_F(SimNetworkTest, PartitionBlocksAcrossGroupsOnly) {
+  SimNetwork net;
+  auto& a = net.add_node(1);
+  auto& b = net.add_node(2);
+  std::vector<Datagram> inbox2, inbox3;
+  deliver_setup(net, inbox3, 3);
+  b.set_receiver([&inbox2](Datagram&& d) { inbox2.push_back(std::move(d)); });
+  net.partition({{1, 2}, {3}});
+  a.send(Address{2, 0}, Bytes{1}, 0);  // same side: delivered
+  a.send(Address{3, 0}, Bytes{2}, 0);  // across: dropped
+  net.loop().run_for(millis(10));
+  EXPECT_EQ(inbox2.size(), 1u);
+  EXPECT_TRUE(inbox3.empty());
+  net.heal_partition();
+  a.send(Address{3, 0}, Bytes{3}, 0);
+  net.loop().run_for(millis(10));
+  EXPECT_EQ(inbox3.size(), 1u);
+}
+
+TEST_F(SimNetworkTest, CountersTrackPacketsAndBytes) {
+  SimNetwork net;
+  auto& a = net.add_node(1);
+  std::vector<Datagram> inbox;
+  deliver_setup(net, inbox, 2);
+  a.send(Address{2, 0}, Bytes(100, 0xff), 0);
+  net.loop().run_for(millis(10));
+  EXPECT_EQ(net.stats(1).pkts_sent.value(), 1u);
+  EXPECT_EQ(net.stats(1).bytes_sent.value(), 100u);
+  EXPECT_EQ(net.stats(2).pkts_recv.value(), 1u);
+  EXPECT_EQ(net.stats(2).bytes_recv.value(), 100u);
+  auto tot = net.totals();
+  EXPECT_EQ(tot.pkts_sent.value(), 1u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats(1).pkts_sent.value(), 0u);
+}
+
+TEST_F(SimNetworkTest, PreserveOrderKeepsFifoPerLink) {
+  SimNetConfig cfg;
+  cfg.default_jitter = millis(5);
+  cfg.preserve_order = true;
+  cfg.seed = 3;
+  SimNetwork net(cfg);
+  auto& a = net.add_node(1);
+  std::vector<Datagram> inbox;
+  deliver_setup(net, inbox, 2);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    a.send(Address{2, 0}, Bytes{i}, 0);
+  }
+  net.loop().run_for(seconds(1));
+  ASSERT_EQ(inbox.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(inbox[i].payload[0], i);
+  }
+}
+
+TEST_F(SimNetworkTest, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    SimNetConfig cfg;
+    cfg.default_drop = 0.2;
+    cfg.default_jitter = millis(2);
+    cfg.preserve_order = false;
+    cfg.seed = seed;
+    SimNetwork net(cfg);
+    auto& a = net.add_node(1);
+    std::vector<std::uint8_t> got;
+    net.add_node(2).set_receiver(
+        [&got](Datagram&& d) { got.push_back(d.payload[0]); });
+    for (std::uint8_t i = 0; i < 100; ++i) a.send(Address{2, 0}, Bytes{i}, 0);
+    net.loop().run_for(seconds(1));
+    return got;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+}  // namespace
+}  // namespace raincore

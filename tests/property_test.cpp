@@ -1,0 +1,265 @@
+// Property-based tests: protocol invariants swept over cluster size, packet
+// loss and RNG seed (TEST_P / INSTANTIATE_TEST_SUITE_P).
+//
+// Invariants checked (paper §2.5–§2.7):
+//   I1  Agreed ordering: all members observe identical delivery sequences.
+//   I2  Token uniqueness: never more than one EATING node at any sampled
+//       instant during fault-free operation.
+//   I3  Quiescent agreement: after faults stop, all live members converge
+//       on the same membership.
+//   I4  Atomicity: a message delivered by any stable member is delivered by
+//       every stable member, exactly once.
+//   I5  Mutual exclusion: exclusive sections never overlap.
+#include <gtest/gtest.h>
+
+#include "tests/util/test_cluster.h"
+
+namespace raincore {
+namespace {
+
+using session::Ordering;
+using testing::TestCluster;
+
+struct Params {
+  std::size_t nodes;
+  double drop;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "n%zu_drop%d_seed%llu", info.param.nodes,
+                static_cast<int>(info.param.drop * 100),
+                static_cast<unsigned long long>(info.param.seed));
+  return buf;
+}
+
+class SessionProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  std::unique_ptr<TestCluster> make_cluster() {
+    const Params& p = GetParam();
+    net::SimNetConfig ncfg;
+    ncfg.default_drop = p.drop;
+    ncfg.seed = p.seed;
+    session::SessionConfig scfg;
+    scfg.hungry_timeout = millis(1200);
+    std::vector<NodeId> ids;
+    for (NodeId i = 1; i <= p.nodes; ++i) ids.push_back(i);
+    return std::make_unique<TestCluster>(ids, scfg, ncfg);
+  }
+
+  std::vector<NodeId> all_ids() {
+    std::vector<NodeId> ids;
+    for (NodeId i = 1; i <= GetParam().nodes; ++i) ids.push_back(i);
+    return ids;
+  }
+};
+
+TEST_P(SessionProperty, AgreedOrderIdenticalEverywhere) {
+  auto c = make_cluster();
+  c->bootstrap_via_join();
+  ASSERT_TRUE(c->run_until_converged(all_ids(), seconds(60)));
+  Rng rng(GetParam().seed);
+  for (int i = 0; i < 40; ++i) {
+    NodeId from = 1 + static_cast<NodeId>(rng.next_below(GetParam().nodes));
+    c->send(from, "p" + std::to_string(i));
+    c->run(millis(1 + rng.next_below(8)));
+  }
+  c->run(seconds(10));
+  EXPECT_TRUE(c->check_agreed_order().empty()) << c->check_agreed_order();
+  for (NodeId id : all_ids()) {
+    EXPECT_EQ(c->delivered(id).size(), 40u) << "node " << id;  // I4
+  }
+}
+
+TEST_P(SessionProperty, AtMostOneTokenHolderSampled) {
+  auto c = make_cluster();
+  c->bootstrap_via_join();
+  ASSERT_TRUE(c->run_until_converged(all_ids(), seconds(60)));
+  for (int step = 0; step < 500; ++step) {
+    c->run(millis(1));
+    int holders = 0;
+    for (NodeId id : all_ids()) {
+      if (c->node(id).holds_token()) ++holders;
+    }
+    ASSERT_LE(holders, 1) << "two EATING nodes at step " << step;  // I2
+  }
+}
+
+TEST_P(SessionProperty, ConvergesAfterRandomKill) {
+  auto c = make_cluster();
+  c->bootstrap_via_join();
+  ASSERT_TRUE(c->run_until_converged(all_ids(), seconds(60)));
+  Rng rng(GetParam().seed * 31);
+  c->run(millis(rng.next_below(200)));
+  NodeId victim = 1 + static_cast<NodeId>(rng.next_below(GetParam().nodes));
+  c->net().set_node_up(victim, false);
+  c->node(victim).stop();
+  std::vector<NodeId> survivors;
+  for (NodeId id : all_ids()) {
+    if (id != victim) survivors.push_back(id);
+  }
+  EXPECT_TRUE(c->run_until_converged(survivors, seconds(30)));  // I3
+  // Exactly one token after recovery.
+  c->run(seconds(1));
+  int regens = 0;
+  for (NodeId id : survivors) {
+    regens += static_cast<int>(c->node(id).stats().regenerations.value());
+  }
+  EXPECT_LE(regens, 1);
+}
+
+TEST_P(SessionProperty, MixedOrderingClassesShareOneTotalOrder) {
+  // Agreed and safe messages interleave into a single total order at every
+  // node (Totem-style holdback; see process_attached).
+  auto c = make_cluster();
+  c->bootstrap_via_join();
+  ASSERT_TRUE(c->run_until_converged(all_ids(), seconds(60)));
+  Rng rng(GetParam().seed * 7);
+  for (int i = 0; i < 24; ++i) {
+    NodeId from = 1 + static_cast<NodeId>(rng.next_below(GetParam().nodes));
+    Ordering o = rng.chance(0.4) ? Ordering::kSafe : Ordering::kAgreed;
+    c->send(from, "x" + std::to_string(i), o);
+    c->run(millis(1 + rng.next_below(10)));
+  }
+  c->run(seconds(15));
+  EXPECT_TRUE(c->check_agreed_order().empty()) << c->check_agreed_order();
+  for (NodeId id : all_ids()) {
+    EXPECT_EQ(c->delivered(id).size(), 24u) << "node " << id;
+  }
+}
+
+TEST_P(SessionProperty, ExclusiveSectionsNeverOverlap) {
+  auto c = make_cluster();
+  c->bootstrap_via_join();
+  ASSERT_TRUE(c->run_until_converged(all_ids(), seconds(60)));
+  int active = 0, max_active = 0, total = 0;
+  Rng rng(GetParam().seed * 97);
+  for (int i = 0; i < 30; ++i) {
+    NodeId at = 1 + static_cast<NodeId>(rng.next_below(GetParam().nodes));
+    c->node(at).run_exclusive([&] {
+      ++active;
+      max_active = std::max(max_active, active);
+      ++total;
+      --active;
+    });
+    c->run(millis(rng.next_below(10)));
+  }
+  c->run(seconds(10));
+  EXPECT_EQ(total, 30);
+  EXPECT_EQ(max_active, 1);  // I5
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SessionProperty,
+    ::testing::Values(Params{2, 0.0, 1}, Params{3, 0.0, 2}, Params{5, 0.0, 3},
+                      Params{8, 0.0, 4}, Params{3, 0.02, 5},
+                      Params{5, 0.02, 6}, Params{4, 0.05, 7},
+                      Params{6, 0.05, 8}, Params{4, 0.10, 9},
+                      Params{5, 0.10, 10}),
+    param_name);
+
+// --- Chaos: random kills, restarts and partitions, then heal ---------------
+
+struct ChaosParams {
+  std::uint64_t seed;
+};
+
+class SessionChaos : public ::testing::TestWithParam<ChaosParams> {};
+
+TEST_P(SessionChaos, SurvivesAndConverges) {
+  const std::uint64_t seed = GetParam().seed;
+  net::SimNetConfig ncfg;
+  ncfg.seed = seed;
+  ncfg.default_drop = 0.01;
+  session::SessionConfig scfg;
+  scfg.hungry_timeout = millis(1000);
+  std::vector<NodeId> ids = {1, 2, 3, 4, 5, 6};
+  TestCluster c(ids, scfg, ncfg);
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged(ids, seconds(60)));
+
+  Rng rng(seed * 1337);
+  std::set<NodeId> down;
+  int msg = 0;
+  for (int round = 0; round < 12; ++round) {
+    // Random multicasts from live nodes.
+    for (int k = 0; k < 3; ++k) {
+      NodeId from = ids[rng.next_below(ids.size())];
+      if (down.count(from) == 0 && c.node(from).started()) {
+        c.send(from, "chaos-" + std::to_string(msg++));
+      }
+    }
+    // Random fault action.
+    switch (rng.next_below(4)) {
+      case 0: {  // kill someone (keep at least 2 alive)
+        if (down.size() + 2 < ids.size()) {
+          NodeId victim = ids[rng.next_below(ids.size())];
+          if (down.count(victim) == 0) {
+            c.net().set_node_up(victim, false);
+            c.node(victim).stop();
+            down.insert(victim);
+          }
+        }
+        break;
+      }
+      case 1: {  // restart someone
+        if (!down.empty()) {
+          NodeId back = *down.begin();
+          down.erase(down.begin());
+          c.net().set_node_up(back, true);
+          std::vector<NodeId> contacts;
+          for (NodeId id : ids) {
+            if (down.count(id) == 0 && id != back) contacts.push_back(id);
+          }
+          if (!contacts.empty()) c.node(back).join(contacts);
+        }
+        break;
+      }
+      case 2: {  // transient partition
+        c.net().partition({{1, 2, 3}, {4, 5, 6}});
+        c.run(millis(500 + rng.next_below(1500)));
+        c.net().heal_partition();
+        break;
+      }
+      default:
+        break;  // breather round
+    }
+    c.run(millis(300 + rng.next_below(700)));
+  }
+
+  // Restart everything that is down, heal, and require full convergence.
+  c.net().heal_partition();
+  for (NodeId back : down) {
+    c.net().set_node_up(back, true);
+    if (!c.node(back).started()) {
+      std::vector<NodeId> contacts;
+      for (NodeId id : ids) {
+        if (id != back) contacts.push_back(id);
+      }
+      c.node(back).join(contacts);
+    }
+  }
+  EXPECT_TRUE(c.run_until_converged(ids, seconds(120)))
+      << "chaos run (seed " << seed << ") did not converge after healing";
+
+  // And the group still works.
+  c.send(ids[seed % ids.size()], "post-chaos");
+  c.run(seconds(2));
+  for (NodeId id : ids) {
+    ASSERT_FALSE(c.delivered(id).empty()) << "node " << id;
+    EXPECT_EQ(c.delivered(id).back().payload, "post-chaos") << "node " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionChaos,
+                         ::testing::Values(ChaosParams{101}, ChaosParams{202},
+                                           ChaosParams{303}, ChaosParams{404},
+                                           ChaosParams{505}, ChaosParams{606},
+                                           ChaosParams{707}, ChaosParams{808}),
+                         [](const ::testing::TestParamInfo<ChaosParams>& pinfo) {
+                           return "seed" + std::to_string(pinfo.param.seed);
+                         });
+
+}  // namespace
+}  // namespace raincore

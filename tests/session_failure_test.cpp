@@ -1,0 +1,311 @@
+// Failure handling: aggressive failure detection, the 911 token-recovery
+// protocol, false-alarm re-join, link-failure bypass (the paper's ABCD →
+// ACD → ACBD example), split-brain partitions and group merge.
+#include <gtest/gtest.h>
+
+#include "tests/util/test_cluster.h"
+
+namespace raincore {
+namespace {
+
+using session::Ordering;
+using testing::TestCluster;
+
+TEST(SessionFailure, CrashedNodeIsRemovedFromMembership) {
+  TestCluster c({1, 2, 3, 4});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4}, seconds(10)));
+  // "Cable unplugged": node 3 disappears from the network.
+  c.net().set_node_up(3, false);
+  c.node(3).stop();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 4}, seconds(5)))
+      << "surviving nodes did not agree on the shrunken membership";
+}
+
+TEST(SessionFailure, FailureDetectionIsFast) {
+  TestCluster c({1, 2, 3, 4});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4}, seconds(10)));
+  c.net().set_node_up(2, false);
+  c.node(2).stop();
+  Time start = c.net().now();
+  ASSERT_TRUE(c.run_until_converged({1, 3, 4}, seconds(5)));
+  Time detect = c.net().now() - start;
+  // Aggressive detection: bounded by token interval + transport retries,
+  // far below the paper's 2-second fail-over budget.
+  EXPECT_LT(detect, millis(1000)) << "took " << format_time(detect);
+}
+
+TEST(SessionFailure, TokenLossIsRecoveredBy911) {
+  TestCluster c({1, 2, 3, 4});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4}, seconds(10)));
+
+  // Kill whichever node currently holds the token: the token dies with it.
+  c.run(millis(3));
+  NodeId holder = kInvalidNode;
+  for (NodeId id : c.ids()) {
+    if (c.node(id).holds_token()) holder = id;
+  }
+  // If the token is in flight, kill the last node that passed it... just
+  // pick node 2 and keep killing until we catch it holding.
+  if (holder == kInvalidNode) holder = 2;
+  c.net().set_node_up(holder, false);
+  c.node(holder).stop();
+
+  std::vector<NodeId> expected;
+  for (NodeId id : c.ids()) {
+    if (id != holder) expected.push_back(id);
+  }
+  ASSERT_TRUE(c.run_until_converged(expected, seconds(10)))
+      << "911 recovery failed after killing token holder " << holder;
+
+  // The survivors regenerated exactly one token: multicast still works.
+  NodeId survivor = expected.front();
+  c.send(survivor, "post-recovery");
+  c.run(seconds(1));
+  for (NodeId id : expected) {
+    const auto& d = c.delivered(id);
+    ASSERT_FALSE(d.empty()) << "node " << id;
+    EXPECT_EQ(d.back().payload, "post-recovery");
+  }
+  // Exactly one node regenerated (911 mutual exclusivity).
+  int regens = 0;
+  for (NodeId id : expected) {
+    regens += static_cast<int>(c.node(id).stats().regenerations.value());
+  }
+  EXPECT_EQ(regens, 1);
+}
+
+TEST(SessionFailure, MessagesOnLostTokenSurviveRegeneration) {
+  // Atomicity under token loss: piggybacked messages ride the regenerated
+  // token because local copies retain them (§2.3 + §2.6).
+  session::SessionConfig cfg;
+  cfg.token_hold = millis(20);  // slow the ring so we can race it
+  TestCluster c({1, 2, 3, 4}, cfg);
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4}, seconds(10)));
+
+  // Node 1 multicasts; wait until some (not all) nodes delivered, then kill
+  // the current holder.
+  c.send(1, "in-flight");
+  // Run until exactly the moment at least one delivery happened.
+  Time deadline = c.net().now() + seconds(2);
+  while (c.net().now() < deadline) {
+    c.run(millis(1));
+    std::size_t delivered_count = 0;
+    for (NodeId id : c.ids()) delivered_count += c.delivered(id).size();
+    if (delivered_count >= 2) break;
+  }
+  NodeId holder = kInvalidNode;
+  for (NodeId id : c.ids()) {
+    if (c.node(id).holds_token()) holder = id;
+  }
+  if (holder == kInvalidNode || holder == 1) return;  // racy run; vacuous
+
+  c.net().set_node_up(holder, false);
+  c.node(holder).stop();
+  c.run(seconds(5));
+
+  // Every survivor must have delivered "in-flight" exactly once.
+  for (NodeId id : c.ids()) {
+    if (id == holder) continue;
+    int count = 0;
+    for (const auto& d : c.delivered(id)) {
+      if (d.payload == "in-flight") ++count;
+    }
+    EXPECT_EQ(count, 1) << "node " << id << ": atomicity violated";
+  }
+}
+
+TEST(SessionFailure, FalseAlarmNodeRejoinsAutomatically) {
+  TestCluster c({1, 2, 3, 4});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4}, seconds(10)));
+
+  // Induce a false alarm: cut node 3 off just long enough for the failure
+  // detector to remove it, then restore. The wrongfully excluded node
+  // re-joins via its STARVING 911 (§2.3).
+  c.net().set_node_up(3, false);
+  ASSERT_TRUE(c.run_until_converged({1, 2, 4}, seconds(5)));
+  c.net().set_node_up(3, true);
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4}, seconds(10)))
+      << "false-alarm victim did not rejoin";
+}
+
+TEST(SessionFailure, BrokenLinkIsBypassedInNewRing) {
+  // The paper's ABCD example (§2.3): link A-B fails; B is removed by A,
+  // B's 911 is treated as a join by C, and the new ring bypasses the
+  // broken link.
+  TestCluster c({1, 2, 3, 4});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4}, seconds(10)));
+
+  // Find the actual ring order and cut the link between some node and its
+  // successor.
+  const auto ring = c.node(1).view().members;
+  ASSERT_EQ(ring.size(), 4u);
+  NodeId a = ring[0], b = ring[1];
+  c.net().set_link_up(a, b, false);
+
+  // The ring must re-form around the cut and reach a *stable* order where
+  // a and b are not neighbours in either direction (the token cannot cross
+  // the dead link). Transient configurations may put them adjacent again —
+  // the failed pass then reshuffles once more — so wait for stability.
+  auto adjacency_ok = [&] {
+    if (!c.converged({1, 2, 3, 4})) return false;
+    const auto r = c.node(b).view().members;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      NodeId cur = r[i], nxt = r[(i + 1) % r.size()];
+      if ((cur == a && nxt == b) || (cur == b && nxt == a)) return false;
+    }
+    return true;
+  };
+  Time deadline = c.net().now() + seconds(30);
+  while (c.net().now() < deadline && !adjacency_ok()) c.run(millis(20));
+  ASSERT_TRUE(adjacency_ok()) << "ring did not stabilise around broken link";
+  // Must remain stable for a full second.
+  for (int k = 0; k < 50; ++k) {
+    c.run(millis(20));
+    ASSERT_TRUE(adjacency_ok()) << "ring flapped after stabilising (k=" << k << ")";
+  }
+  // Group communication still works end to end.
+  c.send(b, "after-bypass");
+  c.run(seconds(1));
+  for (NodeId id : c.ids()) {
+    ASSERT_FALSE(c.delivered(id).empty()) << "node " << id;
+    EXPECT_EQ(c.delivered(id).back().payload, "after-bypass");
+  }
+}
+
+TEST(SessionFailure, PartitionSplitsThenMergeHeals) {
+  TestCluster c({1, 2, 3, 4, 5, 6});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4, 5, 6}, seconds(10)));
+
+  // Split-brain: {1,2,3} | {4,5,6}. Both halves stay functional (§2.4
+  // strategy 2 — no quorum shutdown).
+  c.net().partition({{1, 2, 3}, {4, 5, 6}});
+  Time deadline = c.net().now() + seconds(10);
+  auto half_converged = [&] {
+    std::vector<NodeId> g1 = c.node(1).view().members;
+    std::vector<NodeId> g2 = c.node(4).view().members;
+    std::sort(g1.begin(), g1.end());
+    std::sort(g2.begin(), g2.end());
+    return g1 == std::vector<NodeId>({1, 2, 3}) &&
+           g2 == std::vector<NodeId>({4, 5, 6});
+  };
+  while (c.net().now() < deadline && !half_converged()) c.run(millis(10));
+  ASSERT_TRUE(half_converged()) << "sub-groups did not stabilise";
+
+  // Both halves keep multicasting independently.
+  c.send(2, "left");
+  c.send(5, "right");
+  c.run(seconds(1));
+  EXPECT_EQ(c.delivered(3).back().payload, "left");
+  EXPECT_EQ(c.delivered(6).back().payload, "right");
+
+  // Heal: BODYODOR discovery finds the other half; TBM merge unifies.
+  c.net().heal_partition();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4, 5, 6}, seconds(20)))
+      << "groups did not merge after partition healed";
+
+  // Merged group communicates.
+  c.send(6, "reunited");
+  c.run(seconds(1));
+  for (NodeId id : c.ids()) {
+    EXPECT_EQ(c.delivered(id).back().payload, "reunited") << "node " << id;
+  }
+}
+
+TEST(SessionFailure, ThreeWayPartitionMergesWithoutDeadlock) {
+  TestCluster c({1, 2, 3, 4, 5, 6});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4, 5, 6}, seconds(10)));
+  c.net().partition({{1, 2}, {3, 4}, {5, 6}});
+  c.run(seconds(5));
+  c.net().heal_partition();
+  // Group-ID ordering makes the merge graph acyclic: all three sub-groups
+  // must collapse into one (§2.4).
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4, 5, 6}, seconds(30)))
+      << "three-way merge deadlocked or stalled";
+}
+
+TEST(SessionFailure, CascadingFailures) {
+  TestCluster c({1, 2, 3, 4, 5, 6, 7, 8});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4, 5, 6, 7, 8}, seconds(15)));
+  // Kill half the cluster one by one while traffic flows.
+  std::vector<NodeId> alive = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (NodeId victim : {8u, 6u, 4u, 2u}) {
+    c.send(1, "before-" + std::to_string(victim));
+    c.net().set_node_up(victim, false);
+    c.node(victim).stop();
+    alive.erase(std::remove(alive.begin(), alive.end(), victim), alive.end());
+    ASSERT_TRUE(c.run_until_converged(alive, seconds(10)))
+        << "failed while removing " << victim;
+  }
+  // The last 4 nodes still form a working group.
+  c.send(1, "final");
+  c.run(seconds(1));
+  for (NodeId id : alive) {
+    EXPECT_EQ(c.delivered(id).back().payload, "final") << "node " << id;
+  }
+  EXPECT_TRUE(c.check_agreed_order().empty()) << c.check_agreed_order();
+}
+
+TEST(SessionFailure, AllButOneFailThenGroupOfOneSurvives) {
+  TestCluster c({1, 2, 3});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3}, seconds(10)));
+  c.net().set_node_up(2, false);
+  c.node(2).stop();
+  c.net().set_node_up(3, false);
+  c.node(3).stop();
+  ASSERT_TRUE(c.run_until_converged({1}, seconds(10)));
+  // Singleton still self-delivers.
+  c.send(1, "alone");
+  c.run(millis(200));
+  EXPECT_EQ(c.delivered(1).back().payload, "alone");
+}
+
+TEST(SessionFailure, RejoinAfterCrashRestart) {
+  TestCluster c({1, 2, 3});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3}, seconds(10)));
+  c.net().set_node_up(3, false);
+  c.node(3).stop();
+  ASSERT_TRUE(c.run_until_converged({1, 2}, seconds(5)));
+  // Restart node 3 (fresh join).
+  c.net().set_node_up(3, true);
+  c.node(3).join({1, 2});
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3}, seconds(10)));
+  c.send(3, "back");
+  c.run(seconds(1));
+  for (NodeId id : c.ids()) {
+    EXPECT_EQ(c.delivered(id).back().payload, "back") << "node " << id;
+  }
+}
+
+TEST(SessionFailure, LossyNetworkStillConvergesAndOrders) {
+  net::SimNetConfig ncfg;
+  ncfg.default_drop = 0.05;  // 5% loss on every link
+  ncfg.seed = 7;
+  session::SessionConfig cfg;
+  cfg.hungry_timeout = millis(1200);
+  TestCluster c({1, 2, 3, 4}, cfg, ncfg);
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4}, seconds(30)));
+  for (int i = 0; i < 20; ++i) {
+    c.send(1 + (i % 4), "m" + std::to_string(i));
+    c.run(millis(10));
+  }
+  c.run(seconds(5));
+  EXPECT_TRUE(c.check_agreed_order().empty()) << c.check_agreed_order();
+  for (NodeId id : c.ids()) {
+    EXPECT_EQ(c.delivered(id).size(), 20u) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace raincore

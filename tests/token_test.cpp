@@ -1,0 +1,182 @@
+// Token and session wire-message unit tests: ring operations and
+// serialization round trips, including adversarial (malformed) inputs.
+#include <gtest/gtest.h>
+
+#include "session/messages.h"
+#include "session/token.h"
+
+namespace raincore {
+namespace {
+
+using session::AttachedMessage;
+using session::Token;
+
+Token sample_token() {
+  Token t;
+  t.lineage = 0xFEEDFACE;
+  t.seq = 99;
+  t.view_id = 7;
+  t.tbm = true;
+  t.merge_target = 4;
+  t.ring = {1, 3, 2};
+  AttachedMessage m;
+  m.origin = 3;
+  m.incarnation = 123;
+  m.seq = 55;
+  m.safe = true;
+  m.hops = 2;
+  m.ring_at_attach = 3;
+  m.payload = {9, 8, 7};
+  t.msgs.push_back(m);
+  return t;
+}
+
+TEST(TokenTest, GroupIdIsLowestMember) {
+  Token t;
+  t.ring = {5, 2, 9};
+  EXPECT_EQ(t.group_id(), 2u);
+}
+
+TEST(TokenTest, SuccessorWrapsAround) {
+  Token t;
+  t.ring = {1, 3, 2};
+  EXPECT_EQ(t.successor_of(1), 3u);
+  EXPECT_EQ(t.successor_of(3), 2u);
+  EXPECT_EQ(t.successor_of(2), 1u);  // wrap
+}
+
+TEST(TokenTest, SuccessorOfSingleton) {
+  Token t;
+  t.ring = {4};
+  EXPECT_EQ(t.successor_of(4), 4u);
+}
+
+TEST(TokenTest, SuccessorOfNonMemberIsFront) {
+  Token t;
+  t.ring = {1, 2};
+  EXPECT_EQ(t.successor_of(99), 1u);
+}
+
+TEST(TokenTest, RemovePreservesOrder) {
+  Token t;
+  t.ring = {1, 3, 2, 4};
+  EXPECT_TRUE(t.remove(2));
+  EXPECT_EQ(t.ring, (std::vector<NodeId>{1, 3, 4}));
+  EXPECT_FALSE(t.remove(2));
+}
+
+TEST(TokenTest, InsertAfterPlacesJoinerCorrectly) {
+  Token t;
+  t.ring = {1, 2, 3};
+  t.insert_after(2, 9);
+  EXPECT_EQ(t.ring, (std::vector<NodeId>{1, 2, 9, 3}));
+  t.insert_after(3, 8);  // after last element
+  EXPECT_EQ(t.ring, (std::vector<NodeId>{1, 2, 9, 3, 8}));
+  t.insert_after(77, 6);  // unknown anchor: append
+  EXPECT_EQ(t.ring.back(), 6u);
+}
+
+TEST(TokenTest, SerializationRoundTrip) {
+  Token t = sample_token();
+  Bytes b = t.encode();
+  ByteReader r(b);
+  Token out;
+  ASSERT_TRUE(Token::deserialize(r, out));
+  EXPECT_EQ(out, t);
+}
+
+TEST(TokenTest, EmptyTokenRoundTrip) {
+  Token t;
+  Bytes b = t.encode();
+  ByteReader r(b);
+  Token out;
+  ASSERT_TRUE(Token::deserialize(r, out));
+  EXPECT_EQ(out, t);
+}
+
+TEST(TokenTest, TruncatedBufferFailsDeserialize) {
+  Bytes b = sample_token().encode();
+  for (std::size_t cut : {std::size_t{0}, b.size() / 2, b.size() - 1}) {
+    Bytes partial(b.begin(), b.begin() + cut);
+    ByteReader r(partial);
+    Token out;
+    EXPECT_FALSE(Token::deserialize(r, out)) << "cut at " << cut;
+  }
+}
+
+TEST(TokenTest, HugeCountsRejected) {
+  ByteWriter w;
+  w.u64(1);   // lineage
+  w.u64(1);   // seq
+  w.u64(1);   // view
+  w.u8(0);    // tbm
+  w.u32(0);   // merge target
+  w.u32(0xFFFFFFFF);  // absurd ring size
+  ByteReader r(w.view());
+  Token out;
+  EXPECT_FALSE(Token::deserialize(r, out));
+}
+
+TEST(SessionMessagesTest, Msg911RoundTrip) {
+  session::Msg911 m{42, 7, 12345};
+  Bytes b = session::encode_911(m);
+  session::SessionMsgType type;
+  ASSERT_TRUE(session::peek_type(b, type));
+  EXPECT_EQ(type, session::SessionMsgType::k911);
+  session::Msg911 out;
+  ASSERT_TRUE(session::decode_911(b, out));
+  EXPECT_EQ(out.requester, 42u);
+  EXPECT_EQ(out.request_id, 7u);
+  EXPECT_EQ(out.last_copy_seq, 12345u);
+}
+
+TEST(SessionMessagesTest, Msg911ReplyRoundTrip) {
+  session::Msg911Reply m{3, 9, true, 777};
+  Bytes b = session::encode_911_reply(m);
+  session::Msg911Reply out;
+  ASSERT_TRUE(session::decode_911_reply(b, out));
+  EXPECT_EQ(out.responder, 3u);
+  EXPECT_EQ(out.request_id, 9u);
+  EXPECT_TRUE(out.granted);
+  EXPECT_EQ(out.responder_copy_seq, 777u);
+}
+
+TEST(SessionMessagesTest, BodyOdorRoundTrip) {
+  session::MsgBodyOdor m{8, 2};
+  Bytes b = session::encode_bodyodor(m);
+  session::MsgBodyOdor out;
+  ASSERT_TRUE(session::decode_bodyodor(b, out));
+  EXPECT_EQ(out.sender, 8u);
+  EXPECT_EQ(out.group_id, 2u);
+}
+
+TEST(SessionMessagesTest, TokenMessageRoundTrip) {
+  Token t = sample_token();
+  Bytes b = session::encode_token_msg(t);
+  Token out;
+  ASSERT_TRUE(session::decode_token_msg(b, out));
+  EXPECT_EQ(out, t);
+}
+
+TEST(SessionMessagesTest, WrongTypeRejected) {
+  Bytes b = session::encode_911(session::Msg911{1, 2, 3});
+  Token out;
+  EXPECT_FALSE(session::decode_token_msg(b, out));
+  session::MsgBodyOdor bo;
+  EXPECT_FALSE(session::decode_bodyodor(b, bo));
+}
+
+TEST(SessionMessagesTest, TrailingGarbageRejected) {
+  Bytes b = session::encode_911(session::Msg911{1, 2, 3});
+  b.push_back(0xFF);
+  session::Msg911 out;
+  EXPECT_FALSE(session::decode_911(b, out));
+}
+
+TEST(SessionMessagesTest, EmptyPayloadPeekFails) {
+  session::SessionMsgType type;
+  EXPECT_FALSE(session::peek_type({}, type));
+}
+
+}  // namespace
+}  // namespace raincore

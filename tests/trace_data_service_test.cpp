@@ -1,0 +1,168 @@
+// SessionTracer event log and the DataService facade with typed shared
+// values.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/data_service.h"
+#include "net/sim_network.h"
+#include "session/trace.h"
+
+namespace raincore {
+namespace {
+
+using data::DataService;
+using data::SharedValue;
+using session::SessionTracer;
+using session::TraceEventKind;
+
+struct Pair {
+  Pair() {
+    session::SessionConfig cfg;
+    cfg.eligible = {1, 2};
+    n1 = std::make_unique<session::SessionNode>(net.add_node(1), cfg);
+    n2 = std::make_unique<session::SessionNode>(net.add_node(2), cfg);
+    d1 = std::make_unique<DataService>(*n1, 2);
+    d2 = std::make_unique<DataService>(*n2, 2);
+    n1->found();
+    n2->join({1});
+    net.loop().run_for(seconds(3));
+  }
+  net::SimNetwork net;
+  std::unique_ptr<session::SessionNode> n1, n2;
+  std::unique_ptr<DataService> d1, d2;
+};
+
+TEST(DataServiceTest, FacadeComposesAllServices) {
+  Pair p;
+  // Map
+  p.d1->map().put("k", "v");
+  // Locks
+  bool granted = false;
+  p.d2->locks().acquire("L", [&](const std::string&) { granted = true; });
+  // Counter
+  std::int64_t seen = 0;
+  p.d1->counter().add(7, [&](std::int64_t v) { seen = v; });
+  // Queue
+  p.d2->queue().push("job");
+  p.net.loop().run_for(seconds(2));
+
+  EXPECT_EQ(*p.d2->map().get("k"), "v");
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(seen, 7);
+  EXPECT_EQ(p.d1->counter().value(), 7);
+  EXPECT_EQ(p.d1->queue().size(), 1u);
+}
+
+TEST(DataServiceTest, BarrierThroughFacade) {
+  Pair p;
+  int released = 0;
+  p.d1->barrier().set_released_handler([&](std::uint64_t) { ++released; });
+  p.d1->barrier().arrive();
+  p.d2->barrier().arrive();
+  p.net.loop().run_for(seconds(1));
+  EXPECT_EQ(released, 1);
+}
+
+TEST(SharedValueTest, IntRoundTrip) {
+  Pair p;
+  SharedValue<int> a(p.d1->map(), "threshold", -1);
+  SharedValue<int> b(p.d2->map(), "threshold", -1);
+  EXPECT_EQ(b.get(), -1);
+  EXPECT_FALSE(b.is_set());
+  a.set(42);
+  p.net.loop().run_for(seconds(1));
+  EXPECT_EQ(b.get(), 42);
+  EXPECT_TRUE(b.is_set());
+}
+
+TEST(SharedValueTest, DoubleAndStringRoundTrip) {
+  Pair p;
+  SharedValue<double> da(p.d1->map(), "ratio");
+  SharedValue<double> db(p.d2->map(), "ratio");
+  da.set(0.375);
+  SharedValue<std::string> sa(p.d1->map(), "motd");
+  SharedValue<std::string> sb(p.d2->map(), "motd");
+  sa.set("hello world with spaces");
+  p.net.loop().run_for(seconds(1));
+  EXPECT_DOUBLE_EQ(db.get(), 0.375);
+  EXPECT_EQ(sb.get(), "hello world with spaces");
+}
+
+TEST(SharedValueTest, LastWriterWins) {
+  Pair p;
+  SharedValue<int> a(p.d1->map(), "x");
+  SharedValue<int> b(p.d2->map(), "x");
+  a.set(1);
+  p.net.loop().run_for(seconds(1));
+  b.set(2);
+  p.net.loop().run_for(seconds(1));
+  EXPECT_EQ(a.get(), 2);
+  EXPECT_EQ(b.get(), 2);
+}
+
+TEST(SessionTracerTest, RecordsViewChangesAndDeliveries) {
+  net::SimNetwork net;
+  session::SessionConfig cfg;
+  cfg.eligible = {1, 2};
+  session::SessionNode n1(net.add_node(1), cfg), n2(net.add_node(2), cfg);
+  SessionTracer t1(n1);
+  int forwarded = 0;
+  t1.set_deliver_handler(
+      [&](NodeId, const Bytes&, session::Ordering) { ++forwarded; });
+  n1.found();
+  n2.join({1});
+  net.loop().run_for(seconds(2));
+  n2.multicast(Bytes{1, 2, 3});
+  net.loop().run_for(seconds(1));
+
+  EXPECT_GE(t1.count(TraceEventKind::kViewChange), 2u);  // {1}, then {1,2}
+  EXPECT_EQ(t1.count(TraceEventKind::kDeliver), 1u);
+  EXPECT_EQ(forwarded, 1) << "chained handler must still fire";
+
+  // The last view event lists both members.
+  const auto& evs = t1.events();
+  const session::TraceEvent* last_view = nullptr;
+  for (const auto& ev : evs) {
+    if (ev.kind == TraceEventKind::kViewChange) last_view = &ev;
+  }
+  ASSERT_NE(last_view, nullptr);
+  EXPECT_EQ(last_view->members.size(), 2u);
+  EXPECT_FALSE(last_view->to_string().empty());
+}
+
+TEST(SessionTracerTest, CapacityBoundsHistory) {
+  net::SimNetwork net;
+  session::SessionConfig cfg;
+  cfg.eligible = {1};
+  session::SessionNode n1(net.add_node(1), cfg);
+  SessionTracer t(n1, /*capacity=*/10);
+  n1.found();
+  for (int i = 0; i < 50; ++i) {
+    n1.multicast(Bytes{static_cast<std::uint8_t>(i)});
+    net.loop().run_for(millis(20));
+  }
+  EXPECT_LE(t.events().size(), 10u);
+  EXPECT_FALSE(t.dump().empty());
+}
+
+TEST(SessionTracerTest, WindowFiltersByTime) {
+  net::SimNetwork net;
+  session::SessionConfig cfg;
+  cfg.eligible = {1};
+  session::SessionNode n1(net.add_node(1), cfg);
+  SessionTracer t(n1);
+  n1.found();
+  net.loop().run_for(millis(100));
+  Time mark = net.now();
+  n1.multicast(Bytes{1});
+  net.loop().run_for(millis(100));
+  auto w = t.window(mark, net.now());
+  ASSERT_FALSE(w.empty());
+  for (const auto& ev : w) {
+    EXPECT_GE(ev.at, mark);
+  }
+}
+
+}  // namespace
+}  // namespace raincore

@@ -1,0 +1,104 @@
+// Real-socket driver: the same protocol stack over UDP on loopback.
+// These tests use real time and real sockets, so they are kept short and
+// use generous assertions; determinism tests live against the simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/udp_network.h"
+#include "session/session_node.h"
+#include "transport/transport.h"
+
+namespace raincore {
+namespace {
+
+TEST(UdpNetworkTest, DatagramRoundTrip) {
+  net::UdpConfig cfg;
+  cfg.base_port = 46100;
+  net::UdpNetwork net(cfg);
+  auto& e1 = net.add_node(1);
+  auto& e2 = net.add_node(2);
+  std::vector<net::Datagram> inbox;
+  e2.set_receiver([&](net::Datagram&& d) { inbox.push_back(std::move(d)); });
+  e1.send(net::Address{2, 0}, Bytes{1, 2, 3}, 0);
+  net.run_for(millis(200));
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].src, (net::Address{1, 0}));
+  EXPECT_EQ(inbox[0].payload, (Bytes{1, 2, 3}));
+}
+
+TEST(UdpNetworkTest, TimersFireInOrder) {
+  net::UdpConfig cfg;
+  cfg.base_port = 46120;
+  net::UdpNetwork net(cfg);
+  auto& e1 = net.add_node(1);
+  std::vector<int> order;
+  e1.schedule(millis(60), [&] { order.push_back(2); });
+  e1.schedule(millis(20), [&] { order.push_back(1); });
+  net.run_for(millis(200));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(UdpNetworkTest, TimerCancel) {
+  net::UdpConfig cfg;
+  cfg.base_port = 46140;
+  net::UdpNetwork net(cfg);
+  auto& e1 = net.add_node(1);
+  bool ran = false;
+  auto id = e1.schedule(millis(20), [&] { ran = true; });
+  e1.cancel(id);
+  net.run_for(millis(100));
+  EXPECT_FALSE(ran);
+}
+
+TEST(UdpNetworkTest, ReliableTransportOverRealSockets) {
+  net::UdpConfig cfg;
+  cfg.base_port = 46160;
+  net::UdpNetwork net(cfg);
+  auto& e1 = net.add_node(1);
+  auto& e2 = net.add_node(2);
+  transport::ReliableTransport t1(e1), t2(e2);
+  std::vector<Bytes> got;
+  t2.set_message_handler([&](NodeId, Bytes&& p) { got.push_back(std::move(p)); });
+  bool delivered = false;
+  t1.send(2, Bytes{9, 9, 9},
+          [&](transport::TransferId, NodeId) { delivered = true; });
+  net.run_for(millis(300));
+  EXPECT_TRUE(delivered);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (Bytes{9, 9, 9}));
+}
+
+TEST(UdpNetworkTest, SessionGroupFormsOverUdp) {
+  net::UdpConfig cfg;
+  cfg.base_port = 46200;
+  net::UdpNetwork net(cfg);
+  session::SessionConfig scfg;
+  scfg.token_hold = millis(5);
+  scfg.eligible = {1, 2, 3};
+
+  std::map<NodeId, std::unique_ptr<session::SessionNode>> nodes;
+  std::map<NodeId, int> delivered;
+  for (NodeId id = 1; id <= 3; ++id) {
+    nodes[id] = std::make_unique<session::SessionNode>(net.add_node(id), scfg);
+    nodes[id]->set_deliver_handler(
+        [&delivered, id](NodeId, const Bytes&, session::Ordering) {
+          delivered[id]++;
+        });
+  }
+  nodes[1]->found();
+  nodes[2]->join({1});
+  nodes[3]->join({1});
+  net.run_for(seconds(2));
+  for (NodeId id = 1; id <= 3; ++id) {
+    EXPECT_EQ(nodes[id]->view().members.size(), 3u) << "node " << id;
+  }
+  nodes[2]->multicast(Bytes{42});
+  net.run_for(seconds(1));
+  for (NodeId id = 1; id <= 3; ++id) {
+    EXPECT_EQ(delivered[id], 1) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace raincore

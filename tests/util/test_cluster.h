@@ -1,0 +1,137 @@
+// Shared test/bench harness: a simulated cluster of SessionNodes with
+// recorded deliveries and views, plus convergence helpers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/sim_network.h"
+#include "session/session_node.h"
+
+namespace raincore::testing {
+
+struct Delivery {
+  NodeId origin;
+  std::string payload;
+  session::Ordering ordering;
+
+  bool operator==(const Delivery&) const = default;
+};
+
+class TestCluster {
+ public:
+  explicit TestCluster(std::vector<NodeId> ids,
+                       session::SessionConfig cfg = {},
+                       net::SimNetConfig net_cfg = {},
+                       std::uint8_t ifaces = 1)
+      : net_(net_cfg), cfg_(std::move(cfg)) {
+    cfg_.eligible = ids;
+    for (NodeId id : ids) {
+      auto& env = net_.add_node(id, ifaces);
+      auto node = std::make_unique<session::SessionNode>(env, cfg_);
+      node->set_deliver_handler(
+          [this, id](NodeId origin, const Bytes& payload, session::Ordering o) {
+            deliveries_[id].push_back(
+                Delivery{origin, std::string(payload.begin(), payload.end()), o});
+          });
+      node->set_view_handler([this, id](const session::View& v) {
+        views_[id].push_back(v);
+      });
+      nodes_[id] = std::move(node);
+    }
+  }
+
+  /// Founds every node (each a singleton group); discovery merges them.
+  void found_all() {
+    for (auto& [id, n] : nodes_) n->found();
+  }
+
+  /// Founds the first node and joins the rest through it.
+  void bootstrap_via_join() {
+    auto it = nodes_.begin();
+    NodeId seed = it->first;
+    it->second->found();
+    for (++it; it != nodes_.end(); ++it) it->second->join({seed});
+  }
+
+  void run(Time d) { net_.loop().run_for(d); }
+
+  session::SessionNode& node(NodeId id) { return *nodes_.at(id); }
+  net::SimNetwork& net() { return net_; }
+  const std::vector<Delivery>& delivered(NodeId id) { return deliveries_[id]; }
+  const std::vector<session::View>& views(NodeId id) { return views_[id]; }
+
+  std::vector<NodeId> ids() const {
+    std::vector<NodeId> out;
+    for (auto& [id, n] : nodes_) out.push_back(id);
+    return out;
+  }
+
+  /// True iff every expected member is started and has a view containing
+  /// exactly `expected` (nodes outside the expected set — e.g. cut-off or
+  /// crashed ones — are not consulted).
+  bool converged(const std::vector<NodeId>& expected) {
+    std::vector<NodeId> want = expected;
+    std::sort(want.begin(), want.end());
+    for (NodeId id : expected) {
+      auto& n = nodes_.at(id);
+      if (!n->started()) return false;
+      std::vector<NodeId> got = n->view().members;
+      std::sort(got.begin(), got.end());
+      if (got != want) return false;
+    }
+    return true;
+  }
+
+  /// Runs until converged(expected) or timeout; returns success.
+  bool run_until_converged(const std::vector<NodeId>& expected, Time timeout) {
+    Time deadline = net_.now() + timeout;
+    while (net_.now() < deadline) {
+      if (converged(expected)) return true;
+      net_.loop().run_for(millis(10));
+    }
+    return converged(expected);
+  }
+
+  /// Multicast a string payload from `from`.
+  MsgSeq send(NodeId from, const std::string& s,
+              session::Ordering o = session::Ordering::kAgreed) {
+    return nodes_.at(from)->multicast(Bytes(s.begin(), s.end()), o);
+  }
+
+  /// Delivery sequences (origin, payload) must be identical across all
+  /// started nodes (agreed ordering check). Returns the first divergence
+  /// description or empty string.
+  std::string check_agreed_order() {
+    const std::vector<Delivery>* ref = nullptr;
+    NodeId ref_id = 0;
+    for (auto& [id, n] : nodes_) {
+      if (!n->started()) continue;
+      if (!ref) {
+        ref = &deliveries_[id];
+        ref_id = id;
+        continue;
+      }
+      const auto& mine = deliveries_[id];
+      std::size_t upto = std::min(ref->size(), mine.size());
+      for (std::size_t i = 0; i < upto; ++i) {
+        if (!((*ref)[i] == mine[i])) {
+          return "divergence at index " + std::to_string(i) + " between node " +
+                 std::to_string(ref_id) + " and node " + std::to_string(id);
+        }
+      }
+    }
+    return {};
+  }
+
+ private:
+  net::SimNetwork net_;
+  session::SessionConfig cfg_;
+  std::map<NodeId, std::unique_ptr<session::SessionNode>> nodes_;
+  std::map<NodeId, std::vector<Delivery>> deliveries_;
+  std::map<NodeId, std::vector<session::View>> views_;
+};
+
+}  // namespace raincore::testing
