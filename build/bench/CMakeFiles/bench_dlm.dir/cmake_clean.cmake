@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dlm.dir/bench_dlm.cpp.o"
+  "CMakeFiles/bench_dlm.dir/bench_dlm.cpp.o.d"
+  "bench_dlm"
+  "bench_dlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_overhead.dir/bench_network_overhead.cpp.o"
+  "CMakeFiles/bench_network_overhead.dir/bench_network_overhead.cpp.o.d"
+  "bench_network_overhead"
+  "bench_network_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_rainwall_scaling.cpp" "bench/CMakeFiles/bench_rainwall_scaling.dir/bench_rainwall_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_rainwall_scaling.dir/bench_rainwall_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raincore_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

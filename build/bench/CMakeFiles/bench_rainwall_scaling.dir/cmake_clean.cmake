@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rainwall_scaling.dir/bench_rainwall_scaling.cpp.o"
+  "CMakeFiles/bench_rainwall_scaling.dir/bench_rainwall_scaling.cpp.o.d"
+  "bench_rainwall_scaling"
+  "bench_rainwall_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rainwall_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlm_bank.dir/dlm_bank.cpp.o"
+  "CMakeFiles/dlm_bank.dir/dlm_bank.cpp.o.d"
+  "dlm_bank"
+  "dlm_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlm_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainwall_cluster.dir/rainwall_cluster.cpp.o"
+  "CMakeFiles/rainwall_cluster.dir/rainwall_cluster.cpp.o.d"
+  "rainwall_cluster"
+  "rainwall_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainwall_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_cluster.dir/udp_cluster.cpp.o"
+  "CMakeFiles/udp_cluster.dir/udp_cluster.cpp.o.d"
+  "udp_cluster"
+  "udp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_failover.dir/vip_failover.cpp.o"
+  "CMakeFiles/vip_failover.dir/vip_failover.cpp.o.d"
+  "vip_failover"
+  "vip_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

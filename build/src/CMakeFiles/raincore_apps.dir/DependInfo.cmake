@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/rainwall/packet_engine.cpp" "src/CMakeFiles/raincore_apps.dir/apps/rainwall/packet_engine.cpp.o" "gcc" "src/CMakeFiles/raincore_apps.dir/apps/rainwall/packet_engine.cpp.o.d"
+  "/root/repo/src/apps/rainwall/policy.cpp" "src/CMakeFiles/raincore_apps.dir/apps/rainwall/policy.cpp.o" "gcc" "src/CMakeFiles/raincore_apps.dir/apps/rainwall/policy.cpp.o.d"
+  "/root/repo/src/apps/rainwall/rainwall_cluster.cpp" "src/CMakeFiles/raincore_apps.dir/apps/rainwall/rainwall_cluster.cpp.o" "gcc" "src/CMakeFiles/raincore_apps.dir/apps/rainwall/rainwall_cluster.cpp.o.d"
+  "/root/repo/src/apps/rainwall/rainwall_node.cpp" "src/CMakeFiles/raincore_apps.dir/apps/rainwall/rainwall_node.cpp.o" "gcc" "src/CMakeFiles/raincore_apps.dir/apps/rainwall/rainwall_node.cpp.o.d"
+  "/root/repo/src/apps/rainwall/traffic.cpp" "src/CMakeFiles/raincore_apps.dir/apps/rainwall/traffic.cpp.o" "gcc" "src/CMakeFiles/raincore_apps.dir/apps/rainwall/traffic.cpp.o.d"
+  "/root/repo/src/apps/vip/vip_manager.cpp" "src/CMakeFiles/raincore_apps.dir/apps/vip/vip_manager.cpp.o" "gcc" "src/CMakeFiles/raincore_apps.dir/apps/vip/vip_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raincore_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raincore_apps.dir/apps/rainwall/packet_engine.cpp.o"
+  "CMakeFiles/raincore_apps.dir/apps/rainwall/packet_engine.cpp.o.d"
+  "CMakeFiles/raincore_apps.dir/apps/rainwall/policy.cpp.o"
+  "CMakeFiles/raincore_apps.dir/apps/rainwall/policy.cpp.o.d"
+  "CMakeFiles/raincore_apps.dir/apps/rainwall/rainwall_cluster.cpp.o"
+  "CMakeFiles/raincore_apps.dir/apps/rainwall/rainwall_cluster.cpp.o.d"
+  "CMakeFiles/raincore_apps.dir/apps/rainwall/rainwall_node.cpp.o"
+  "CMakeFiles/raincore_apps.dir/apps/rainwall/rainwall_node.cpp.o.d"
+  "CMakeFiles/raincore_apps.dir/apps/rainwall/traffic.cpp.o"
+  "CMakeFiles/raincore_apps.dir/apps/rainwall/traffic.cpp.o.d"
+  "CMakeFiles/raincore_apps.dir/apps/vip/vip_manager.cpp.o"
+  "CMakeFiles/raincore_apps.dir/apps/vip/vip_manager.cpp.o.d"
+  "libraincore_apps.a"
+  "libraincore_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raincore_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libraincore_apps.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/broadcast_gc.cpp" "src/CMakeFiles/raincore_baseline.dir/baseline/broadcast_gc.cpp.o" "gcc" "src/CMakeFiles/raincore_baseline.dir/baseline/broadcast_gc.cpp.o.d"
+  "/root/repo/src/baseline/sequencer_gc.cpp" "src/CMakeFiles/raincore_baseline.dir/baseline/sequencer_gc.cpp.o" "gcc" "src/CMakeFiles/raincore_baseline.dir/baseline/sequencer_gc.cpp.o.d"
+  "/root/repo/src/baseline/two_phase_gc.cpp" "src/CMakeFiles/raincore_baseline.dir/baseline/two_phase_gc.cpp.o" "gcc" "src/CMakeFiles/raincore_baseline.dir/baseline/two_phase_gc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raincore_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

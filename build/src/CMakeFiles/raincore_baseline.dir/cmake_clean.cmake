@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raincore_baseline.dir/baseline/broadcast_gc.cpp.o"
+  "CMakeFiles/raincore_baseline.dir/baseline/broadcast_gc.cpp.o.d"
+  "CMakeFiles/raincore_baseline.dir/baseline/sequencer_gc.cpp.o"
+  "CMakeFiles/raincore_baseline.dir/baseline/sequencer_gc.cpp.o.d"
+  "CMakeFiles/raincore_baseline.dir/baseline/two_phase_gc.cpp.o"
+  "CMakeFiles/raincore_baseline.dir/baseline/two_phase_gc.cpp.o.d"
+  "libraincore_baseline.a"
+  "libraincore_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raincore_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raincore_common.dir/common/clock.cpp.o"
+  "CMakeFiles/raincore_common.dir/common/clock.cpp.o.d"
+  "CMakeFiles/raincore_common.dir/common/log.cpp.o"
+  "CMakeFiles/raincore_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/raincore_common.dir/common/stats.cpp.o"
+  "CMakeFiles/raincore_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/raincore_common.dir/common/types.cpp.o"
+  "CMakeFiles/raincore_common.dir/common/types.cpp.o.d"
+  "libraincore_common.a"
+  "libraincore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raincore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

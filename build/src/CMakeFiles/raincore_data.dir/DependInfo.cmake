@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/channel_mux.cpp" "src/CMakeFiles/raincore_data.dir/data/channel_mux.cpp.o" "gcc" "src/CMakeFiles/raincore_data.dir/data/channel_mux.cpp.o.d"
+  "/root/repo/src/data/lock_manager.cpp" "src/CMakeFiles/raincore_data.dir/data/lock_manager.cpp.o" "gcc" "src/CMakeFiles/raincore_data.dir/data/lock_manager.cpp.o.d"
+  "/root/repo/src/data/replicated_map.cpp" "src/CMakeFiles/raincore_data.dir/data/replicated_map.cpp.o" "gcc" "src/CMakeFiles/raincore_data.dir/data/replicated_map.cpp.o.d"
+  "/root/repo/src/data/sync_primitives.cpp" "src/CMakeFiles/raincore_data.dir/data/sync_primitives.cpp.o" "gcc" "src/CMakeFiles/raincore_data.dir/data/sync_primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raincore_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

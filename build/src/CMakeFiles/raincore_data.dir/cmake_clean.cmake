@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raincore_data.dir/data/channel_mux.cpp.o"
+  "CMakeFiles/raincore_data.dir/data/channel_mux.cpp.o.d"
+  "CMakeFiles/raincore_data.dir/data/lock_manager.cpp.o"
+  "CMakeFiles/raincore_data.dir/data/lock_manager.cpp.o.d"
+  "CMakeFiles/raincore_data.dir/data/replicated_map.cpp.o"
+  "CMakeFiles/raincore_data.dir/data/replicated_map.cpp.o.d"
+  "CMakeFiles/raincore_data.dir/data/sync_primitives.cpp.o"
+  "CMakeFiles/raincore_data.dir/data/sync_primitives.cpp.o.d"
+  "libraincore_data.a"
+  "libraincore_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raincore_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raincore_net.dir/net/event_loop.cpp.o"
+  "CMakeFiles/raincore_net.dir/net/event_loop.cpp.o.d"
+  "CMakeFiles/raincore_net.dir/net/sim_network.cpp.o"
+  "CMakeFiles/raincore_net.dir/net/sim_network.cpp.o.d"
+  "CMakeFiles/raincore_net.dir/net/udp_network.cpp.o"
+  "CMakeFiles/raincore_net.dir/net/udp_network.cpp.o.d"
+  "libraincore_net.a"
+  "libraincore_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raincore_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/session/hierarchical.cpp" "src/CMakeFiles/raincore_session.dir/session/hierarchical.cpp.o" "gcc" "src/CMakeFiles/raincore_session.dir/session/hierarchical.cpp.o.d"
+  "/root/repo/src/session/messages.cpp" "src/CMakeFiles/raincore_session.dir/session/messages.cpp.o" "gcc" "src/CMakeFiles/raincore_session.dir/session/messages.cpp.o.d"
+  "/root/repo/src/session/session_node.cpp" "src/CMakeFiles/raincore_session.dir/session/session_node.cpp.o" "gcc" "src/CMakeFiles/raincore_session.dir/session/session_node.cpp.o.d"
+  "/root/repo/src/session/token.cpp" "src/CMakeFiles/raincore_session.dir/session/token.cpp.o" "gcc" "src/CMakeFiles/raincore_session.dir/session/token.cpp.o.d"
+  "/root/repo/src/session/trace.cpp" "src/CMakeFiles/raincore_session.dir/session/trace.cpp.o" "gcc" "src/CMakeFiles/raincore_session.dir/session/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raincore_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raincore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raincore_session.dir/session/hierarchical.cpp.o"
+  "CMakeFiles/raincore_session.dir/session/hierarchical.cpp.o.d"
+  "CMakeFiles/raincore_session.dir/session/messages.cpp.o"
+  "CMakeFiles/raincore_session.dir/session/messages.cpp.o.d"
+  "CMakeFiles/raincore_session.dir/session/session_node.cpp.o"
+  "CMakeFiles/raincore_session.dir/session/session_node.cpp.o.d"
+  "CMakeFiles/raincore_session.dir/session/token.cpp.o"
+  "CMakeFiles/raincore_session.dir/session/token.cpp.o.d"
+  "CMakeFiles/raincore_session.dir/session/trace.cpp.o"
+  "CMakeFiles/raincore_session.dir/session/trace.cpp.o.d"
+  "libraincore_session.a"
+  "libraincore_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raincore_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raincore_transport.dir/transport/transport.cpp.o"
+  "CMakeFiles/raincore_transport.dir/transport/transport.cpp.o.d"
+  "libraincore_transport.a"
+  "libraincore_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raincore_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

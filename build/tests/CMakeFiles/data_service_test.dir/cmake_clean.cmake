@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_service_test.dir/data_service_test.cpp.o"
+  "CMakeFiles/data_service_test.dir/data_service_test.cpp.o.d"
+  "data_service_test"
+  "data_service_test.pdb"
+  "data_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

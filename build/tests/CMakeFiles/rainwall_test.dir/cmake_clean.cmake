@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainwall_test.dir/rainwall_test.cpp.o"
+  "CMakeFiles/rainwall_test.dir/rainwall_test.cpp.o.d"
+  "rainwall_test"
+  "rainwall_test.pdb"
+  "rainwall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainwall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

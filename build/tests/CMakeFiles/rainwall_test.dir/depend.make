@@ -1,0 +1,2 @@
+# Empty dependencies file for rainwall_test.
+# This may be replaced when dependencies are built.

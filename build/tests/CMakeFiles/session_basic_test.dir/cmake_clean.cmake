@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_basic_test.dir/session_basic_test.cpp.o"
+  "CMakeFiles/session_basic_test.dir/session_basic_test.cpp.o.d"
+  "session_basic_test"
+  "session_basic_test.pdb"
+  "session_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

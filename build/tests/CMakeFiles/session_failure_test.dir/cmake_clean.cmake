@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_failure_test.dir/session_failure_test.cpp.o"
+  "CMakeFiles/session_failure_test.dir/session_failure_test.cpp.o.d"
+  "session_failure_test"
+  "session_failure_test.pdb"
+  "session_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitbrain_test.dir/splitbrain_test.cpp.o"
+  "CMakeFiles/splitbrain_test.dir/splitbrain_test.cpp.o.d"
+  "splitbrain_test"
+  "splitbrain_test.pdb"
+  "splitbrain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitbrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

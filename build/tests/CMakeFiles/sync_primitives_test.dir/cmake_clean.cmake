@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_primitives_test.dir/sync_primitives_test.cpp.o"
+  "CMakeFiles/sync_primitives_test.dir/sync_primitives_test.cpp.o.d"
+  "sync_primitives_test"
+  "sync_primitives_test.pdb"
+  "sync_primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

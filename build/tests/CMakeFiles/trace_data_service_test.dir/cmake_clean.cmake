@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_data_service_test.dir/trace_data_service_test.cpp.o"
+  "CMakeFiles/trace_data_service_test.dir/trace_data_service_test.cpp.o.d"
+  "trace_data_service_test"
+  "trace_data_service_test.pdb"
+  "trace_data_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_data_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_network_test.dir/udp_network_test.cpp.o"
+  "CMakeFiles/udp_network_test.dir/udp_network_test.cpp.o.d"
+  "udp_network_test"
+  "udp_network_test.pdb"
+  "udp_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_manager_test.dir/vip_manager_test.cpp.o"
+  "CMakeFiles/vip_manager_test.dir/vip_manager_test.cpp.o.d"
+  "vip_manager_test"
+  "vip_manager_test.pdb"
+  "vip_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

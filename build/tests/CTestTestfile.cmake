@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/session_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/session_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/data_service_test[1]_include.cmake")
+include("/root/repo/build/tests/vip_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/rainwall_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/token_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchical_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_primitives_test[1]_include.cmake")
+include("/root/repo/build/tests/udp_network_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/session_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/splitbrain_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_data_service_test[1]_include.cmake")
+include("/root/repo/build/tests/logging_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_robustness_test[1]_include.cmake")
