@@ -1,0 +1,60 @@
+// Chaos soak driver — robustness endurance runs.
+//
+// Repeatedly drives a full Raincore stack (session service + distributed
+// lock manager + replicated map + virtual-IP manager) through long,
+// randomized, seed-replayable fault schedules, healing after each round and
+// asserting every protocol invariant checker. A violation prints the seed
+// and the complete fault schedule so the failing round can be replayed
+// exactly with `run_chaos_round(seed, ...)`.
+//
+// Usage: bench_chaos [rounds] [virtual-ms-per-round] [nodes] [base-seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/util/gc_harness.h"
+#include "testing/chaos.h"
+
+using namespace raincore;
+
+int main(int argc, char** argv) {
+  std::size_t rounds = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20;
+  long long per_round_ms = argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 5000;
+  std::size_t nodes = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 5;
+  std::uint64_t base_seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1000;
+
+  bench::print_banner("Raincore chaos soak",
+                      "randomized fault schedules + protocol invariant checks");
+  std::printf("\n%zu rounds x %lld virtual ms of chaos, %zu nodes, seeds %llu..%llu\n\n",
+              rounds, per_round_ms, nodes,
+              static_cast<unsigned long long>(base_seed),
+              static_cast<unsigned long long>(base_seed + rounds - 1));
+  std::printf("%8s %8s %10s %12s\n", "seed", "faults", "classes", "violations");
+  std::printf("----------------------------------------\n");
+
+  std::size_t total_faults = 0;
+  std::size_t total_violations = 0;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    std::uint64_t seed = base_seed + i;
+    testing::ChaosRoundResult res =
+        testing::run_chaos_round(seed, millis(per_round_ms), nodes);
+    total_faults += res.faults;
+    total_violations += res.violations.size();
+    std::printf("%8llu %8zu %7zu/%zu %12zu\n",
+                static_cast<unsigned long long>(seed), res.faults,
+                res.classes.size(),
+                static_cast<std::size_t>(testing::FaultClass::kCount),
+                res.violations.size());
+    if (!res.violations.empty()) {
+      std::printf("\nINVARIANT VIOLATIONS (replay with seed %llu):\n",
+                  static_cast<unsigned long long>(seed));
+      for (const std::string& v : res.violations) {
+        std::printf("  %s\n", v.c_str());
+      }
+      std::printf("%s\n", res.schedule.c_str());
+    }
+  }
+
+  std::printf("\nTotal: %zu faults injected, %zu invariant violations\n",
+              total_faults, total_violations);
+  return total_violations == 0 ? 0 : 1;
+}

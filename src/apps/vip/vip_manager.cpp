@@ -20,6 +20,39 @@ VipManager::VipManager(data::ChannelMux& mux, Subnet& subnet, VipConfig cfg)
         on_assignment_change();
       });
   mux_.subscribe_views([this](const session::View& v) { on_view(v); });
+  schedule_reassert();
+}
+
+VipManager::~VipManager() {
+  if (reassert_timer_) mux_.session().transport().env().cancel(reassert_timer_);
+}
+
+void VipManager::schedule_reassert() {
+  if (cfg_.arp_reassert_interval <= 0) return;
+  reassert_timer_ = mux_.session().transport().env().schedule(
+      cfg_.arp_reassert_interval, [this] {
+        reassert_arps();
+        schedule_reassert();
+      });
+}
+
+void VipManager::reassert_arps() {
+  // Self-healing against lost or overwritten ARP announcements: a gratuitous
+  // ARP sent while this node was cut off never refreshed the caches, and a
+  // briefly partitioned rival may have claimed our VIP on the shared
+  // segment. Only re-announce when the cache is actually wrong, so the
+  // steady state stays ARP-silent.
+  // A crash-stopped node sends nothing — its stale `mine_` set must not
+  // fight the survivors that took its VIPs over.
+  if (!mux_.session().started()) return;
+  if (!mux_.view().has(mux_.self())) return;
+  for (const std::string& vip : mine_) {
+    auto cached = subnet_.resolve(vip);
+    if (cached && *cached == mux_.self()) continue;
+    stats_.arp_reasserts.inc();
+    subnet_.gratuitous_arp(vip, mux_.self());
+    RC_INFO(kMod, "node %u re-asserted ARP for %s", mux_.self(), vip.c_str());
+  }
 }
 
 std::vector<std::string> VipManager::my_vips() const {

@@ -23,6 +23,11 @@ namespace raincore::apps {
 struct VipConfig {
   std::vector<std::string> pool;  ///< publicly advertised virtual IPs
   data::Channel channel = 100;    ///< replicated-map channel for assignments
+  /// Periodic ARP re-assertion: each owner re-checks the subnet cache and
+  /// re-sends a gratuitous ARP for any of its VIPs the cache no longer
+  /// resolves to it (e.g. a partitioned rival claimed it, or the original
+  /// announcement was sent while this node was cut off). 0 disables.
+  Time arp_reassert_interval = millis(200);
 };
 
 class VipManager {
@@ -30,6 +35,9 @@ class VipManager {
   using VipEventFn = std::function<void(const std::string& vip)>;
 
   VipManager(data::ChannelMux& mux, Subnet& subnet, VipConfig cfg);
+  VipManager(const VipManager&) = delete;
+  VipManager& operator=(const VipManager&) = delete;
+  ~VipManager();
 
   /// VIPs this node currently serves.
   std::vector<std::string> my_vips() const;
@@ -44,12 +52,14 @@ class VipManager {
   void set_loss_handler(VipEventFn fn) { on_loss_ = std::move(fn); }
 
   struct Stats {
-    Counter gains, losses, rebalances;
+    Counter gains, losses, rebalances, arp_reasserts;
   };
   const Stats& stats() const { return stats_; }
 
  private:
   void on_view(const session::View& v);
+  void schedule_reassert();
+  void reassert_arps();
   void maybe_schedule_rebalance();
   void rebalance(const session::View& v);
   void on_assignment_change();
@@ -68,6 +78,7 @@ class VipManager {
   /// stale while writes are in flight).
   std::set<std::string> inflight_writes_;
   std::uint64_t generation_ = 0;  ///< session incarnation we belong to
+  net::TimerId reassert_timer_ = 0;
   VipEventFn on_gain_;
   VipEventFn on_loss_;
   Stats stats_;

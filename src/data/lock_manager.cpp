@@ -27,37 +27,58 @@ void LockManager::on_view(const session::View& v) {
     epoch_members_.clear();
     any_epoch_ = false;
     grant_fns_.clear();
+    my_outstanding_.clear();
     last_epoch_view_sent_ = 0;
   }
   if (!v.has(mux_.self())) return;
   // The lowest-id member announces every membership change into the agreed
-  // stream so all replicas purge dead nodes at the same point.
+  // stream so all replicas purge dead nodes at the same point. The epoch
+  // carries the sender's full lock table: replicas adopt it wholesale,
+  // which re-converges tables that diverged across a split-brain merge.
   if (v.members.empty() || v.view_id == last_epoch_view_sent_) return;
   NodeId lowest = *std::min_element(v.members.begin(), v.members.end());
   if (lowest != mux_.self()) return;
   last_epoch_view_sent_ = v.view_id;
-  ByteWriter w(16 + v.members.size() * 4);
+  ByteWriter w(32 + v.members.size() * 4);
   w.u8(static_cast<std::uint8_t>(Op::kEpoch));
   w.u32(static_cast<std::uint32_t>(v.members.size()));
   for (NodeId n : v.members) w.u32(n);
+  w.u32(static_cast<std::uint32_t>(locks_.size()));
+  for (const auto& [name, state] : locks_) {
+    w.str(name);
+    w.u32(static_cast<std::uint32_t>(state.queue.size()));
+    for (const Waiter& waiter : state.queue) {
+      w.u32(waiter.node);
+      w.u64(waiter.req);
+    }
+  }
+  mux_.send(channel_, w.take());
+}
+
+void LockManager::send_op(Op op, const std::string& name, std::uint64_t req) {
+  ByteWriter w(name.size() + 16);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(name);
+  if (op == Op::kAcquire) w.u64(req);
   mux_.send(channel_, w.take());
 }
 
 void LockManager::acquire(const std::string& name, GrantFn on_granted) {
   std::uint64_t req = next_req_++;
   if (on_granted) grant_fns_[{name, req}] = std::move(on_granted);
-  ByteWriter w(name.size() + 16);
-  w.u8(static_cast<std::uint8_t>(Op::kAcquire));
-  w.str(name);
-  w.u64(req);
-  mux_.send(channel_, w.take());
+  my_outstanding_[name].push_back(req);
+  send_op(Op::kAcquire, name, req);
 }
 
 void LockManager::release(const std::string& name) {
-  ByteWriter w(name.size() + 8);
-  w.u8(static_cast<std::uint8_t>(Op::kRelease));
-  w.str(name);
-  mux_.send(channel_, w.take());
+  // Mirror the replicated queue semantics: a release retires this node's
+  // earliest entry (the ownership, or the earliest queued request).
+  auto it = my_outstanding_.find(name);
+  if (it != my_outstanding_.end() && !it->second.empty()) {
+    it->second.pop_front();
+    if (it->second.empty()) my_outstanding_.erase(it);
+  }
+  send_op(Op::kRelease, name);
 }
 
 bool LockManager::held_by_me(const std::string& name) const {
@@ -94,7 +115,11 @@ void LockManager::maybe_grant(const std::string& name) {
 
 void LockManager::apply_acquire(const std::string& name, NodeId node,
                                 std::uint64_t req) {
-  if (any_epoch_ && epoch_members_.count(node) == 0) return;  // dead origin
+  if (any_epoch_ && epoch_members_.count(node) == 0) {
+    RC_DEBUG(kMod, "node %u drops acquire(%s) from %u: not an epoch member",
+             mux_.self(), name.c_str(), node);
+    return;  // dead origin
+  }
   LockState& s = locks_[name];
   for (const Waiter& w : s.queue) {
     if (w.node == node && w.req == req) return;  // duplicate
@@ -127,15 +152,23 @@ void LockManager::apply_release(const std::string& name, NodeId node) {
   }
 }
 
-void LockManager::apply_epoch(const std::vector<NodeId>& members) {
+void LockManager::apply_epoch(const std::vector<NodeId>& members,
+                              std::map<std::string, LockState>&& table) {
   epoch_members_.clear();
   epoch_members_.insert(members.begin(), members.end());
   any_epoch_ = true;
-  // Deterministic purge of dead owners and waiters, identical on every
-  // replica because EPOCH sits in the agreed stream.
+  if (log_enabled(LogLevel::kDebug)) {
+    std::string ms;
+    for (NodeId m : members) ms += std::to_string(m) + " ";
+    RC_DEBUG(kMod, "node %u adopts epoch members [%s]", mux_.self(), ms.c_str());
+  }
+  // Adopt the sender's table wholesale (it is in the agreed stream, so every
+  // replica adopts the identical table at the identical point), purging dead
+  // owners and waiters while doing so.
+  locks_ = std::move(table);
   for (auto it = locks_.begin(); it != locks_.end();) {
     auto& q = it->second.queue;
-    NodeId old_owner = q.empty() ? kInvalidNode : q.front().node;
+    NodeId adopted_owner = q.empty() ? kInvalidNode : q.front().node;
     std::size_t before = q.size();
     q.erase(std::remove_if(q.begin(), q.end(),
                            [&](const Waiter& w) {
@@ -145,15 +178,48 @@ void LockManager::apply_epoch(const std::vector<NodeId>& members) {
     std::size_t purged = before - q.size();
     if (purged > 0) {
       stats_.purged_waiters.inc(purged);
-      if (!q.empty() && old_owner != q.front().node) stats_.purged_owners.inc();
+      if (!q.empty() && adopted_owner != q.front().node) stats_.purged_owners.inc();
     }
     if (q.empty()) {
       it = locks_.erase(it);
       continue;
     }
-    maybe_grant(it->first);
     ++it;
   }
+  // Self-heal against the adoption being stale with respect to this node:
+  //  - an adopted entry of ours that we already released (the release was
+  //    ordered between the epoch's serialisation and its delivery) is
+  //    cancelled through the stream;
+  //  - an outstanding request of ours the adopted table does not contain
+  //    (the sender never saw it — e.g. we were merged in) is re-asserted
+  //    with its original request id, which apply_acquire de-duplicates.
+  for (const auto& [name, state] : locks_) {
+    std::size_t mine_adopted = 0;
+    for (const Waiter& w : state.queue) {
+      if (w.node == mux_.self()) ++mine_adopted;
+    }
+    auto mit = my_outstanding_.find(name);
+    std::size_t mine_live = mit != my_outstanding_.end() ? mit->second.size() : 0;
+    for (std::size_t i = mine_live; i < mine_adopted; ++i) {
+      send_op(Op::kRelease, name);
+    }
+  }
+  for (const auto& [name, reqs] : my_outstanding_) {
+    auto lit = locks_.find(name);
+    for (std::uint64_t req : reqs) {
+      bool present = false;
+      if (lit != locks_.end()) {
+        for (const Waiter& w : lit->second.queue) {
+          if (w.node == mux_.self() && w.req == req) {
+            present = true;
+            break;
+          }
+        }
+      }
+      if (!present) send_op(Op::kAcquire, name, req);
+    }
+  }
+  for (const auto& entry : locks_) maybe_grant(entry.first);
 }
 
 void LockManager::on_message(NodeId origin, const Bytes& payload) {
@@ -177,7 +243,35 @@ void LockManager::on_message(NodeId origin, const Bytes& payload) {
       std::vector<NodeId> members;
       members.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) members.push_back(r.u32());
-      if (r.ok()) apply_epoch(members);
+      std::uint32_t n_locks = r.u32();
+      if (!r.ok() || n_locks > 1'000'000) return;
+      std::map<std::string, LockState> table;
+      for (std::uint32_t i = 0; i < n_locks && r.ok(); ++i) {
+        std::string name = r.str();
+        std::uint32_t n_waiters = r.u32();
+        if (!r.ok() || n_waiters > 1'000'000) return;
+        LockState& s = table[name];
+        for (std::uint32_t k = 0; k < n_waiters && r.ok(); ++k) {
+          NodeId node = r.u32();
+          std::uint64_t req = r.u64();
+          s.queue.push_back(Waiter{node, req});
+        }
+      }
+      if (!r.ok()) return;
+      // Epochs serialized under an old view can be delivered late (a
+      // sub-group's pending multicast attached after its merge). Applying
+      // one would resurrect a stale member set and silently drop acquires
+      // from live nodes, so only the epoch matching our current view — the
+      // one its sender serialized at the same stream point — is adopted.
+      std::vector<NodeId> now = mux_.view().members;
+      std::sort(members.begin(), members.end());
+      std::sort(now.begin(), now.end());
+      if (members != now) {
+        RC_DEBUG(kMod, "node %u ignores stale epoch from %u", mux_.self(),
+                 origin);
+        return;
+      }
+      apply_epoch(members, std::move(table));
       break;
     }
   }

@@ -7,8 +7,14 @@
 // order (which the token — the master lock — serialises), so all lock
 // tables are identical. Failure handling is deterministic too: on a view
 // change the lowest-id member multicasts an EPOCH record carrying the new
-// member list; every replica purges dead holders/waiters at the same point
-// in the operation stream, so promotions never diverge.
+// member list *and its full lock table*; every replica adopts that table
+// (purged of dead holders/waiters) at the same point in the operation
+// stream. The table-replacement semantics make replicas reconverge even
+// after a split-brain merge, where the two sides granted locks
+// independently (§2.4 strategy 2) and their tables genuinely diverged.
+// Requests that an adopted table does not know about are re-asserted by
+// their requester through the agreed stream; ownerships the requester
+// already released are cancelled the same way, so the table self-heals.
 #pragma once
 
 #include <deque>
@@ -67,8 +73,10 @@ class LockManager {
   void on_view(const session::View& v);
   void apply_acquire(const std::string& name, NodeId node, std::uint64_t req);
   void apply_release(const std::string& name, NodeId node);
-  void apply_epoch(const std::vector<NodeId>& members);
+  void apply_epoch(const std::vector<NodeId>& members,
+                   std::map<std::string, LockState>&& table);
   void maybe_grant(const std::string& name);
+  void send_op(Op op, const std::string& name, std::uint64_t req = 0);
 
   ChannelMux& mux_;
   Channel channel_;
@@ -82,6 +90,11 @@ class LockManager {
   std::uint64_t next_req_ = 1;
   /// Pending grant callbacks keyed by (lock name, request id).
   std::map<std::pair<std::string, std::uint64_t>, GrantFn> grant_fns_;
+  /// Local mirror of this node's outstanding requests (acquired, not yet
+  /// released), oldest first. Used after adopting an EPOCH table to
+  /// re-assert requests the table lost and to cancel ownerships it
+  /// resurrected after we already released them.
+  std::map<std::string, std::deque<std::uint64_t>> my_outstanding_;
   Stats stats_;
 };
 

@@ -1,5 +1,7 @@
 #include "data/replicated_map.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace raincore::data {
@@ -28,8 +30,11 @@ void ReplicatedMap::on_view(const session::View& v) {
     synced_ = false;
     sync_requested_ = false;
     was_member_ = false;
+    prev_members_.clear();
+    last_reconcile_view_sent_ = 0;
   }
   if (!v.has(mux_.self())) return;
+  bool survivor = was_member_;  // member of a previous view, not a fresh joiner
   if (!was_member_) {
     was_member_ = true;
     if (v.members.size() == 1) {
@@ -43,6 +48,38 @@ void ReplicatedMap::on_view(const session::View& v) {
       mux_.send(channel_, w.take());
     }
   }
+  // Merge reconciliation: the view gained members (two formerly independent
+  // sub-groups joined, §2.4 strategy 2), so replica contents may genuinely
+  // differ. The lowest-id *surviving* member multicasts its full state; the
+  // agreed stream makes every replica adopt it at the same point.
+  // The sender must be the lowest id that was already a member before this
+  // change: a freshly gained node may have been silently out of the ring
+  // (false removal, same incarnation — no re-sync) and hold stale contents.
+  // Sub-groups elect independently; the agreed stream orders the resulting
+  // reconciles identically at every replica, so all of them still converge.
+  bool gained = false;
+  NodeId reconciler = kInvalidNode;
+  for (NodeId n : v.members) {
+    if (std::find(prev_members_.begin(), prev_members_.end(), n) ==
+        prev_members_.end()) {
+      gained = true;
+    } else if (n < reconciler) {
+      reconciler = n;
+    }
+  }
+  if (survivor && gained && synced_ && !prev_members_.empty() &&
+      v.view_id != last_reconcile_view_sent_ && mux_.self() == reconciler) {
+    last_reconcile_view_sent_ = v.view_id;
+    ByteWriter w(64);
+    w.u8(static_cast<std::uint8_t>(Op::kReconcile));
+    w.u32(static_cast<std::uint32_t>(data_.size()));
+    for (const auto& [k, val] : data_) {
+      w.str(k);
+      w.str(val);
+    }
+    mux_.send(channel_, w.take());
+  }
+  prev_members_ = v.members;
 }
 
 void ReplicatedMap::put(const std::string& key, const std::string& value) {
@@ -68,6 +105,8 @@ std::optional<std::string> ReplicatedMap::get(const std::string& key) const {
 
 void ReplicatedMap::apply_put(const std::string& key, std::string value,
                               NodeId origin) {
+  RC_TRACE(kMod, "node %u ch%u put %s=%s (origin %u)", mux_.self(), channel_,
+           key.c_str(), value.c_str(), origin);
   data_[key] = std::move(value);
   if (on_change_) on_change_(key, data_[key], origin);
 }
@@ -135,6 +174,26 @@ void ReplicatedMap::on_message(NodeId origin, const Bytes& payload) {
       for (auto& [o, p] : replay) on_message(o, p);
       RC_INFO(kMod, "node %u synced snapshot of %u entries (+%zu replayed)",
               mux_.self(), n, replay.size());
+      if (on_change_) on_change_("", std::nullopt, origin);
+      break;
+    }
+    case Op::kReconcile: {
+      std::uint32_t n = r.u32();
+      if (!r.ok() || n > 10'000'000) return;
+      std::map<std::string, std::string> adopted;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string k = r.str();
+        std::string v = r.str();
+        if (!r.ok()) return;
+        adopted[k] = std::move(v);
+      }
+      // Everyone — the sender included — replaces contents at this point in
+      // the agreed stream, so diverged replicas reconverge identically.
+      data_ = std::move(adopted);
+      synced_ = true;
+      replay_.clear();
+      RC_INFO(kMod, "node %u reconciled to %u entries from %u", mux_.self(), n,
+              origin);
       if (on_change_) on_change_("", std::nullopt, origin);
       break;
     }

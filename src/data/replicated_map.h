@@ -6,6 +6,12 @@
 // them in the same total order and the replicas stay identical. A joining
 // node requests a snapshot; because the snapshot reply is itself in the
 // agreed stream, it linearises cleanly against concurrent updates.
+//
+// Split-brain merges (§2.4 strategy 2) are reconciled the same way: when a
+// view gains members, the lowest-id member that survived from the previous
+// view multicasts a RECONCILE snapshot; every replica — including the
+// sender — adopts it at the same point in the agreed stream, so replicas
+// that genuinely diverged while partitioned reconverge deterministically.
 #pragma once
 
 #include <functional>
@@ -49,6 +55,7 @@ class ReplicatedMap {
     kErase = 2,
     kSyncRequest = 3,
     kSnapshot = 4,
+    kReconcile = 5,
   };
 
   void on_message(NodeId origin, const Bytes& payload);
@@ -63,6 +70,10 @@ class ReplicatedMap {
   bool was_member_ = false;
   bool sync_requested_ = false;
   std::uint64_t generation_ = 0;  ///< session incarnation we belong to
+  /// Members of the previous view we belonged to — used to detect
+  /// member-gaining view changes (merges) that need a RECONCILE.
+  std::vector<NodeId> prev_members_;
+  std::uint64_t last_reconcile_view_sent_ = 0;
   /// Joiner-side replay buffer: the snapshot covers exactly the operations
   /// ordered before our kSyncRequest, but it is *attached* by the responder
   /// one round later — so every op we deliver between sending the request

@@ -281,6 +281,7 @@ void SessionNode::handle_token(Token&& t) {
 
 void SessionNode::begin_eating(Token&& t) {
   if (hold_timer_) env_.cancel(hold_timer_), hold_timer_ = 0;
+  starving_rounds_ = 0;
   state_ = State::kEating;
   RC_STATE("begin_eating");
   token_ = std::move(t);
@@ -565,6 +566,28 @@ void SessionNode::enter_starving() {
 
 void SessionNode::start_911_round() {
   if (!started_ || state_ != State::kStarving) return;
+  // Merge-wedge escape: we are the target of a merge, parked with the
+  // inviter group's live token, and our own group's token is not coming
+  // back (round after round of denials — the copies of our old lineage are
+  // scattered across crisscrossed views and arbitration can cycle). The
+  // parked token is exclusively ours, so adopt it: the inviter group
+  // recovers through it immediately, and our old group regenerates without
+  // us and re-merges through discovery.
+  if (!pending_foreign_.empty() && starving_rounds_ >= 3) {
+    Token adopted = std::move(pending_foreign_.front());
+    pending_foreign_.erase(pending_foreign_.begin());
+    adopted.tbm = false;
+    adopted.merge_target = kInvalidNode;
+    adopted.seq++;
+    RC_INFO(kMod,
+            "node %u adopts parked TBM token (lineage %llx) after %d starving "
+            "rounds",
+            id(), static_cast<unsigned long long>(adopted.lineage),
+            starving_rounds_);
+    begin_eating(std::move(adopted));
+    return;
+  }
+  ++starving_rounds_;
   round_dead_.clear();
   awaiting_grant_.clear();
   for (NodeId n : last_copy_.ring) {
@@ -635,8 +658,20 @@ void SessionNode::handle_911(const Msg911& m) {
     pending_joins_.insert(m.requester);
   }
 
+  // A parked TBM token only vouches for its own lineage: deny recovery to
+  // members of the parked ring (their token is alive, right here), but a
+  // requester from *our* group is recovering a different lineage — blanket
+  // denial would wedge our group's 911 forever while we wait for its token.
+  bool holds_requesters_token = false;
+  for (const Token& f : pending_foreign_) {
+    if (f.has(m.requester)) {
+      holds_requesters_token = true;
+      break;
+    }
+  }
+
   bool grant;
-  if (state_ == State::kEating || !pending_foreign_.empty()) {
+  if (state_ == State::kEating || holds_requesters_token) {
     grant = false;  // the token is right here — nothing to regenerate
   } else if (last_copy_.seq > m.last_copy_seq) {
     grant = false;  // we hold a more recent copy (§2.3 arbitration)

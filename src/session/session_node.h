@@ -256,6 +256,7 @@ class SessionNode {
   std::uint64_t active_911_ = 0;  ///< 0 when no round in flight
   std::set<NodeId> awaiting_grant_;
   std::set<NodeId> round_dead_;   ///< failures observed during the round
+  int starving_rounds_ = 0;       ///< consecutive fruitless rounds this starvation
 
   // Timers.
   net::TimerId hungry_timer_ = 0;

@@ -1,0 +1,791 @@
+#include "testing/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace raincore::testing {
+
+namespace {
+constexpr const char* kMod = "chaos";
+
+constexpr data::Channel kAppChannel = 1;
+constexpr data::Channel kLockChannel = 2;
+constexpr data::Channel kMapChannel = 3;
+constexpr data::Channel kVipChannel = 4;
+
+}  // namespace
+
+const char* fault_class_name(FaultClass c) {
+  switch (c) {
+    case FaultClass::kCrashRestart: return "crash-restart";
+    case FaultClass::kPartition: return "partition";
+    case FaultClass::kLinkCut: return "link-cut";
+    case FaultClass::kDropBurst: return "drop-burst";
+    case FaultClass::kLatencyStorm: return "latency-storm";
+    case FaultClass::kDuplicateBurst: return "duplicate-burst";
+    case FaultClass::kCorruptBurst: return "corrupt-burst";
+    case FaultClass::kReorderWindow: return "reorder-window";
+    case FaultClass::kCount: break;
+  }
+  return "?";
+}
+
+std::string FaultEvent::describe() const {
+  char buf[160];
+  if (b != kInvalidNode) {
+    std::snprintf(buf, sizeof(buf),
+                  "  t=%9.3fms %-15s a=%u b=%u rate=%.2f dur=%.1fms",
+                  to_millis(at), fault_class_name(cls), a, b, rate,
+                  to_millis(duration));
+  } else if (a != kInvalidNode) {
+    std::snprintf(buf, sizeof(buf), "  t=%9.3fms %-15s node=%u dur=%.1fms",
+                  to_millis(at), fault_class_name(cls), a, to_millis(duration));
+  } else {
+    std::snprintf(buf, sizeof(buf), "  t=%9.3fms %-15s dur=%.1fms",
+                  to_millis(at), fault_class_name(cls), to_millis(duration));
+  }
+  return buf;
+}
+
+// --- ChaosEngine -----------------------------------------------------------
+
+ChaosEngine::ChaosEngine(net::SimNetwork& net, std::vector<NodeId> ids,
+                         ChaosConfig cfg)
+    : net_(net), ids_(std::move(ids)), cfg_(cfg), rng_(cfg.seed) {}
+
+ChaosEngine::~ChaosEngine() {
+  if (next_timer_) net_.loop().cancel(next_timer_);
+  for (auto& [id, r] : reverts_) net_.loop().cancel(r.timer);
+}
+
+void ChaosEngine::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void ChaosEngine::schedule_next() {
+  if (!running_) return;
+  Time gap = std::max<Time>(
+      millis(1), static_cast<Time>(rng_.exponential(
+                     static_cast<double>(cfg_.mean_gap))));
+  next_timer_ = net_.loop().schedule(gap, [this] {
+    next_timer_ = 0;
+    if (!running_) return;
+    inject_one();
+    schedule_next();
+  });
+}
+
+FaultClass ChaosEngine::pick_class() {
+  double total = 0.0;
+  for (double w : cfg_.weights) total += w;
+  double x = rng_.next_double() * total;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(FaultClass::kCount);
+       ++i) {
+    x -= cfg_.weights[i];
+    if (x < 0.0) return static_cast<FaultClass>(i);
+  }
+  return FaultClass::kLinkCut;
+}
+
+std::vector<NodeId> ChaosEngine::alive() const {
+  std::vector<NodeId> out;
+  for (NodeId id : ids_) {
+    if (down_.count(id) == 0) out.push_back(id);
+  }
+  return out;
+}
+
+NodeId ChaosEngine::pick_alive() {
+  std::vector<NodeId> a = alive();
+  if (a.empty()) return kInvalidNode;
+  return a[rng_.next_below(a.size())];
+}
+
+std::pair<NodeId, NodeId> ChaosEngine::pick_pair() {
+  std::vector<NodeId> a = alive();
+  if (a.size() < 2) return {kInvalidNode, kInvalidNode};
+  std::size_t i = rng_.next_below(a.size());
+  std::size_t j = rng_.next_below(a.size() - 1);
+  if (j >= i) ++j;
+  return {a[i], a[j]};
+}
+
+void ChaosEngine::add_revert(Time after, std::function<void()> fn) {
+  std::uint64_t rid = next_revert_id_++;
+  Revert r;
+  r.fn = std::move(fn);
+  r.timer = net_.loop().schedule(after, [this, rid] {
+    auto it = reverts_.find(rid);
+    if (it == reverts_.end()) return;
+    auto fn = std::move(it->second.fn);
+    reverts_.erase(it);
+    fn();
+  });
+  reverts_.emplace(rid, std::move(r));
+}
+
+void ChaosEngine::crash(NodeId id, Time duration) {
+  down_.insert(id);
+  if (on_crash_) on_crash_(id);
+  net_.set_node_up(id, false);
+  RC_INFO(kMod, "crash node %u for %.1fms", id, to_millis(duration));
+  add_revert(duration, [this, id] { restart(id); });
+}
+
+void ChaosEngine::restart(NodeId id) {
+  if (down_.count(id) == 0) return;
+  down_.erase(id);
+  net_.set_node_up(id, true);
+  // Partition groups are built over the full node set, so a node restarting
+  // into an active partition stays on its original side of the split.
+  RC_INFO(kMod, "restart node %u", id);
+  if (on_restart_) on_restart_(id);
+}
+
+void ChaosEngine::inject_one() {
+  FaultClass cls = pick_class();
+  Time duration = std::max<Time>(
+      millis(20), static_cast<Time>(rng_.exponential(
+                      static_cast<double>(cfg_.mean_duration))));
+  FaultEvent ev;
+  ev.at = net_.now();
+  ev.cls = cls;
+  ev.duration = duration;
+  bool injected = false;
+
+  switch (cls) {
+    case FaultClass::kCrashRestart: {
+      if (ids_.size() - down_.size() > cfg_.min_alive) {
+        NodeId id = pick_alive();
+        if (id != kInvalidNode) {
+          ev.a = id;
+          crash(id, duration);
+          injected = true;
+        }
+      }
+      break;
+    }
+    case FaultClass::kPartition: {
+      if (!partition_groups_.empty() || ids_.size() < 2) break;
+      std::vector<NodeId> shuffled = ids_;
+      for (std::size_t i = shuffled.size(); i > 1; --i) {
+        std::swap(shuffled[i - 1], shuffled[rng_.next_below(i)]);
+      }
+      std::size_t cut =
+          1 + static_cast<std::size_t>(rng_.next_below(shuffled.size() - 1));
+      partition_groups_ = {
+          std::vector<NodeId>(shuffled.begin(), shuffled.begin() + cut),
+          std::vector<NodeId>(shuffled.begin() + cut, shuffled.end())};
+      net_.partition(partition_groups_);
+      ev.a = partition_groups_[0].front();
+      ev.b = partition_groups_[1].front();
+      add_revert(duration, [this] {
+        partition_groups_.clear();
+        net_.heal_partition();
+      });
+      injected = true;
+      break;
+    }
+    case FaultClass::kLinkCut: {
+      auto [a, b] = pick_pair();
+      if (a == kInvalidNode) break;
+      ev.a = a;
+      ev.b = b;
+      net_.set_link_up(a, b, false);
+      add_revert(duration, [this, a = a, b = b] { net_.set_link_up(a, b, true); });
+      injected = true;
+      break;
+    }
+    case FaultClass::kDropBurst: {
+      auto [a, b] = pick_pair();
+      if (a == kInvalidNode) break;
+      ev.a = a;
+      ev.b = b;
+      ev.rate = 0.2 + 0.7 * rng_.next_double();
+      net_.set_drop_rate(a, b, ev.rate);
+      add_revert(duration, [this, a = a, b = b] {
+        net_.set_drop_rate(a, b, net_.config().default_drop);
+      });
+      injected = true;
+      break;
+    }
+    case FaultClass::kLatencyStorm: {
+      auto [a, b] = pick_pair();
+      if (a == kInvalidNode) break;
+      ev.a = a;
+      ev.b = b;
+      Time lat = millis(1) + static_cast<Time>(rng_.next_below(millis(8)));
+      Time jit = static_cast<Time>(rng_.next_below(millis(4)));
+      net_.set_latency(a, b, lat, jit);
+      add_revert(duration, [this, a = a, b = b] {
+        net_.set_latency(a, b, net_.config().default_latency,
+                         net_.config().default_jitter);
+      });
+      injected = true;
+      break;
+    }
+    case FaultClass::kDuplicateBurst: {
+      auto [a, b] = pick_pair();
+      if (a == kInvalidNode) break;
+      ev.a = a;
+      ev.b = b;
+      ev.rate = 0.1 + 0.4 * rng_.next_double();
+      net_.set_duplicate_rate(a, b, ev.rate);
+      add_revert(duration, [this, a = a, b = b] {
+        net_.set_duplicate_rate(a, b, net_.config().default_duplicate);
+      });
+      injected = true;
+      break;
+    }
+    case FaultClass::kCorruptBurst: {
+      auto [a, b] = pick_pair();
+      if (a == kInvalidNode) break;
+      ev.a = a;
+      ev.b = b;
+      ev.rate = 0.05 + 0.25 * rng_.next_double();
+      net_.set_corrupt_rate(a, b, ev.rate);
+      add_revert(duration, [this, a = a, b = b] {
+        net_.set_corrupt_rate(a, b, net_.config().default_corrupt);
+      });
+      injected = true;
+      break;
+    }
+    case FaultClass::kReorderWindow: {
+      auto [a, b] = pick_pair();
+      if (a == kInvalidNode) break;
+      ev.a = a;
+      ev.b = b;
+      // Reordering only bites with jitter, so the window also injects some.
+      net_.set_preserve_order(a, b, false);
+      net_.set_latency(a, b, net_.config().default_latency, millis(2));
+      add_revert(duration, [this, a = a, b = b] {
+        net_.set_preserve_order(a, b, net_.config().preserve_order);
+        net_.set_latency(a, b, net_.config().default_latency,
+                         net_.config().default_jitter);
+      });
+      injected = true;
+      break;
+    }
+    case FaultClass::kCount:
+      break;
+  }
+
+  if (injected) schedule_.push_back(ev);
+}
+
+void ChaosEngine::stop_and_heal() {
+  running_ = false;
+  if (next_timer_) {
+    net_.loop().cancel(next_timer_);
+    next_timer_ = 0;
+  }
+  // Revert everything still active, in injection order.
+  auto reverts = std::move(reverts_);
+  reverts_.clear();
+  for (auto& [id, r] : reverts) {
+    net_.loop().cancel(r.timer);
+    r.fn();
+  }
+  partition_groups_.clear();
+  net_.heal_partition();
+  std::set<NodeId> still_down = down_;
+  for (NodeId id : still_down) restart(id);
+  // Belt and braces: no link overrides survive a heal.
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids_.size(); ++j) {
+      net_.clear_link_overrides(ids_[i], ids_[j]);
+    }
+  }
+}
+
+std::set<FaultClass> ChaosEngine::classes_seen() const {
+  std::set<FaultClass> out;
+  for (const FaultEvent& ev : schedule_) out.insert(ev.cls);
+  return out;
+}
+
+std::string ChaosEngine::describe_schedule() const {
+  std::string out = "chaos seed=" + std::to_string(cfg_.seed) + ", " +
+                    std::to_string(schedule_.size()) + " faults\n";
+  for (const FaultEvent& ev : schedule_) {
+    out += ev.describe();
+    out += '\n';
+  }
+  return out;
+}
+
+// --- ChaosCluster ----------------------------------------------------------
+
+ChaosCluster::ChaosCluster(std::vector<NodeId> ids, ChaosConfig chaos_cfg,
+                           session::SessionConfig session_cfg,
+                           net::SimNetConfig net_cfg)
+    : net_(net_cfg),
+      session_cfg_(std::move(session_cfg)),
+      chaos_cfg_(chaos_cfg),
+      ids_(std::move(ids)) {
+  session_cfg_.eligible = ids_;
+  // The public side: ARPs from a disconnected node never reach the segment.
+  subnet_.set_reachability([this](NodeId n) { return net_.node_up(n); });
+  std::vector<std::string> pool;
+  for (std::size_t i = 0; i < ids_.size() + 2; ++i) {
+    pool.push_back("10.1.0." + std::to_string(i + 1));
+  }
+  Rng setup_rng(chaos_cfg_.seed ^ 0x5bd1e995u);
+  for (NodeId id : ids_) {
+    auto& env = net_.add_node(id);
+    auto st = std::make_unique<Stack>();
+    st->session = std::make_unique<session::SessionNode>(env, session_cfg_);
+    st->mux = std::make_unique<data::ChannelMux>(*st->session);
+    st->map = std::make_unique<data::ReplicatedMap>(*st->mux, kMapChannel);
+    st->locks = std::make_unique<data::LockManager>(*st->mux, kLockChannel);
+    apps::VipConfig vcfg;
+    vcfg.pool = pool;
+    vcfg.channel = kVipChannel;
+    st->vips = std::make_unique<apps::VipManager>(*st->mux, subnet_, vcfg);
+    st->traffic_rng = setup_rng.fork();
+    st->mux->subscribe(kAppChannel, [this, id](NodeId origin,
+                                               const Bytes& payload,
+                                               session::Ordering) {
+      record_delivery(id, origin, payload);
+    });
+    stacks_.emplace(id, std::move(st));
+  }
+  engine_ = std::make_unique<ChaosEngine>(net_, ids_, chaos_cfg_);
+  engine_->set_crash_hook(
+      [this](NodeId id) { stacks_.at(id)->session->stop(); });
+  engine_->set_restart_hook([this](NodeId id) {
+    Stack& st = *stacks_.at(id);
+    ++st.epoch;  // new incarnation: its traffic counters restart from zero
+    st.traffic_counter = 0;
+    st.session->found();  // discovery (BODYODOR) merges it back in
+  });
+}
+
+ChaosCluster::~ChaosCluster() {
+  traffic_on_ = false;
+  for (auto& [id, st] : stacks_) {
+    if (st->traffic_timer) net_.loop().cancel(st->traffic_timer);
+  }
+}
+
+bool ChaosCluster::bootstrap(Time timeout) {
+  for (auto& [id, st] : stacks_) st->session->found();
+  std::vector<NodeId> want = ids_;
+  std::sort(want.begin(), want.end());
+  Time deadline = net_.now() + timeout;
+  while (net_.now() < deadline) {
+    bool conv = true;
+    for (NodeId id : ids_) {
+      const auto& s = *stacks_.at(id)->session;
+      std::vector<NodeId> got = s.view().members;
+      std::sort(got.begin(), got.end());
+      if (!s.started() || got != want) {
+        conv = false;
+        break;
+      }
+    }
+    if (conv) return true;
+    net_.loop().run_for(millis(10));
+  }
+  violation("bootstrap: cluster never converged");
+  return false;
+}
+
+void ChaosCluster::start_traffic(NodeId id) {
+  Stack& st = *stacks_.at(id);
+  Time gap = millis(8) + static_cast<Time>(
+                             st.traffic_rng.next_below(millis(8)));
+  st.traffic_timer = net_.loop().schedule(gap, [this, id] {
+    Stack& st = *stacks_.at(id);
+    st.traffic_timer = 0;
+    if (!traffic_on_) return;
+    if (st.session->started() && st.session->view().has(id)) {
+      std::string payload = "c:" + std::to_string(id) + ":" +
+                            std::to_string(st.epoch) + ":" +
+                            std::to_string(st.traffic_counter++);
+      st.mux->send(kAppChannel, Bytes(payload.begin(), payload.end()));
+    }
+    start_traffic(id);
+  });
+}
+
+void ChaosCluster::record_delivery(NodeId receiver, NodeId origin,
+                                   const Bytes& payload) {
+  Stack& st = *stacks_.at(receiver);
+  st.log.push_back(
+      {st.epoch, origin, std::string(payload.begin(), payload.end())});
+}
+
+void ChaosCluster::run_chaos(Time duration) {
+  traffic_on_ = true;
+  for (NodeId id : ids_) start_traffic(id);
+  engine_->start();
+  Time end = net_.now() + duration;
+  while (net_.now() < end) {
+    net_.loop().run_for(millis(10));
+    check_token_uniqueness("during chaos");
+  }
+}
+
+void ChaosCluster::violation(std::string what) {
+  RC_WARN(kMod, "INVARIANT VIOLATION: %s", what.c_str());
+  violations_.push_back(std::move(what));
+}
+
+void ChaosCluster::check_token_uniqueness(const char* when) {
+  // Sound sampling rule: two nodes may legitimately hold a token each while
+  // their groups have not merged yet (§2.4 strategy 2) — but two nodes with
+  // *identical views* belong to the same logical group and must never both
+  // be EATING.
+  for (auto it = stacks_.begin(); it != stacks_.end(); ++it) {
+    const auto& a = *it->second->session;
+    if (!a.started() || !a.holds_token()) continue;
+    for (auto jt = std::next(it); jt != stacks_.end(); ++jt) {
+      const auto& b = *jt->second->session;
+      if (!b.started() || !b.holds_token()) continue;
+      if (a.view() == b.view()) {
+        violation("token uniqueness (" + std::string(when) + "): nodes " +
+                  std::to_string(it->first) + " and " +
+                  std::to_string(jt->first) +
+                  " both EATING in identical view at t=" +
+                  std::to_string(to_millis(net_.now())) + "ms");
+      }
+    }
+  }
+}
+
+void ChaosCluster::check_membership(const std::vector<NodeId>& live) {
+  std::vector<NodeId> want = live;
+  std::sort(want.begin(), want.end());
+  for (NodeId id : live) {
+    const auto& s = *stacks_.at(id)->session;
+    std::vector<NodeId> got = s.view().members;
+    std::sort(got.begin(), got.end());
+    if (!s.started() || got != want) {
+      std::string members;
+      for (NodeId m : got) members += std::to_string(m) + " ";
+      violation("membership: node " + std::to_string(id) +
+                " did not converge to the live set (has: " + members + ")");
+    }
+  }
+}
+
+void ChaosCluster::check_chaos_deliveries() {
+  // Per receiver incarnation, per origin incarnation: the chaos-traffic
+  // counters must be strictly increasing — gaps are legitimate (partitions
+  // and ring removals drop messages), duplicates and reordering never are.
+  for (auto& [id, st] : stacks_) {
+    std::map<std::tuple<std::uint64_t, NodeId, std::uint64_t>,
+             std::pair<bool, std::uint64_t>>
+        last;  // (recv_epoch, origin, origin_epoch) -> (seen, counter)
+    for (const Delivered& d : st->log) {
+      if (d.payload.rfind("c:", 0) != 0) continue;
+      NodeId origin = 0;
+      std::uint64_t epoch = 0, counter = 0;
+      if (std::sscanf(d.payload.c_str(), "c:%u:%llu:%llu", &origin,
+                      reinterpret_cast<unsigned long long*>(&epoch),
+                      reinterpret_cast<unsigned long long*>(&counter)) != 3) {
+        violation("delivery: node " + std::to_string(id) +
+                  " received unparseable chaos payload '" + d.payload + "'");
+        continue;
+      }
+      if (origin != d.origin) {
+        violation("delivery: node " + std::to_string(id) + " got payload '" +
+                  d.payload + "' attributed to origin " +
+                  std::to_string(d.origin));
+        continue;
+      }
+      auto key = std::make_tuple(d.recv_epoch, origin, epoch);
+      auto& [seen, prev] = last[key];
+      if (seen && counter <= prev) {
+        violation("delivery: node " + std::to_string(id) +
+                  " saw duplicate/out-of-order counter " +
+                  std::to_string(counter) + " after " + std::to_string(prev) +
+                  " from origin " + std::to_string(origin) + " epoch " +
+                  std::to_string(epoch));
+      }
+      seen = true;
+      prev = counter;
+    }
+  }
+}
+
+void ChaosCluster::check_final_batch(const std::vector<NodeId>& live) {
+  // Post-heal gap-free agreed delivery: a fresh batch multicast by every
+  // live node must arrive complete, exactly once, and in the identical
+  // order everywhere.
+  constexpr int kPerNode = 5;
+  std::map<NodeId, std::size_t> mark;
+  for (NodeId id : live) mark[id] = stacks_.at(id)->log.size();
+  for (NodeId id : live) {
+    for (int k = 0; k < kPerNode; ++k) {
+      std::string payload =
+          "f:" + std::to_string(id) + ":" + std::to_string(k);
+      stacks_.at(id)->mux->send(kAppChannel,
+                                Bytes(payload.begin(), payload.end()));
+    }
+  }
+  const std::size_t expect = live.size() * kPerNode;
+  Time deadline = net_.now() + millis(3000);
+  auto batch_of = [&](NodeId id) {
+    std::vector<std::pair<NodeId, std::string>> out;
+    const auto& log = stacks_.at(id)->log;
+    for (std::size_t i = mark[id]; i < log.size(); ++i) {
+      if (log[i].payload.rfind("f:", 0) == 0) {
+        out.emplace_back(log[i].origin, log[i].payload);
+      }
+    }
+    return out;
+  };
+  while (net_.now() < deadline) {
+    bool all = true;
+    for (NodeId id : live) {
+      if (batch_of(id).size() < expect) {
+        all = false;
+        break;
+      }
+    }
+    if (all) break;
+    net_.loop().run_for(millis(10));
+  }
+  auto ref = batch_of(live.front());
+  if (ref.size() != expect) {
+    violation("final batch: node " + std::to_string(live.front()) +
+              " delivered " + std::to_string(ref.size()) + " of " +
+              std::to_string(expect) + " fresh messages");
+  }
+  for (NodeId id : live) {
+    auto got = batch_of(id);
+    if (got != ref) {
+      violation("final batch: node " + std::to_string(id) +
+                " delivered a different sequence than node " +
+                std::to_string(live.front()) + " (" +
+                std::to_string(got.size()) + " vs " +
+                std::to_string(ref.size()) + " messages)");
+    }
+  }
+  // Completeness + exactly-once against the expected set.
+  std::map<std::string, int> count;
+  for (auto& [origin, payload] : ref) count[payload]++;
+  for (NodeId id : live) {
+    for (int k = 0; k < kPerNode; ++k) {
+      std::string payload =
+          "f:" + std::to_string(id) + ":" + std::to_string(k);
+      if (count[payload] != 1) {
+        violation("final batch: message '" + payload + "' delivered " +
+                  std::to_string(count[payload]) + " times");
+      }
+    }
+  }
+}
+
+void ChaosCluster::check_lock_service(const std::vector<NodeId>& live) {
+  // Post-heal mutual exclusion on a fresh lock: every live node requests
+  // it, each must be granted exactly once, and no two grants may overlap.
+  // The depth counter is bumped when a grant fires and dropped just before
+  // the owner initiates its release, so any overlap trips depth > 1.
+  struct Probe {
+    int depth = 0;
+    std::map<NodeId, int> grants;
+  };
+  auto probe = std::make_shared<Probe>();
+  const std::string lock = "chaos-final";
+  for (NodeId id : live) {
+    stacks_.at(id)->locks->acquire(lock, [this, probe, id](const std::string&) {
+      ++probe->depth;
+      if (probe->depth != 1) {
+        violation("lock exclusion: node " + std::to_string(id) +
+                  " granted while another node still holds the lock");
+      }
+      ++probe->grants[id];
+      net_.loop().schedule(millis(2), [this, probe, id] {
+        --probe->depth;
+        stacks_.at(id)->locks->release("chaos-final");
+      });
+    });
+  }
+  Time deadline = net_.now() + millis(5000);
+  while (net_.now() < deadline) {
+    bool all = true;
+    for (NodeId id : live) {
+      if (probe->grants[id] != 1) {
+        all = false;
+        break;
+      }
+    }
+    if (all) break;
+    net_.loop().run_for(millis(10));
+  }
+  for (NodeId id : live) {
+    if (probe->grants[id] != 1) {
+      violation("lock service: node " + std::to_string(id) + " granted " +
+                std::to_string(probe->grants[id]) + " times (want 1)");
+    }
+  }
+  // Let the last release circulate, then every replica must agree: no owner.
+  net_.loop().run_for(millis(500));
+  for (NodeId id : live) {
+    auto owner = stacks_.at(id)->locks->owner(lock);
+    if (owner) {
+      violation("lock service: node " + std::to_string(id) +
+                " still sees owner " + std::to_string(*owner) +
+                " after all releases");
+    }
+  }
+}
+
+void ChaosCluster::check_map_convergence(const std::vector<NodeId>& live) {
+  for (NodeId id : live) {
+    stacks_.at(id)->map->put("final-" + std::to_string(id),
+                             std::to_string(id));
+  }
+  Time deadline = net_.now() + millis(5000);
+  auto settled = [&] {
+    const auto& ref = stacks_.at(live.front())->map->contents();
+    for (NodeId id : live) {
+      const auto& m = *stacks_.at(id)->map;
+      if (!m.synced() || m.contents() != ref) return false;
+      if (!m.contains("final-" + std::to_string(id))) return false;
+    }
+    return true;
+  };
+  while (net_.now() < deadline && !settled()) net_.loop().run_for(millis(10));
+  const auto& ref = stacks_.at(live.front())->map->contents();
+  for (NodeId id : live) {
+    const auto& m = *stacks_.at(id)->map;
+    if (!m.synced()) {
+      violation("replicated map: node " + std::to_string(id) + " never synced");
+      continue;
+    }
+    if (m.contents() != ref) {
+      violation("replicated map: node " + std::to_string(id) + " holds " +
+                std::to_string(m.size()) + " entries, node " +
+                std::to_string(live.front()) + " holds " +
+                std::to_string(ref.size()) + " — replicas diverged");
+    }
+    if (!m.contains("final-" + std::to_string(id))) {
+      violation("replicated map: post-heal put from node " +
+                std::to_string(id) + " was lost");
+    }
+  }
+}
+
+void ChaosCluster::check_vip_coverage(const std::vector<NodeId>& live) {
+  const auto& pool = stacks_.at(live.front())->vips->pool();
+  std::set<NodeId> live_set(live.begin(), live.end());
+  Time deadline = net_.now() + millis(5000);
+  auto covered = [&] {
+    for (const std::string& vip : pool) {
+      auto owner = stacks_.at(live.front())->vips->owner_of(vip);
+      if (!owner || live_set.count(*owner) == 0) return false;
+      for (NodeId id : live) {
+        if (stacks_.at(id)->vips->owner_of(vip) != owner) return false;
+      }
+      if (subnet_.resolve(vip) != owner) return false;
+    }
+    return true;
+  };
+  while (net_.now() < deadline && !covered()) net_.loop().run_for(millis(20));
+  if (log_enabled(LogLevel::kDebug)) {
+    for (const std::string& vip : pool) {
+      std::string line = vip + ":";
+      for (NodeId id : live) {
+        auto o = stacks_.at(id)->vips->owner_of(vip);
+        line += " n" + std::to_string(id) + "->" +
+                (o ? std::to_string(*o) : std::string("-"));
+      }
+      auto res = subnet_.resolve(vip);
+      line += " subnet->" + (res ? std::to_string(*res) : std::string("-"));
+      RC_DEBUG(kMod, "%s", line.c_str());
+    }
+  }
+  for (const std::string& vip : pool) {
+    auto owner = stacks_.at(live.front())->vips->owner_of(vip);
+    if (!owner || live_set.count(*owner) == 0) {
+      violation("vip coverage: " + vip + " has no live owner");
+      continue;
+    }
+    for (NodeId id : live) {
+      auto o = stacks_.at(id)->vips->owner_of(vip);
+      if (o != owner) {
+        violation("vip coverage: node " + std::to_string(id) +
+                  " disagrees on the owner of " + vip);
+      }
+    }
+    auto resolved = subnet_.resolve(vip);
+    if (resolved != owner) {
+      violation("vip coverage: subnet resolves " + vip + " to " +
+                (resolved ? std::to_string(*resolved) : "nobody") +
+                " but the assignment says " + std::to_string(*owner));
+    }
+  }
+}
+
+void ChaosCluster::heal_and_check(Time converge_timeout) {
+  engine_->stop_and_heal();
+  // Everybody is back up; wait (with traffic still flowing) until the merged
+  // group converges to the full live set.
+  std::vector<NodeId> live = ids_;
+  std::vector<NodeId> want = live;
+  std::sort(want.begin(), want.end());
+  Time deadline = net_.now() + converge_timeout;
+  while (net_.now() < deadline) {
+    bool conv = true;
+    for (NodeId id : live) {
+      const auto& s = *stacks_.at(id)->session;
+      std::vector<NodeId> got = s.view().members;
+      std::sort(got.begin(), got.end());
+      if (!s.started() || got != want) {
+        conv = false;
+        break;
+      }
+    }
+    if (conv) break;
+    net_.loop().run_for(millis(10));
+  }
+  check_membership(live);
+  // Quiesce: stop the traffic generators and drain in-flight messages.
+  traffic_on_ = false;
+  net_.loop().run_for(millis(300));
+  // Token uniqueness in the quiescent group, sampled across several rounds.
+  for (int i = 0; i < 40; ++i) {
+    check_token_uniqueness("quiescent");
+    net_.loop().run_for(session_cfg_.token_hold / 2 + micros(500));
+  }
+  check_chaos_deliveries();
+  check_final_batch(live);
+  check_lock_service(live);
+  check_map_convergence(live);
+  check_vip_coverage(live);
+}
+
+// --- run_chaos_round -------------------------------------------------------
+
+ChaosRoundResult run_chaos_round(std::uint64_t seed, Time chaos_duration,
+                                 std::size_t n_nodes) {
+  ChaosConfig ccfg;
+  ccfg.seed = seed;
+  net::SimNetConfig ncfg;
+  ncfg.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  std::vector<NodeId> ids;
+  for (std::size_t i = 1; i <= n_nodes; ++i) {
+    ids.push_back(static_cast<NodeId>(i));
+  }
+  ChaosCluster cluster(ids, ccfg, {}, ncfg);
+  if (cluster.bootstrap()) {
+    cluster.run_chaos(chaos_duration);
+    cluster.heal_and_check();
+  }
+  ChaosRoundResult res;
+  res.violations = cluster.violations();
+  res.schedule = cluster.engine().describe_schedule();
+  res.faults = cluster.engine().faults_injected();
+  res.classes = cluster.engine().classes_seen();
+  return res;
+}
+
+}  // namespace raincore::testing

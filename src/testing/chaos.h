@@ -1,0 +1,229 @@
+// Deterministic chaos engine with protocol invariant checkers.
+//
+// Drives a live simulated Raincore cluster through a randomized but fully
+// seed-replayable schedule of faults — crash/restart with new incarnations,
+// partitions, link cuts, drop-rate bursts, latency storms, duplication
+// bursts, corruption bursts and reordering windows — interleaved with
+// application traffic, then heals everything and asserts the protocol
+// invariants the paper promises:
+//
+//   - at most one token holder among nodes sharing an identical view (§2.2);
+//   - membership converges to exactly the live set (§2.3/§2.4);
+//   - gap-free, identically-ordered per-origin multicast delivery on the
+//     surviving nodes (§2.6), and exactly-once delivery per incarnation
+//     throughout the chaos phase;
+//   - distributed-lock mutual exclusion and replica agreement (§2.7);
+//   - replicated-map convergence across replicas (§3);
+//   - every virtual IP covered by a live owner the subnet resolves (§3.1).
+//
+// Every stochastic decision draws from one seeded Rng in virtual time, so a
+// violation report carries the seed and the full fault schedule: re-running
+// with the same seed reproduces the failure bit-for-bit.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/vip/vip_manager.h"
+#include "data/lock_manager.h"
+#include "data/replicated_map.h"
+#include "net/sim_network.h"
+#include "session/session_node.h"
+
+namespace raincore::testing {
+
+enum class FaultClass : std::uint8_t {
+  kCrashRestart = 0,  ///< node crash-stops, later rejoins as a new incarnation
+  kPartition,         ///< fabric splits into two isolated groups, then heals
+  kLinkCut,           ///< one node pair loses connectivity, then recovers
+  kDropBurst,         ///< one node pair suffers heavy packet loss for a while
+  kLatencyStorm,      ///< one node pair's latency/jitter spikes
+  kDuplicateBurst,    ///< one node pair duplicates packets
+  kCorruptBurst,      ///< one node pair flips payload bits in flight
+  kReorderWindow,     ///< one node pair stops preserving FIFO order
+  kCount,             ///< number of fault classes (not a fault)
+};
+
+const char* fault_class_name(FaultClass c);
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  /// Mean (exponential) gap between fault injections.
+  Time mean_gap = millis(120);
+  /// Mean (exponential) duration of a fault before it auto-reverts.
+  Time mean_duration = millis(350);
+  /// Crash faults never reduce the up-node count below this.
+  std::size_t min_alive = 2;
+  /// Relative weight per fault class, indexed by FaultClass. Zero disables
+  /// the class.
+  double weights[static_cast<std::size_t>(FaultClass::kCount)] = {
+      1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+};
+
+/// One injected fault, recorded for the replayable schedule.
+struct FaultEvent {
+  Time at = 0;
+  FaultClass cls = FaultClass::kCrashRestart;
+  NodeId a = kInvalidNode;  ///< affected node (or first of the pair)
+  NodeId b = kInvalidNode;  ///< second of the pair, if pairwise
+  double rate = 0.0;        ///< drop/duplicate/corrupt probability, if any
+  Time duration = 0;        ///< time until auto-revert
+
+  std::string describe() const;
+};
+
+/// Injects a randomized, seed-replayable fault schedule into a SimNetwork.
+/// The engine owns node up/down state and link overrides while running;
+/// crash/restart of the protocol stack is delegated to the hooks so the
+/// engine works with any harness (TestCluster, ChaosCluster, benches).
+class ChaosEngine {
+ public:
+  using NodeHook = std::function<void(NodeId)>;
+
+  ChaosEngine(net::SimNetwork& net, std::vector<NodeId> ids, ChaosConfig cfg);
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+  ~ChaosEngine();
+
+  /// Called right before the engine marks the node down (stop the stack).
+  void set_crash_hook(NodeHook fn) { on_crash_ = std::move(fn); }
+  /// Called right after the engine marks the node up again (rejoin as a new
+  /// incarnation).
+  void set_restart_hook(NodeHook fn) { on_restart_ = std::move(fn); }
+
+  /// Begins injecting faults (timers run on the network's event loop).
+  void start();
+  /// Stops injecting, reverts every active fault, heals the partition and
+  /// restarts every crashed node — the cluster is left fault-free.
+  void stop_and_heal();
+
+  bool running() const { return running_; }
+  std::vector<NodeId> alive() const;
+
+  const std::vector<FaultEvent>& schedule() const { return schedule_; }
+  std::size_t faults_injected() const { return schedule_.size(); }
+  /// Which fault classes have fired so far.
+  std::set<FaultClass> classes_seen() const;
+  /// Seed header plus one line per injected fault — printed on violation so
+  /// the failing run can be replayed exactly.
+  std::string describe_schedule() const;
+
+ private:
+  void schedule_next();
+  void inject_one();
+  FaultClass pick_class();
+  NodeId pick_alive();
+  std::pair<NodeId, NodeId> pick_pair();
+  void crash(NodeId id, Time duration);
+  void restart(NodeId id);
+  void add_revert(Time after, std::function<void()> fn);
+
+  net::SimNetwork& net_;
+  std::vector<NodeId> ids_;
+  ChaosConfig cfg_;
+  Rng rng_;
+  bool running_ = false;
+  net::TimerId next_timer_ = 0;
+  std::set<NodeId> down_;
+  /// Groups of the currently active partition (empty = none). A node that
+  /// restarts while a partition is active joins a random group so it cannot
+  /// bridge the split.
+  std::vector<std::vector<NodeId>> partition_groups_;
+  struct Revert {
+    net::TimerId timer = 0;
+    std::function<void()> fn;
+  };
+  std::map<std::uint64_t, Revert> reverts_;
+  std::uint64_t next_revert_id_ = 1;
+  std::vector<FaultEvent> schedule_;
+  NodeHook on_crash_;
+  NodeHook on_restart_;
+};
+
+// --- Full-stack chaos harness ----------------------------------------------
+
+/// A complete Raincore stack per node — session, channel mux, replicated
+/// map, distributed lock manager, virtual-IP manager on a shared subnet —
+/// plus a deterministic traffic generator and the invariant checkers.
+class ChaosCluster {
+ public:
+  ChaosCluster(std::vector<NodeId> ids, ChaosConfig chaos_cfg,
+               session::SessionConfig session_cfg = {},
+               net::SimNetConfig net_cfg = {});
+  ~ChaosCluster();
+
+  /// Phase 1: found everybody and wait for one converged group.
+  bool bootstrap(Time timeout = millis(5000));
+  /// Phase 2: background traffic + fault injection for `duration`.
+  void run_chaos(Time duration);
+  /// Phase 3: heal everything, wait for reconvergence, run the quiescent
+  /// invariant checks. Appends to violations().
+  void heal_and_check(Time converge_timeout = millis(15000));
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  ChaosEngine& engine() { return *engine_; }
+  net::SimNetwork& net() { return net_; }
+  session::SessionNode& session(NodeId id) { return *stacks_.at(id)->session; }
+
+ private:
+  struct Stack;
+
+  void start_traffic(NodeId id);
+  void record_delivery(NodeId receiver, NodeId origin, const Bytes& payload);
+  void check_token_uniqueness(const char* when);
+  void check_membership(const std::vector<NodeId>& live);
+  void check_chaos_deliveries();
+  void check_final_batch(const std::vector<NodeId>& live);
+  void check_lock_service(const std::vector<NodeId>& live);
+  void check_map_convergence(const std::vector<NodeId>& live);
+  void check_vip_coverage(const std::vector<NodeId>& live);
+  void violation(std::string what);
+
+  net::SimNetwork net_;
+  session::SessionConfig session_cfg_;
+  ChaosConfig chaos_cfg_;
+  apps::Subnet subnet_;
+  std::unique_ptr<ChaosEngine> engine_;
+
+  struct Delivered {
+    std::uint64_t recv_epoch;
+    NodeId origin;
+    std::string payload;
+  };
+  struct Stack {
+    std::unique_ptr<session::SessionNode> session;
+    std::unique_ptr<data::ChannelMux> mux;
+    std::unique_ptr<data::ReplicatedMap> map;
+    std::unique_ptr<data::LockManager> locks;
+    std::unique_ptr<apps::VipManager> vips;
+    std::uint64_t epoch = 0;  ///< incremented on every chaos restart
+    std::uint64_t traffic_counter = 0;
+    net::TimerId traffic_timer = 0;
+    Rng traffic_rng{0};
+    std::vector<Delivered> log;
+  };
+  std::map<NodeId, std::unique_ptr<Stack>> stacks_;
+  std::vector<NodeId> ids_;
+  bool traffic_on_ = false;
+  std::vector<std::string> violations_;
+};
+
+/// One full chaos round: bootstrap → chaos + traffic → heal → invariant
+/// checks. Everything derives from `seed`; identical seeds produce identical
+/// schedules and outcomes.
+struct ChaosRoundResult {
+  std::vector<std::string> violations;
+  std::string schedule;  ///< seed + fault log (replay recipe)
+  std::size_t faults = 0;
+  std::set<FaultClass> classes;
+};
+
+ChaosRoundResult run_chaos_round(std::uint64_t seed,
+                                 Time chaos_duration = millis(2000),
+                                 std::size_t n_nodes = 5);
+
+}  // namespace raincore::testing

@@ -1,5 +1,6 @@
 #include "transport/transport.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.h"
@@ -8,7 +9,21 @@ namespace raincore::transport {
 
 namespace {
 constexpr const char* kMod = "transport";
-constexpr std::size_t kDataHeader = 9;  // type u8 + seq u64
+constexpr std::size_t kDataHeader = 9;   // type u8 + seq u64
+constexpr std::size_t kChecksumLen = 4;  // trailing FNV-1a u32
+
+/// FNV-1a over the frame body. Every frame carries this as a trailing u32:
+/// the end-to-end integrity check that turns in-flight bit flips (modelled
+/// by SimNetwork's corruption fault class, real on hostile networks) into
+/// clean drops + retransmission instead of corrupted protocol state.
+std::uint32_t frame_checksum(const std::uint8_t* data, std::size_t n) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
 }  // namespace
 
 ReliableTransport::ReliableTransport(net::NodeEnv& env, TransportConfig cfg)
@@ -70,10 +85,16 @@ TransferId ReliableTransport::send(NodeId dst, Bytes payload,
 
 void ReliableTransport::send_unreliable(NodeId dst, Bytes payload) {
   if (!enabled_) return;
-  ByteWriter w(payload.size() + 1);
+  ByteWriter w(payload.size() + 1 + kChecksumLen);
   w.u8(static_cast<std::uint8_t>(WireType::kRaw));
   w.raw(payload.data(), payload.size());
-  env_.send(net::Address{dst, 0}, w.take(), 0);
+  send_frame(net::Address{dst, 0}, std::move(w), 0);
+}
+
+void ReliableTransport::send_frame(const net::Address& to, ByteWriter&& frame,
+                                   std::uint8_t from_iface) {
+  frame.u32(frame_checksum(frame.view().data(), frame.size()));
+  env_.send(to, frame.take(), from_iface);
 }
 
 void ReliableTransport::cancel(TransferId id) {
@@ -85,7 +106,7 @@ void ReliableTransport::cancel(TransferId id) {
 }
 
 void ReliableTransport::transmit(const InFlight& f, std::uint8_t to_iface) {
-  ByteWriter w(f.payload.size() + kDataHeader);
+  ByteWriter w(f.payload.size() + kDataHeader + kChecksumLen);
   w.u8(static_cast<std::uint8_t>(WireType::kData));
   w.u64(f.wire_seq);
   w.raw(f.payload.data(), f.payload.size());
@@ -93,7 +114,7 @@ void ReliableTransport::transmit(const InFlight& f, std::uint8_t to_iface) {
   // redundant links form independent physical paths.
   std::uint8_t from = static_cast<std::uint8_t>(
       to_iface < env_.iface_count() ? to_iface : env_.iface_count() - 1);
-  env_.send(net::Address{f.dst, to_iface}, w.take(), from);
+  send_frame(net::Address{f.dst, to_iface}, std::move(w), from);
 }
 
 void ReliableTransport::attempt(TransferId id) {
@@ -144,20 +165,35 @@ void ReliableTransport::finish(TransferId id, bool ok) {
   }
 }
 
+std::size_t ReliableTransport::recv_tracked(NodeId peer) const {
+  auto it = recv_state_.find(peer);
+  return it != recv_state_.end() ? it->second.above.size() : 0;
+}
+
 void ReliableTransport::on_datagram(net::Datagram&& d) {
   if (!enabled_) return;
   task_switches_.inc();  // datagram arrival wakes the GC stack
-  ByteReader r(d.payload);
+  // Integrity first: a frame whose trailing checksum does not match its
+  // body was corrupted in flight (or forged) and is dropped before any
+  // parsing — retransmission recovers the transfer.
+  if (d.payload.size() < 1 + kChecksumLen) return;
+  std::size_t body = d.payload.size() - kChecksumLen;
+  ByteReader tail(d.payload.data() + body, kChecksumLen);
+  if (tail.u32() != frame_checksum(d.payload.data(), body)) {
+    checksum_drops_.inc();
+    return;
+  }
+  ByteReader r(d.payload.data(), body);
   auto type = static_cast<WireType>(r.u8());
   switch (type) {
     case WireType::kData: {
       std::uint64_t seq = r.u64();
-      if (!r.ok() || d.payload.size() < kDataHeader) return;
+      if (!r.ok() || body < kDataHeader) return;
       // Always acknowledge, even duplicates: the original ack may be lost.
-      ByteWriter ack(kDataHeader);
+      ByteWriter ack(kDataHeader + kChecksumLen);
       ack.u8(static_cast<std::uint8_t>(WireType::kAck));
       ack.u64(seq);
-      env_.send(d.src, ack.take(), d.dst.iface);
+      send_frame(d.src, std::move(ack), d.dst.iface);
 
       PeerRecv& pr = recv_state_[d.src.node];
       if (seq <= pr.watermark || pr.above.count(seq) > 0) return;  // duplicate
@@ -169,9 +205,10 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
       // A transfer abandoned by the sender (failure-on-delivery) leaves a
       // permanent gap below us; skip over stale gaps so `above` stays
       // bounded. The sender never retransmits an abandoned seq, so treating
-      // the gap as seen is safe.
-      constexpr std::size_t kMaxAbove = 4096;
-      while (pr.above.size() > kMaxAbove) {
+      // the gap as seen is safe. The cap also defuses a hostile peer
+      // spraying far-future sequence numbers to exhaust receiver memory.
+      const std::size_t cap = std::max<std::size_t>(1, cfg_.max_recv_tracked);
+      while (pr.above.size() > cap) {
         pr.watermark = *pr.above.begin();
         pr.above.erase(pr.above.begin());
         while (pr.above.count(pr.watermark + 1) > 0) {
@@ -180,7 +217,8 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
         }
       }
       if (on_message_) {
-        Bytes payload(d.payload.begin() + kDataHeader, d.payload.end());
+        Bytes payload(d.payload.begin() + kDataHeader,
+                      d.payload.begin() + body);
         on_message_(d.src.node, std::move(payload));
       }
       break;
@@ -193,8 +231,8 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
       break;
     }
     case WireType::kRaw: {
-      if (on_message_ && !d.payload.empty()) {
-        Bytes payload(d.payload.begin() + 1, d.payload.end());
+      if (on_message_ && body > 1) {
+        Bytes payload(d.payload.begin() + 1, d.payload.begin() + body);
         on_message_(d.src.node, std::move(payload));
       }
       break;

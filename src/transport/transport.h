@@ -39,6 +39,11 @@ struct TransportConfig {
   /// (redundant links, §2.1: "allows each node to have multiple physical
   /// addresses").
   std::uint8_t default_peer_ifaces = 1;
+  /// Per-peer cap on the receiver-side duplicate-suppression set
+  /// (PeerRecv::above). A hostile or chaotic peer sending wildly
+  /// out-of-order sequence numbers cannot grow receiver memory past this;
+  /// overflow advances the watermark over the oldest gap.
+  std::size_t max_recv_tracked = 4096;
 };
 
 /// Identifies one in-flight transfer at the sender.
@@ -88,6 +93,14 @@ class ReliableTransport {
   /// the delivered or the failure-on-delivery notification fires.
   Time failure_detection_bound(NodeId peer) const;
 
+  /// Size of the receiver-side duplicate-suppression set for a peer
+  /// (bounded by TransportConfig::max_recv_tracked).
+  std::size_t recv_tracked(NodeId peer) const;
+
+  /// Frames whose integrity checksum failed verification (corrupted in
+  /// flight, or forged without a valid checksum) — dropped before parsing.
+  const Counter& checksum_drops() const { return checksum_drops_; }
+
   // --- Measurement (the §4.1 CPU metric) -----------------------------------
   /// One "task switch" per entry into group-communication processing: every
   /// datagram arrival and every retransmission timer that fires.
@@ -110,6 +123,8 @@ class ReliableTransport {
   };
 
   void on_datagram(net::Datagram&& d);
+  void send_frame(const net::Address& to, ByteWriter&& frame,
+                  std::uint8_t from_iface);
   void attempt(TransferId id);
   void transmit(const InFlight& f, std::uint8_t to_iface);
   std::uint8_t peer_iface_count(NodeId peer) const;
@@ -137,6 +152,7 @@ class ReliableTransport {
   std::unordered_map<NodeId, std::uint8_t> peer_ifaces_;
 
   Counter task_switches_;
+  Counter checksum_drops_;
 };
 
 }  // namespace raincore::transport

@@ -1,0 +1,153 @@
+// Deterministic chaos engine: seed-replayable fault schedules against a
+// full Raincore stack, with the protocol invariant checkers asserted after
+// every healed round (token uniqueness, membership convergence, gap-free
+// agreed delivery, DLM mutual exclusion, replicated-map convergence, VIP
+// coverage).
+#include "testing/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/util/test_cluster.h"
+
+namespace raincore::testing {
+namespace {
+
+// --- Seed sweep: invariants must hold on every seed ------------------------
+
+class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSweep, InvariantsHoldUnderRandomFaults) {
+  ChaosRoundResult res = run_chaos_round(GetParam(), millis(1500), 5);
+  EXPECT_GT(res.faults, 0u) << "no faults injected:\n" << res.schedule;
+  for (const std::string& v : res.violations) {
+    ADD_FAILURE() << v << "\nreplay:\n" << res.schedule;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+// --- Determinism: same seed, same schedule, same outcome -------------------
+
+TEST(ChaosDeterminism, SameSeedSameScheduleAndOutcome) {
+  ChaosRoundResult a = run_chaos_round(7, millis(1200), 5);
+  ChaosRoundResult b = run_chaos_round(7, millis(1200), 5);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.violations, b.violations);
+}
+
+TEST(ChaosDeterminism, DifferentSeedsDifferentSchedules) {
+  ChaosRoundResult a = run_chaos_round(3, millis(1000), 4);
+  ChaosRoundResult b = run_chaos_round(4, millis(1000), 4);
+  EXPECT_NE(a.schedule, b.schedule);
+}
+
+TEST(ChaosDeterminism, ScheduleRecordsSeedForReplay) {
+  ChaosRoundResult res = run_chaos_round(11, millis(800), 3);
+  EXPECT_NE(res.schedule.find("seed=11"), std::string::npos) << res.schedule;
+}
+
+// --- Coverage: every fault class fires, invariants still hold --------------
+
+TEST(ChaosEngineTest, AllFaultClassesExercised) {
+  ChaosConfig cfg;
+  cfg.seed = 12345;
+  cfg.mean_gap = millis(35);
+  cfg.mean_duration = millis(150);
+  net::SimNetConfig ncfg;
+  ncfg.seed = 99;
+  ChaosCluster cluster({1, 2, 3, 4, 5}, cfg, {}, ncfg);
+  ASSERT_TRUE(cluster.bootstrap());
+  cluster.run_chaos(millis(3000));
+  cluster.heal_and_check();
+  for (const std::string& v : cluster.violations()) {
+    ADD_FAILURE() << v << "\nreplay:\n" << cluster.engine().describe_schedule();
+  }
+  EXPECT_EQ(cluster.engine().classes_seen().size(),
+            static_cast<std::size_t>(FaultClass::kCount))
+      << "not every fault class fired:\n"
+      << cluster.engine().describe_schedule();
+}
+
+TEST(ChaosEngineTest, MinAliveIsRespected) {
+  ChaosConfig cfg;
+  cfg.seed = 77;
+  cfg.mean_gap = millis(30);
+  cfg.min_alive = 3;
+  // Crash-only schedule: every other class disabled.
+  for (std::size_t i = 0; i < static_cast<std::size_t>(FaultClass::kCount); ++i) {
+    cfg.weights[i] = 0.0;
+  }
+  cfg.weights[static_cast<std::size_t>(FaultClass::kCrashRestart)] = 1.0;
+  net::SimNetConfig ncfg;
+  ncfg.seed = 5;
+  ChaosCluster cluster({1, 2, 3, 4}, cfg, {}, ncfg);
+  ASSERT_TRUE(cluster.bootstrap());
+  ChaosEngine& eng = cluster.engine();
+  eng.start();
+  Time end = cluster.net().now() + millis(2000);
+  while (cluster.net().now() < end) {
+    cluster.net().loop().run_for(millis(10));
+    EXPECT_GE(eng.alive().size(), 3u);
+  }
+  eng.stop_and_heal();
+  EXPECT_EQ(eng.alive().size(), 4u);
+  EXPECT_GT(eng.faults_injected(), 0u);
+  for (const FaultEvent& ev : eng.schedule()) {
+    EXPECT_EQ(ev.cls, FaultClass::kCrashRestart);
+  }
+}
+
+// --- TestCluster opt-in: background chaos for scenario tests ---------------
+
+TEST(TestClusterChaos, BackgroundChaosThenHealConverges) {
+  std::vector<NodeId> ids{1, 2, 3, 4};
+  net::SimNetConfig ncfg;
+  ncfg.seed = 21;
+  TestCluster c(ids, {}, ncfg);
+  c.found_all();
+  ASSERT_TRUE(c.run_until_converged(ids, seconds(5)));
+
+  ChaosConfig cfg;
+  cfg.seed = 5;
+  cfg.min_alive = 2;
+  ChaosEngine& eng = c.enable_chaos(cfg);
+  eng.start();
+  // Application traffic interleaved with the fault schedule.
+  for (int i = 0; i < 60; ++i) {
+    for (NodeId id : ids) {
+      auto& n = c.node(id);
+      if (n.started() && n.view().has(id)) {
+        c.send(id, "m" + std::to_string(i));
+      }
+    }
+    c.run(millis(25));
+  }
+  eng.stop_and_heal();
+  EXPECT_GT(eng.faults_injected(), 0u) << eng.describe_schedule();
+  ASSERT_TRUE(c.run_until_converged(ids, seconds(20)))
+      << eng.describe_schedule();
+
+  // The healed cluster must still deliver fresh multicasts everywhere.
+  std::map<NodeId, std::size_t> mark;
+  for (NodeId id : ids) mark[id] = c.delivered(id).size();
+  c.send(1, "post-heal");
+  Time deadline = c.net().now() + seconds(3);
+  auto all_got_it = [&] {
+    for (NodeId id : ids) {
+      const auto& log = c.delivered(id);
+      bool found = false;
+      for (std::size_t i = mark[id]; i < log.size(); ++i) {
+        if (log[i].payload == "post-heal" && log[i].origin == 1) found = true;
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+  while (c.net().now() < deadline && !all_got_it()) c.run(millis(10));
+  EXPECT_TRUE(all_got_it()) << eng.describe_schedule();
+}
+
+}  // namespace
+}  // namespace raincore::testing

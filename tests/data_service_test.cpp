@@ -293,6 +293,76 @@ TEST(LockManagerTest, ReacquireWhileReleaseInFlightIsNotGrantedEarly) {
   EXPECT_LE(max_run, 2) << "a node monopolised the lock across re-acquires";
 }
 
+TEST(ReplicatedMapTest, SplitBrainMergeReconvergesAllReplicas) {
+  // §2.4 strategy 2: both halves stay functional through the partition and
+  // mutate independently; after the heal the merge reconciliation must leave
+  // every replica with the identical table.
+  DataCluster c({1, 2, 3, 4});
+  c.bootstrap();
+  c.node(1).map->put("shared", "before");
+  c.run(seconds(1));
+  c.net().partition({{1, 2}, {3, 4}});
+  c.run(seconds(2));  // both sides recover a token of their own
+  c.node(1).map->put("left", "L");
+  c.node(3).map->put("right", "R");
+  c.node(1).map->put("shared", "from-left");
+  c.node(4).map->put("shared", "from-right");
+  c.run(seconds(1));
+  c.net().heal_partition();
+  c.run(seconds(8));  // discovery merges; reconcile circulates
+  const auto& ref = c.node(1).map->contents();
+  for (NodeId id : c.ids()) {
+    EXPECT_TRUE(c.node(id).map->synced()) << "node " << id;
+    EXPECT_EQ(c.node(id).map->contents(), ref) << "node " << id << " diverged";
+  }
+  // A fresh write after the merge reaches everyone.
+  c.node(2).map->put("post", "merge");
+  c.run(seconds(1));
+  for (NodeId id : c.ids()) {
+    ASSERT_TRUE(c.node(id).map->get("post").has_value()) << "node " << id;
+    EXPECT_EQ(*c.node(id).map->get("post"), "merge");
+  }
+}
+
+TEST(LockManagerTest, SplitBrainMergeReconvergesLockTables) {
+  // During the split each half grants the same lock locally (unavoidable
+  // under strategy 2); the post-merge epoch must serialise the two owners
+  // into one queue that every replica agrees on, and releases must drain it.
+  DataCluster c({1, 2, 3, 4});
+  c.bootstrap();
+  c.net().partition({{1, 2}, {3, 4}});
+  c.run(seconds(2));
+  int grants_left = 0, grants_right = 0;
+  c.node(1).locks->acquire("L", [&](const std::string&) { ++grants_left; });
+  c.node(3).locks->acquire("L", [&](const std::string&) { ++grants_right; });
+  c.run(seconds(1));
+  EXPECT_EQ(grants_left, 1);
+  EXPECT_EQ(grants_right, 1);
+  c.net().heal_partition();
+  c.run(seconds(8));
+  // All replicas agree on a single owner, with the other side queued.
+  auto owner = c.node(1).locks->owner("L");
+  ASSERT_TRUE(owner.has_value());
+  for (NodeId id : c.ids()) {
+    ASSERT_TRUE(c.node(id).locks->owner("L").has_value()) << "node " << id;
+    EXPECT_EQ(*c.node(id).locks->owner("L"), *owner) << "node " << id;
+    EXPECT_EQ(c.node(id).locks->waiters("L"), 1u) << "node " << id;
+  }
+  // Drain: the owner releases, the queued side is promoted, then releases.
+  NodeId other = *owner == 1 ? 3 : 1;
+  c.node(*owner).locks->release("L");
+  c.run(seconds(1));
+  for (NodeId id : c.ids()) {
+    ASSERT_TRUE(c.node(id).locks->owner("L").has_value()) << "node " << id;
+    EXPECT_EQ(*c.node(id).locks->owner("L"), other) << "node " << id;
+  }
+  c.node(other).locks->release("L");
+  c.run(seconds(1));
+  for (NodeId id : c.ids()) {
+    EXPECT_FALSE(c.node(id).locks->owner("L").has_value()) << "node " << id;
+  }
+}
+
 TEST(LockManagerTest, ManyLocksIndependent) {
   DataCluster c({1, 2, 3});
   c.bootstrap();

@@ -2,6 +2,8 @@
 // delivery, latency, loss, link cuts, partitions and counters.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/event_loop.h"
 #include "net/sim_network.h"
 
@@ -225,6 +227,82 @@ TEST_F(SimNetworkTest, PreserveOrderKeepsFifoPerLink) {
   for (std::uint8_t i = 0; i < 50; ++i) {
     EXPECT_EQ(inbox[i].payload[0], i);
   }
+}
+
+TEST_F(SimNetworkTest, DuplicateRateDeliversExtraCopies) {
+  SimNetwork net;
+  auto& a = net.add_node(1);
+  std::vector<Datagram> inbox;
+  deliver_setup(net, inbox, 2);
+  net.set_duplicate_rate(1, 2, 1.0);
+  for (int i = 0; i < 20; ++i) a.send(Address{2, 0}, Bytes{1}, 0);
+  net.loop().run_for(seconds(1));
+  EXPECT_EQ(inbox.size(), 40u);  // every packet arrives twice
+  EXPECT_EQ(net.totals().pkts_duplicated.value(), 20u);
+}
+
+TEST_F(SimNetworkTest, CorruptRateFlipsBitsButPreservesLength) {
+  SimNetConfig cfg;
+  cfg.seed = 9;
+  SimNetwork net(cfg);
+  auto& a = net.add_node(1);
+  std::vector<Datagram> inbox;
+  deliver_setup(net, inbox, 2);
+  net.set_corrupt_rate(1, 2, 1.0);
+  const Bytes clean(8, 0x00);
+  for (int i = 0; i < 20; ++i) a.send(Address{2, 0}, clean, 0);
+  net.loop().run_for(seconds(1));
+  ASSERT_EQ(inbox.size(), 20u);  // corruption mangles, never drops
+  for (const Datagram& d : inbox) {
+    EXPECT_EQ(d.payload.size(), clean.size());
+    EXPECT_NE(d.payload, clean);
+  }
+  EXPECT_EQ(net.totals().pkts_corrupted.value(), 20u);
+}
+
+TEST_F(SimNetworkTest, ReorderWindowDeliversOutOfOrderWithoutLoss) {
+  SimNetConfig cfg;
+  cfg.default_jitter = millis(5);
+  cfg.preserve_order = true;
+  cfg.seed = 13;
+  SimNetwork net(cfg);
+  auto& a = net.add_node(1);
+  std::vector<Datagram> inbox;
+  deliver_setup(net, inbox, 2);
+  net.set_preserve_order(1, 2, false);
+  for (std::uint8_t i = 0; i < 100; ++i) a.send(Address{2, 0}, Bytes{i}, 0);
+  net.loop().run_for(seconds(1));
+  ASSERT_EQ(inbox.size(), 100u);  // reordering never loses packets
+  bool out_of_order = false;
+  std::vector<bool> seen(100, false);
+  for (std::size_t i = 0; i < inbox.size(); ++i) {
+    if (inbox[i].payload[0] != i) out_of_order = true;
+    seen[inbox[i].payload[0]] = true;
+  }
+  EXPECT_TRUE(out_of_order);
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+  EXPECT_GT(net.totals().pkts_reordered.value(), 0u);
+}
+
+TEST_F(SimNetworkTest, FaultParametersAreValidatedAtApiBoundary) {
+  SimNetwork net;
+  auto& a = net.add_node(1);
+  std::vector<Datagram> inbox;
+  deliver_setup(net, inbox, 2);
+  // Debug builds assert; release builds clamp into the legal range.
+  EXPECT_DEBUG_DEATH(net.set_drop_rate(1, 2, 1.5), "probability");
+  EXPECT_DEBUG_DEATH(net.set_latency(1, 2, -millis(5), -millis(1)), "negative");
+#ifdef NDEBUG
+  // drop 1.5 clamped to 1.0: nothing gets through.
+  for (int i = 0; i < 10; ++i) a.send(Address{2, 0}, Bytes{1}, 0);
+  net.loop().run_for(seconds(1));
+  EXPECT_TRUE(inbox.empty());
+  // Negative latency clamped to instant delivery, not time travel.
+  net.set_drop_rate(1, 2, 0.0);
+  a.send(Address{2, 0}, Bytes{2}, 0);
+  net.loop().run_for(millis(1));
+  EXPECT_EQ(inbox.size(), 1u);
+#endif
 }
 
 TEST_F(SimNetworkTest, DeterministicAcrossRuns) {

@@ -230,6 +230,93 @@ TEST(TransportTest, TaskSwitchCounterCountsArrivals) {
   EXPECT_EQ(p.t2.task_switches().value() - before, 10u);
 }
 
+TEST(TransportTest, RecvDedupStateIsBounded) {
+  // Abandoned transfers leave permanent sequence gaps at the receiver; the
+  // tracked out-of-order set must stay bounded by max_recv_tracked instead
+  // of growing with every gap.
+  SimNetwork net;
+  TransportConfig tcfg;
+  tcfg.rto = millis(5);
+  tcfg.attempts_per_address = 1;
+  tcfg.max_recv_tracked = 8;
+  Pair p(net, tcfg);
+  net.set_link_up(1, 2, false);
+  for (int i = 0; i < 20; ++i) p.t1.send(2, Bytes{0});  // all abandoned
+  net.loop().run_for(millis(200));
+  net.set_link_up(1, 2, true);
+  for (int i = 0; i < 100; ++i) {
+    p.t1.send(2, Bytes{static_cast<std::uint8_t>(i)});
+  }
+  net.loop().run_for(seconds(2));
+  EXPECT_EQ(p.received.size(), 100u);  // gaps never block delivery
+  EXPECT_LE(p.t2.recv_tracked(1), 8u);
+}
+
+TEST(TransportTest, CorruptedFramesAreDroppedAndRetransmitted) {
+  SimNetConfig cfg;
+  cfg.seed = 11;
+  SimNetwork net(cfg);
+  TransportConfig tcfg;
+  tcfg.rto = millis(10);
+  tcfg.attempts_per_address = 50;
+  Pair p(net, tcfg);
+  net.set_corrupt_rate(1, 2, 0.5);
+  int delivered = 0;
+  for (int i = 0; i < 30; ++i) {
+    p.t1.send(2, Bytes{static_cast<std::uint8_t>(i)},
+              [&](transport::TransferId, NodeId) { ++delivered; });
+  }
+  net.loop().run_for(seconds(10));
+  EXPECT_EQ(delivered, 30);
+  EXPECT_EQ(p.received.size(), 30u);  // exactly once, nothing corrupted through
+  // Both directions saw corrupted frames die at the checksum gate.
+  EXPECT_GT(p.t1.checksum_drops().value() + p.t2.checksum_drops().value(), 0u);
+  EXPECT_GT(net.totals().pkts_corrupted.value(), 0u);
+}
+
+TEST(TransportTest, ParallelStrategyFailsOnlyWhenEveryInterfaceIsCut) {
+  SimNetwork net;
+  TransportConfig tcfg;
+  tcfg.strategy = SendStrategy::kParallel;
+  tcfg.rto = millis(10);
+  tcfg.attempts_per_address = 2;
+  Pair p(net, tcfg, 2);
+  // Sever every address pair between the two nodes.
+  for (std::uint8_t i = 0; i < 2; ++i) {
+    for (std::uint8_t j = 0; j < 2; ++j) {
+      net.set_link_up(net::Address{1, i}, net::Address{2, j}, false);
+    }
+  }
+  bool failed = false;
+  p.t1.send(2, Bytes{1}, {}, [&](transport::TransferId, NodeId) { failed = true; });
+  net.loop().run_for(seconds(1));
+  EXPECT_TRUE(failed) << "no surviving interface: must fail-on-delivery";
+  EXPECT_TRUE(p.received.empty());
+
+  // One surviving interface pair is enough again.
+  net.set_link_up(net::Address{1, 1}, net::Address{2, 1}, true);
+  bool delivered = false;
+  p.t1.send(2, Bytes{2}, [&](transport::TransferId, NodeId) { delivered = true; });
+  net.loop().run_for(seconds(1));
+  EXPECT_TRUE(delivered);
+  ASSERT_EQ(p.received.size(), 1u);
+  EXPECT_EQ(p.received[0].second, Bytes{2});
+}
+
+TEST(TransportTest, ParallelStrategyDoesNotDuplicateDeliveries) {
+  // Parallel sends race one copy per interface; the receiver's duplicate
+  // suppression must collapse them to exactly one delivery each.
+  SimNetwork net;
+  TransportConfig tcfg;
+  tcfg.strategy = SendStrategy::kParallel;
+  Pair p(net, tcfg, 2);
+  for (int i = 0; i < 20; ++i) {
+    p.t1.send(2, Bytes{static_cast<std::uint8_t>(i)});
+  }
+  net.loop().run_for(seconds(1));
+  EXPECT_EQ(p.received.size(), 20u);
+}
+
 TEST(TransportTest, MalformedDatagramIsIgnored) {
   SimNetwork net;
   Pair p(net);

@@ -9,6 +9,7 @@
 
 #include "net/sim_network.h"
 #include "session/session_node.h"
+#include "testing/chaos.h"
 
 namespace raincore::testing {
 
@@ -57,6 +58,21 @@ class TestCluster {
   }
 
   void run(Time d) { net_.loop().run_for(d); }
+
+  /// Opts this cluster into background chaos: returns a started-on-demand
+  /// engine whose crash/restart hooks drive the cluster's nodes (crash =
+  /// crash-stop, restart = re-found as a new incarnation; discovery merges
+  /// it back). Call engine().start() to begin injecting and
+  /// engine().stop_and_heal() before asserting convergence.
+  ChaosEngine& enable_chaos(ChaosConfig chaos_cfg = {}) {
+    if (!chaos_) {
+      chaos_ = std::make_unique<ChaosEngine>(net_, ids(), chaos_cfg);
+      chaos_->set_crash_hook([this](NodeId id) { node(id).stop(); });
+      chaos_->set_restart_hook([this](NodeId id) { node(id).found(); });
+    }
+    return *chaos_;
+  }
+  ChaosEngine& engine() { return *chaos_; }
 
   session::SessionNode& node(NodeId id) { return *nodes_.at(id); }
   net::SimNetwork& net() { return net_; }
@@ -129,6 +145,7 @@ class TestCluster {
  private:
   net::SimNetwork net_;
   session::SessionConfig cfg_;
+  std::unique_ptr<ChaosEngine> chaos_;
   std::map<NodeId, std::unique_ptr<session::SessionNode>> nodes_;
   std::map<NodeId, std::vector<Delivery>> deliveries_;
   std::map<NodeId, std::vector<session::View>> views_;
