@@ -8,19 +8,32 @@
 // exactly with `run_chaos_round(seed, ...)`.
 //
 // Usage: bench_chaos [rounds] [virtual-ms-per-round] [nodes] [base-seed]
+//                    [--json=PATH]
+// With --json the per-seed table is additionally emitted as a
+// raincore.bench.v1 document: one result row per seed (faults, violations,
+// reservoir occupancy) plus the merged final metrics snapshot.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "bench/util/bench_json.h"
 #include "bench/util/gc_harness.h"
 #include "testing/chaos.h"
 
 using namespace raincore;
 
 int main(int argc, char** argv) {
-  std::size_t rounds = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20;
-  long long per_round_ms = argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 5000;
-  std::size_t nodes = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 5;
-  std::uint64_t base_seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1000;
+  std::string json_path = bench::json_path_from_args(argc, argv);
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) pos.push_back(a);
+  }
+  std::size_t rounds = pos.size() > 0 ? std::strtoull(pos[0].c_str(), nullptr, 10) : 20;
+  long long per_round_ms = pos.size() > 1 ? std::strtoll(pos[1].c_str(), nullptr, 10) : 5000;
+  std::size_t nodes = pos.size() > 2 ? std::strtoull(pos[2].c_str(), nullptr, 10) : 5;
+  std::uint64_t base_seed = pos.size() > 3 ? std::strtoull(pos[3].c_str(), nullptr, 10) : 1000;
 
   bench::print_banner("Raincore chaos soak",
                       "randomized fault schedules + protocol invariant checks");
@@ -28,9 +41,17 @@ int main(int argc, char** argv) {
               rounds, per_round_ms, nodes,
               static_cast<unsigned long long>(base_seed),
               static_cast<unsigned long long>(base_seed + rounds - 1));
-  std::printf("%8s %8s %10s %12s\n", "seed", "faults", "classes", "violations");
-  std::printf("----------------------------------------\n");
+  std::printf("%8s %8s %10s %12s %10s\n", "seed", "faults", "classes",
+              "violations", "reservoir");
+  std::printf("--------------------------------------------------\n");
 
+  bench::JsonReport report("bench_chaos");
+  report.param("rounds", static_cast<double>(rounds));
+  report.param("virtual_ms_per_round", static_cast<double>(per_round_ms));
+  report.param("nodes", static_cast<double>(nodes));
+  report.param("base_seed", static_cast<double>(base_seed));
+
+  metrics::Snapshot merged;
   std::size_t total_faults = 0;
   std::size_t total_violations = 0;
   for (std::size_t i = 0; i < rounds; ++i) {
@@ -39,20 +60,34 @@ int main(int argc, char** argv) {
         testing::run_chaos_round(seed, millis(per_round_ms), nodes);
     total_faults += res.faults;
     total_violations += res.violations.size();
-    std::printf("%8llu %8zu %7zu/%zu %12zu\n",
+    std::printf("%8llu %8zu %7zu/%zu %12zu %10zu\n",
                 static_cast<unsigned long long>(seed), res.faults,
                 res.classes.size(),
                 static_cast<std::size_t>(testing::FaultClass::kCount),
-                res.violations.size());
+                res.violations.size(), res.reservoir_samples);
+    JsonValue row = bench::JsonReport::row("seed_" + std::to_string(seed));
+    row.set("seed", JsonValue::number(static_cast<double>(seed)));
+    row.set("faults", JsonValue::number(static_cast<double>(res.faults)));
+    row.set("fault_classes",
+            JsonValue::number(static_cast<double>(res.classes.size())));
+    row.set("violations",
+            JsonValue::number(static_cast<double>(res.violations.size())));
+    row.set("reservoir_samples",
+            JsonValue::number(static_cast<double>(res.reservoir_samples)));
+    report.add(std::move(row));
+    merged.merge(res.metrics);
     if (!res.violations.empty()) {
       std::printf("\nINVARIANT VIOLATIONS (replay with seed %llu):\n",
                   static_cast<unsigned long long>(seed));
       for (const std::string& v : res.violations) {
         std::printf("  %s\n", v.c_str());
       }
-      std::printf("%s\n", res.schedule.c_str());
+      std::printf("%s\n", res.report.c_str());
     }
   }
+
+  report.set_metrics(merged);
+  bench::maybe_write_report(report, json_path);
 
   std::printf("\nTotal: %zu faults injected, %zu invariant violations\n",
               total_faults, total_violations);

@@ -9,8 +9,10 @@
 // depressed aggregate throughput after the failure. Swept over the token
 // hold interval, which dominates detection latency.
 #include <cstdio>
+#include <string>
 
 #include "apps/rainwall/rainwall_cluster.h"
+#include "bench/util/bench_json.h"
 #include "bench/util/gc_harness.h"
 
 using namespace raincore;
@@ -58,7 +60,9 @@ Result run_failover(Time token_hold, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = bench::json_path_from_args(argc, argv);
+  bench::JsonReport report("bench_failover");
   print_banner("Raincore bench E4: Rainwall fail-over time",
                "IPPS'01 paper §3.2 (fail-over under two seconds)");
 
@@ -83,10 +87,19 @@ int main() {
     std::printf("%11lld ms | %12.0f %14.1f %14.1f | %12s\n",
                 static_cast<long long>(hold / kNanosPerMilli),
                 to_millis(worst), before, after, "< 2000 ms");
+    long long hold_ms = static_cast<long long>(hold / kNanosPerMilli);
+    JsonValue row =
+        bench::JsonReport::row("hold_" + std::to_string(hold_ms) + "ms");
+    row.set("token_hold_ms", JsonValue::number(static_cast<double>(hold_ms)));
+    row.set("gap_ms", JsonValue::number(to_millis(worst)));
+    row.set("before_mbps", JsonValue::number(before));
+    row.set("after_mbps", JsonValue::number(after));
+    report.add(std::move(row));
   }
 
   std::printf("\nExpected shape (paper): traffic resumes on the surviving\n");
   std::printf("gateway well inside 2 s; the gap grows with the token interval\n");
   std::printf("(detection latency) but stays bounded.\n");
+  bench::maybe_write_report(report, json_path);
   return 0;
 }

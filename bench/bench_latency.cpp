@@ -9,7 +9,9 @@
 // (as a function of the token interval and cluster size) against the
 // broadcast baselines, plus the extra round that safe ordering costs.
 #include <cstdio>
+#include <string>
 
+#include "bench/util/bench_json.h"
 #include "bench/util/gc_harness.h"
 
 using namespace raincore;
@@ -68,7 +70,22 @@ Histogram run_safe(std::size_t n, Time hold, int msgs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = json_path_from_args(argc, argv);
+  JsonReport report("bench_latency");
+  auto add_row = [&report](const char* stack, std::size_t n, long long hold_ms,
+                           const Histogram& h) {
+    JsonValue row = JsonReport::row(std::string(stack) + "_n" +
+                                    std::to_string(n) + "_hold" +
+                                    std::to_string(hold_ms) + "ms");
+    row.set("stack", JsonValue::string(stack));
+    row.set("nodes", JsonValue::number(static_cast<double>(n)));
+    row.set("token_hold_ms", JsonValue::number(static_cast<double>(hold_ms)));
+    row.set("p50_ms", JsonValue::number(h.percentile(0.5) / 1e6));
+    row.set("mean_ms", JsonValue::number(h.mean() / 1e6));
+    row.set("p95_ms", JsonValue::number(h.percentile(0.95) / 1e6));
+    report.add(std::move(row));
+  };
   print_banner("Raincore bench E5: multicast delivery latency",
                "IPPS'01 paper §4.1 (latency of token- vs broadcast-based GC)");
 
@@ -87,18 +104,21 @@ int main() {
                   n, static_cast<long long>(hold / kNanosPerMilli),
                   h.percentile(0.5) / 1e6, h.mean() / 1e6,
                   h.percentile(0.95) / 1e6);
+      add_row("raincore", n, static_cast<long long>(hold / kNanosPerMilli), h);
     }
     {
       Histogram h = run_safe(n, millis(5), kMsgs);
       std::printf("%-18s %4zu %8s    | %10.2f %10.2f %10.2f\n",
                   "raincore-safe", n, "5 ms", h.percentile(0.5) / 1e6,
                   h.mean() / 1e6, h.percentile(0.95) / 1e6);
+      add_row("raincore-safe", n, 5, h);
     }
     for (Stack s : {Stack::kBroadcast, Stack::kSequencer, Stack::kTwoPhase}) {
       Histogram h = run_case(s, n, millis(5), kMsgs);
       std::printf("%-18s %4zu %11s | %10.2f %10.2f %10.2f\n", stack_name(s), n,
                   "-", h.percentile(0.5) / 1e6, h.mean() / 1e6,
                   h.percentile(0.95) / 1e6);
+      add_row(stack_name(s), n, 5, h);
     }
     std::printf("\n");
   }
@@ -107,5 +127,6 @@ int main() {
   std::printf("at LAN speeds, i.e. acceptable for state sharing; broadcast is\n");
   std::printf("sub-millisecond but pays the §4.1 CPU/packet costs. Safe\n");
   std::printf("ordering costs exactly one extra token round over agreed.\n");
+  maybe_write_report(report, json_path);
   return 0;
 }

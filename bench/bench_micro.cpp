@@ -2,8 +2,14 @@
 // simulator event throughput, transport round trips, and a full token-ring
 // protocol cycle. These quantify the substrate itself, making the sim-based
 // numbers in E1–E7 interpretable.
+//
+// --json=PATH additionally emits the runs as a raincore.bench.v1 document
+// (one result row per benchmark run) via a collecting reporter.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench/util/bench_json.h"
 #include "bench/util/gc_harness.h"
 #include "session/token.h"
 #include "transport/transport.h"
@@ -114,6 +120,50 @@ void BM_TokenRingFullRotation(benchmark::State& state) {
 }
 BENCHMARK(BM_TokenRingFullRotation)->Arg(2)->Arg(8)->Arg(32);
 
+/// Console reporter that also captures every finished run so the main below
+/// can re-emit them in the raincore.bench.v1 schema (google-benchmark's own
+/// JSON has a different shape; downstream tooling only speaks ours). Wraps
+/// the display reporter rather than acting as gbench's "file reporter",
+/// which would demand --benchmark_out.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(bench::JsonReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      JsonValue row = bench::JsonReport::row(run.benchmark_name());
+      row.set("iterations",
+              JsonValue::number(static_cast<double>(run.iterations)));
+      row.set("real_time_s", JsonValue::number(run.real_accumulated_time));
+      row.set("cpu_time_s", JsonValue::number(run.cpu_accumulated_time));
+      report_.add(std::move(row));
+    }
+  }
+
+ private:
+  bench::JsonReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = bench::json_path_from_args(argc, argv);
+  // Strip our flag before google-benchmark sees it (it rejects unknowns).
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--json=", 0) != 0) argv[kept++] = argv[i];
+  }
+  argc = kept;
+
+  bench::JsonReport report("bench_micro");
+  CollectingReporter collector(report);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  benchmark::Shutdown();
+
+  bench::maybe_write_report(report, json_path);
+  return 0;
+}

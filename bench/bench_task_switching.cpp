@@ -7,8 +7,10 @@
 // times. Here the counts are *measured*: one task switch per datagram
 // arrival or protocol-timer fire at each node.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/util/bench_json.h"
 #include "bench/util/gc_harness.h"
 
 using namespace raincore;
@@ -87,7 +89,9 @@ Row run_case(Stack stack, std::size_t n, double m_rate, Time token_hold) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = json_path_from_args(argc, argv);
+  JsonReport report("bench_task_switching");
   print_banner("Raincore bench E1: CPU task-switching overhead",
                "IPPS'01 paper §4.1 (L vs M*N vs 6*M*N analysis)");
 
@@ -108,6 +112,17 @@ int main() {
         std::printf("%-14s %4zu %6.0f | %14.1f %14.1f | %12.1f %10.0f\n",
                     stack_name(r.stack), r.n, r.m, r.measured_ts, r.analytic,
                     r.delivered_per_s, r.pkts_per_s);
+        JsonValue row = JsonReport::row(std::string(stack_name(r.stack)) +
+                                        "_n" + std::to_string(r.n) + "_m" +
+                                        std::to_string(static_cast<int>(r.m)));
+        row.set("stack", JsonValue::string(stack_name(r.stack)));
+        row.set("nodes", JsonValue::number(static_cast<double>(r.n)));
+        row.set("msgs_per_node_s", JsonValue::number(r.m));
+        row.set("measured_ts_per_node_s", JsonValue::number(r.measured_ts));
+        row.set("analytic_ts_per_node_s", JsonValue::number(r.analytic));
+        row.set("delivered_per_s", JsonValue::number(r.delivered_per_s));
+        row.set("net_pkts_per_s", JsonValue::number(r.pkts_per_s));
+        report.add(std::move(row));
       }
       std::printf("\n");
     }
@@ -116,5 +131,6 @@ int main() {
   std::printf("Expected shape (paper): raincore stays at ~2L wake-ups/node/s\n");
   std::printf("(token arrival + its ack) independent of M; broadcast grows like\n");
   std::printf("M*N; two-phase commit like 6*M*N.\n");
+  maybe_write_report(report, json_path);
   return 0;
 }

@@ -1,0 +1,167 @@
+// Machine-readable bench output ("raincore.bench.v1" schema) + validator.
+//
+// Every bench harness can emit a BENCH_<name>.json artifact next to its
+// human-readable table when invoked with --json=PATH:
+//
+//   {
+//     "schema":  "raincore.bench.v1",
+//     "bench":   "<harness name>",
+//     "params":  { "<knob>": <number|string>, ... },           (optional)
+//     "results": [ {"name": "<case>", "<metric>": <value>, ...}, ... ],
+//     "metrics": { "counters": ..., "gauges": ..., "histograms": ... }
+//   }                                                          (optional)
+//
+// "metrics" is a metrics::Snapshot as serialized by Snapshot::to_json(), so
+// downstream tooling reads protocol instruments and bench-level results
+// from one document. validate_bench_json() is the schema self-check the
+// `bench_json_check` ctest target runs against the real binaries' output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/json.h"
+#include "common/metrics.h"
+
+namespace raincore::bench {
+
+inline constexpr const char* kBenchSchema = "raincore.bench.v1";
+
+/// Accumulates one bench run's machine-readable report.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void param(const std::string& key, double v) {
+    params_.set(key, JsonValue::number(v));
+  }
+  void param(const std::string& key, const std::string& v) {
+    params_.set(key, JsonValue::string(v));
+  }
+
+  /// Starts a result row; extend it with row.set(...) then add() it.
+  static JsonValue row(const std::string& name) {
+    JsonValue o = JsonValue::object();
+    o.set("name", JsonValue::string(name));
+    return o;
+  }
+  void add(JsonValue result_row) { results_.push_back(std::move(result_row)); }
+  std::size_t results() const { return results_.items().size(); }
+
+  void set_metrics(const metrics::Snapshot& s) {
+    metrics_ = s.to_json();
+    has_metrics_ = true;
+  }
+
+  JsonValue to_json() const {
+    JsonValue root = JsonValue::object();
+    root.set("schema", JsonValue::string(kBenchSchema));
+    root.set("bench", JsonValue::string(bench_));
+    if (!params_.members().empty()) root.set("params", params_);
+    root.set("results", results_);
+    if (has_metrics_) root.set("metrics", metrics_);
+    return root;
+  }
+  std::string dump() const { return to_json().dump(); }
+
+  /// Writes the report (one JSON document + newline). Returns false on I/O
+  /// failure.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::string text = dump();
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    ok = std::fputc('\n', f) != EOF && ok;
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  std::string bench_;
+  JsonValue params_ = JsonValue::object();
+  JsonValue results_ = JsonValue::array();
+  JsonValue metrics_;
+  bool has_metrics_ = false;
+};
+
+/// Validates a parsed document against the raincore.bench.v1 schema.
+inline bool validate_bench_json(const JsonValue& v, std::string* err) {
+  auto fail = [&](const std::string& what) {
+    if (err) *err = what;
+    return false;
+  };
+  if (!v.is_object()) return fail("root is not an object");
+  const JsonValue* schema = v.find("schema");
+  if (!schema || !schema->is_string() || schema->as_string() != kBenchSchema) {
+    return fail("missing or wrong \"schema\" (want raincore.bench.v1)");
+  }
+  const JsonValue* bench = v.find("bench");
+  if (!bench || !bench->is_string() || bench->as_string().empty()) {
+    return fail("missing \"bench\" name");
+  }
+  if (const JsonValue* params = v.find("params")) {
+    if (!params->is_object()) return fail("\"params\" is not an object");
+    for (const auto& [k, item] : params->members()) {
+      if (!item.is_number() && !item.is_string()) {
+        return fail("param \"" + k + "\" is not a number or string");
+      }
+    }
+  }
+  const JsonValue* results = v.find("results");
+  if (!results || !results->is_array()) {
+    return fail("missing \"results\" array");
+  }
+  for (const JsonValue& rowv : results->items()) {
+    if (!rowv.is_object()) return fail("result row is not an object");
+    const JsonValue* name = rowv.find("name");
+    if (!name || !name->is_string() || name->as_string().empty()) {
+      return fail("result row without a \"name\"");
+    }
+    for (const auto& [k, item] : rowv.members()) {
+      if (k == "name") continue;
+      if (!item.is_number() && !item.is_string() && !item.is_bool()) {
+        return fail("result field \"" + k + "\" has a non-scalar value");
+      }
+    }
+  }
+  if (const JsonValue* m = v.find("metrics")) {
+    metrics::Snapshot s;
+    if (!metrics::Snapshot::from_json(*m, s)) {
+      return fail("\"metrics\" is not a valid metrics snapshot");
+    }
+  }
+  return true;
+}
+
+inline bool validate_bench_json_text(const std::string& text,
+                                     std::string* err) {
+  JsonValue v;
+  if (!JsonValue::parse(text, v)) {
+    if (err) *err = "not valid JSON";
+    return false;
+  }
+  return validate_bench_json(v, err);
+}
+
+/// Extracts PATH from a `--json=PATH` argument, or "" when absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) return a.substr(7);
+  }
+  return "";
+}
+
+/// Emit-and-report helper shared by the harness mains: writes the report if
+/// a path was requested and prints where it went.
+inline void maybe_write_report(const JsonReport& report,
+                               const std::string& path) {
+  if (path.empty()) return;
+  if (report.write(path)) {
+    std::printf("\nmachine-readable report: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write JSON report to %s\n", path.c_str());
+  }
+}
+
+}  // namespace raincore::bench

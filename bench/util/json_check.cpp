@@ -1,0 +1,138 @@
+// raincore.bench.v1 schema self-check.
+//
+// Two modes, combined in one invocation:
+//   1. Always: a built-in round-trip test — a document produced by the
+//      JsonReport emitter must validate, and a gallery of malformed
+//      documents must each be rejected with a diagnostic.
+//   2. For every argv path: parse the file and validate it against the
+//      schema. This is how ctest checks the *actual* output of the real
+//      bench binaries (bench_chaos/bench_micro run first via fixtures).
+//
+// Exit 0 iff everything passed.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/util/bench_json.h"
+#include "common/metrics.h"
+
+using namespace raincore;
+using namespace raincore::bench;
+
+namespace {
+
+int failures = 0;
+
+void expect(bool ok, const std::string& what) {
+  if (ok) {
+    std::printf("  ok: %s\n", what.c_str());
+  } else {
+    std::printf("  FAIL: %s\n", what.c_str());
+    ++failures;
+  }
+}
+
+void self_test() {
+  std::printf("emitter round-trip:\n");
+  metrics::Registry reg;
+  reg.counter("demo.sends").inc(42);
+  reg.gauge("demo.ring.size").set(5);
+  for (int i = 0; i < 100; ++i) {
+    reg.histogram("demo.latency_ns").record(1000.0 * (i + 1));
+  }
+
+  JsonReport report("json_check_self");
+  report.param("nodes", 5.0);
+  report.param("mode", std::string("selftest"));
+  JsonValue row = JsonReport::row("case_a");
+  row.set("value", JsonValue::number(1.5));
+  row.set("label", JsonValue::string("x"));
+  row.set("passed", JsonValue::boolean(true));
+  report.add(std::move(row));
+  report.set_metrics(reg.snapshot());
+
+  std::string err;
+  expect(validate_bench_json_text(report.dump(), &err),
+         "emitter document validates (" + err + ")");
+
+  JsonValue reparsed;
+  expect(JsonValue::parse(report.dump(), reparsed), "emitter output reparses");
+  expect(reparsed == report.to_json(), "parse(dump(doc)) == doc");
+
+  std::printf("malformed documents are rejected:\n");
+  struct Bad {
+    const char* what;
+    const char* text;
+  };
+  const std::vector<Bad> bad = {
+      {"not JSON at all", "{nope"},
+      {"root not an object", "[1,2,3]"},
+      {"missing schema", "{\"bench\":\"x\",\"results\":[]}"},
+      {"wrong schema tag",
+       "{\"schema\":\"raincore.bench.v0\",\"bench\":\"x\",\"results\":[]}"},
+      {"missing bench name",
+       "{\"schema\":\"raincore.bench.v1\",\"results\":[]}"},
+      {"missing results",
+       "{\"schema\":\"raincore.bench.v1\",\"bench\":\"x\"}"},
+      {"result row without name",
+       "{\"schema\":\"raincore.bench.v1\",\"bench\":\"x\","
+       "\"results\":[{\"value\":1}]}"},
+      {"non-scalar result field",
+       "{\"schema\":\"raincore.bench.v1\",\"bench\":\"x\","
+       "\"results\":[{\"name\":\"a\",\"value\":[1]}]}"},
+      {"non-scalar param",
+       "{\"schema\":\"raincore.bench.v1\",\"bench\":\"x\","
+       "\"params\":{\"k\":{}},\"results\":[]}"},
+      {"garbage metrics snapshot",
+       "{\"schema\":\"raincore.bench.v1\",\"bench\":\"x\",\"results\":[],"
+       "\"metrics\":{\"counters\":[]}}"},
+  };
+  for (const Bad& b : bad) {
+    std::string why;
+    bool rejected = !validate_bench_json_text(b.text, &why);
+    expect(rejected, std::string(b.what) + " -> " + why);
+  }
+}
+
+bool check_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    std::printf("  FAIL: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+
+  std::string err;
+  if (!validate_bench_json_text(text, &err)) {
+    std::printf("  FAIL: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  JsonValue v;
+  JsonValue::parse(text, v);
+  const JsonValue* bench = v.find("bench");
+  const JsonValue* results = v.find("results");
+  std::printf("  ok: %s (bench=%s, %zu result rows%s)\n", path.c_str(),
+              bench->as_string().c_str(), results->items().size(),
+              v.find("metrics") ? ", with metrics snapshot" : "");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  self_test();
+  if (argc > 1) std::printf("validating bench artifacts:\n");
+  for (int i = 1; i < argc; ++i) {
+    if (!check_file(argv[i])) ++failures;
+  }
+  if (failures) {
+    std::printf("json_check: %d FAILURE(S)\n", failures);
+    return 1;
+  }
+  std::printf("json_check: all checks passed\n");
+  return 0;
+}

@@ -50,6 +50,8 @@ std::uint64_t PacketEngine::tick(Time dt, std::uint64_t gc_task_switches) {
   const double traffic_ns = pkts * cfg_.cpu_per_pkt_ns;
   last_cpu_util_ = std::min(1.0, (traffic_ns + gc_ns) / cpu_ns_total);
   last_gc_cpu_ = std::min(1.0, gc_ns / cpu_ns_total);
+  cpu_util_gauge_.set(last_cpu_util_);
+  gc_cpu_gauge_.set(last_gc_cpu_);
   return static_cast<std::uint64_t>(forwarded);
 }
 

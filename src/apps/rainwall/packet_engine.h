@@ -17,6 +17,7 @@
 
 #include "apps/rainwall/policy.h"
 #include "apps/rainwall/traffic.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 
 namespace raincore::apps {
@@ -64,11 +65,21 @@ class PacketEngine {
   const Counter& pkts_forwarded() const { return pkts_forwarded_; }
   const Counter& conns_denied() const { return conns_denied_; }
 
+  /// Engine instruments ("app.wall.*"): forwarding counts plus CPU-
+  /// utilization gauges sampled at each tick.
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+
  private:
   EngineConfig cfg_;
   const FirewallPolicy* policy_;
   std::map<std::uint64_t, Connection> active_;
-  Counter bytes_forwarded_, pkts_forwarded_, conns_denied_;
+  metrics::Registry metrics_;
+  Counter& bytes_forwarded_ = metrics_.counter("app.wall.bytes_forwarded");
+  Counter& pkts_forwarded_ = metrics_.counter("app.wall.pkts_forwarded");
+  Counter& conns_denied_ = metrics_.counter("app.wall.conns_denied");
+  Gauge& cpu_util_gauge_ = metrics_.gauge("app.wall.cpu_util");
+  Gauge& gc_cpu_gauge_ = metrics_.gauge("app.wall.gc_cpu_fraction");
   double last_cpu_util_ = 0;
   double last_gc_cpu_ = 0;
 };

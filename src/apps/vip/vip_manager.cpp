@@ -204,6 +204,7 @@ void VipManager::on_assignment_change() {
     }
   }
   mine_ = std::move(now);
+  owned_gauge_.set(static_cast<double>(mine_.size()));
 
   // The in-flight rebalance ops have (at least partially) landed: if the
   // spread is still uneven — e.g. the last pass ran on stale reads — run

@@ -51,10 +51,18 @@ class VipManager {
   void set_gain_handler(VipEventFn fn) { on_gain_ = std::move(fn); }
   void set_loss_handler(VipEventFn fn) { on_loss_ = std::move(fn); }
 
+  /// Named views into the VIP registry ("app.vip.*" instruments).
   struct Stats {
-    Counter gains, losses, rebalances, arp_reasserts;
+    explicit Stats(metrics::Registry& r)
+        : gains(r.counter("app.vip.gains")),
+          losses(r.counter("app.vip.losses")),
+          rebalances(r.counter("app.vip.rebalances")),
+          arp_reasserts(r.counter("app.vip.arp_reasserts")) {}
+    Counter &gains, &losses, &rebalances, &arp_reasserts;
   };
   const Stats& stats() const { return stats_; }
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
 
  private:
   void on_view(const session::View& v);
@@ -81,7 +89,9 @@ class VipManager {
   net::TimerId reassert_timer_ = 0;
   VipEventFn on_gain_;
   VipEventFn on_loss_;
-  Stats stats_;
+  metrics::Registry metrics_;
+  Stats stats_{metrics_};
+  Gauge& owned_gauge_ = metrics_.gauge("app.vip.owned");
 };
 
 }  // namespace raincore::apps

@@ -1,0 +1,232 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace raincore::metrics {
+
+namespace {
+
+// FNV-1a over the instrument name: reservoir seeds depend only on the name,
+// never on registration order, so per-seed chaos snapshots stay replayable.
+std::uint64_t name_seed(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h ? h : 0x52c1e5u;
+}
+
+std::string fmt(double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& Registry::histogram(const std::string& name, std::size_t capacity) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(capacity, name_seed(name))).first;
+  }
+  return it->second;
+}
+
+bool Registry::has(const std::string& name) const {
+  return counters_.count(name) || gauges_.count(name) ||
+         histograms_.count(name);
+}
+
+std::size_t Registry::reservoir_samples() const {
+  std::size_t total = 0;
+  for (const auto& [name, h] : histograms_) total += h.reservoir_size();
+  return total;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    HistStat hs;
+    hs.count = h.count();
+    hs.sum = h.sum();
+    hs.min = h.min();
+    hs.max = h.max();
+    hs.mean = h.mean();
+    hs.p50 = h.percentile(0.50);
+    hs.p90 = h.percentile(0.90);
+    hs.p99 = h.percentile(0.99);
+    s.histograms[name] = hs;
+  }
+  return s;
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+Snapshot Snapshot::diff(const Snapshot& earlier) const {
+  Snapshot out = *this;
+  for (auto& [name, v] : out.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) v -= std::min(v, it->second);
+  }
+  for (auto& [name, v] : out.gauges) {
+    auto it = earlier.gauges.find(name);
+    if (it != earlier.gauges.end()) v -= it->second;
+  }
+  for (auto& [name, hs] : out.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) continue;
+    hs.count -= std::min(hs.count, it->second.count);
+    hs.sum -= it->second.sum;
+    hs.mean = hs.count ? hs.sum / static_cast<double>(hs.count) : 0.0;
+    // min/max/percentiles stay as-of-now: order statistics don't subtract.
+  }
+  return out;
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, hs] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms[name] = hs;
+      continue;
+    }
+    HistStat& mine = it->second;
+    std::uint64_t total = mine.count + hs.count;
+    if (total == 0) continue;
+    if (hs.count) {
+      mine.min = mine.count ? std::min(mine.min, hs.min) : hs.min;
+      mine.max = mine.count ? std::max(mine.max, hs.max) : hs.max;
+    }
+    double w_mine = static_cast<double>(mine.count) / static_cast<double>(total);
+    double w_other = static_cast<double>(hs.count) / static_cast<double>(total);
+    mine.p50 = mine.p50 * w_mine + hs.p50 * w_other;
+    mine.p90 = mine.p90 * w_mine + hs.p90 * w_other;
+    mine.p99 = mine.p99 * w_mine + hs.p99 * w_other;
+    mine.sum += hs.sum;
+    mine.count = total;
+    mine.mean = mine.sum / static_cast<double>(total);
+  }
+}
+
+JsonValue Snapshot::to_json() const {
+  JsonValue root = JsonValue::object();
+  JsonValue jc = JsonValue::object();
+  for (const auto& [name, v] : counters) {
+    jc.set(name, JsonValue::number(static_cast<double>(v)));
+  }
+  root.set("counters", std::move(jc));
+  JsonValue jg = JsonValue::object();
+  for (const auto& [name, v] : gauges) jg.set(name, JsonValue::number(v));
+  root.set("gauges", std::move(jg));
+  JsonValue jh = JsonValue::object();
+  for (const auto& [name, hs] : histograms) {
+    JsonValue o = JsonValue::object();
+    o.set("count", JsonValue::number(static_cast<double>(hs.count)));
+    o.set("sum", JsonValue::number(hs.sum));
+    o.set("min", JsonValue::number(hs.min));
+    o.set("max", JsonValue::number(hs.max));
+    o.set("mean", JsonValue::number(hs.mean));
+    o.set("p50", JsonValue::number(hs.p50));
+    o.set("p90", JsonValue::number(hs.p90));
+    o.set("p99", JsonValue::number(hs.p99));
+    jh.set(name, std::move(o));
+  }
+  root.set("histograms", std::move(jh));
+  return root;
+}
+
+std::string Snapshot::to_jsonl() const { return to_json().dump(); }
+
+bool Snapshot::from_json(const JsonValue& v, Snapshot& out) {
+  if (!v.is_object()) return false;
+  Snapshot s;
+  if (const JsonValue* jc = v.find("counters")) {
+    if (!jc->is_object()) return false;
+    for (const auto& [name, item] : jc->members()) {
+      if (!item.is_number()) return false;
+      s.counters[name] = static_cast<std::uint64_t>(item.as_number());
+    }
+  }
+  if (const JsonValue* jg = v.find("gauges")) {
+    if (!jg->is_object()) return false;
+    for (const auto& [name, item] : jg->members()) {
+      if (!item.is_number()) return false;
+      s.gauges[name] = item.as_number();
+    }
+  }
+  if (const JsonValue* jh = v.find("histograms")) {
+    if (!jh->is_object()) return false;
+    for (const auto& [name, item] : jh->members()) {
+      if (!item.is_object()) return false;
+      HistStat hs;
+      auto num = [&](const char* key, double& dst) {
+        const JsonValue* f = item.find(key);
+        if (!f || !f->is_number()) return false;
+        dst = f->as_number();
+        return true;
+      };
+      double count = 0.0;
+      if (!num("count", count) || !num("sum", hs.sum) ||
+          !num("min", hs.min) || !num("max", hs.max) ||
+          !num("mean", hs.mean) || !num("p50", hs.p50) ||
+          !num("p90", hs.p90) || !num("p99", hs.p99)) {
+        return false;
+      }
+      hs.count = static_cast<std::uint64_t>(count);
+      s.histograms[name] = hs;
+    }
+  }
+  out = std::move(s);
+  return true;
+}
+
+bool Snapshot::from_jsonl(const std::string& line, Snapshot& out) {
+  JsonValue v;
+  if (!JsonValue::parse(line, v)) return false;
+  return from_json(v, out);
+}
+
+std::string Snapshot::to_table() const {
+  const std::vector<int> w{-44, 12, 12, 12, 12, 12, 12};
+  std::string out =
+      format_row({"instrument", "count", "min", "mean", "p50", "p99", "max"}, w);
+  out += '\n';
+  for (const auto& [name, v] : counters) {
+    out += format_row({name, fmt(static_cast<double>(v)), "-", "-", "-", "-", "-"}, w);
+    out += '\n';
+  }
+  for (const auto& [name, v] : gauges) {
+    out += format_row({name, "-", "-", fmt(v), "-", "-", "-"}, w);
+    out += '\n';
+  }
+  for (const auto& [name, hs] : histograms) {
+    out += format_row({name, fmt(static_cast<double>(hs.count)), fmt(hs.min),
+                       fmt(hs.mean), fmt(hs.p50), fmt(hs.p99), fmt(hs.max)},
+                      w);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace raincore::metrics

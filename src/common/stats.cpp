@@ -1,33 +1,46 @@
 #include "common/stats.h"
 
 #include <cstdio>
-#include <numeric>
 
 namespace raincore {
+
+void Histogram::record(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  sum_ += v;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(v);
+    sorted_ = false;
+  } else {
+    // Algorithm R: the incoming sample replaces a random slot with
+    // probability capacity/(count+1), keeping every stream element equally
+    // likely to be retained.
+    std::uint64_t j = rng_.next_below(count_ + 1);
+    if (j < capacity_) {
+      samples_[static_cast<std::size_t>(j)] = v;
+      sorted_ = false;
+    }
+  }
+  ++count_;
+}
+
+void Histogram::reset() {
+  count_ = 0;
+  min_ = max_ = sum_ = 0.0;
+  samples_.clear();
+  sorted_ = false;
+  rng_ = Rng(seed_);  // replay determinism: identical streams, identical reservoirs
+}
 
 void Histogram::ensure_sorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
-}
-
-double Histogram::min() const {
-  if (samples_.empty()) return 0.0;
-  ensure_sorted();
-  return samples_.front();
-}
-
-double Histogram::max() const {
-  if (samples_.empty()) return 0.0;
-  ensure_sorted();
-  return samples_.back();
-}
-
-double Histogram::mean() const {
-  if (samples_.empty()) return 0.0;
-  double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
-  return sum / static_cast<double>(samples_.size());
 }
 
 double Histogram::percentile(double q) const {

@@ -1,6 +1,7 @@
-// Counters and histograms used to *measure* the paper's evaluation metrics
-// (task switches, packets, bytes, latencies) rather than computing them from
-// formulas. Plain value types; no global registry, owners aggregate.
+// Counters, gauges and histograms used to *measure* the paper's evaluation
+// metrics (task switches, packets, bytes, latencies) rather than computing
+// them from formulas. Plain value types; owners aggregate, and the
+// MetricsRegistry (common/metrics.h) names and exports them.
 #pragma once
 
 #include <algorithm>
@@ -8,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
 
 namespace raincore {
@@ -23,31 +25,65 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
-/// Streaming min/mean/max plus exact percentiles over retained samples.
-/// Retains every sample; callers that record unbounded streams should use
-/// reset() between measurement windows.
+/// Last-value instrument for levels (ring size, queue depth, bytes held).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  void reset() { value_ = 0.0; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Streaming min/mean/max plus percentiles over a bounded reservoir.
+///
+/// count/min/max/mean/sum are exact over the full stream. Percentiles are
+/// exact while the stream fits the reservoir (count() <= capacity()) and an
+/// unbiased reservoir-sample estimate beyond it (Vitter's algorithm R with a
+/// deterministic, seeded RNG — identical record sequences always produce
+/// identical reservoirs). Memory is O(capacity) regardless of stream length,
+/// so long chaos soaks no longer grow without bound.
 class Histogram {
  public:
-  void record(double v) {
-    samples_.push_back(v);
-    sorted_ = false;
-  }
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit Histogram(std::size_t capacity = kDefaultCapacity,
+                     std::uint64_t seed = 0x52c1e5u)
+      : capacity_(std::max<std::size_t>(1, capacity)), seed_(seed), rng_(seed) {}
+
+  void record(double v);
   void record_time(Time t) { record(static_cast<double>(t)); }
 
-  std::size_t count() const { return samples_.size(); }
-  double min() const;
-  double max() const;
-  double mean() const;
-  /// q in [0, 1]; exact order statistic over the retained samples.
-  double percentile(double q) const;
-  void reset() {
-    samples_.clear();
-    sorted_ = false;
+  /// Total samples recorded over the stream (not the retained count).
+  std::size_t count() const { return count_; }
+  /// Samples currently retained: min(count(), capacity()).
+  std::size_t reservoir_size() const { return samples_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
   }
+  /// q in [0, 1]; exact order statistic at/below capacity, reservoir
+  /// estimate above it.
+  double percentile(double q) const;
+
+  void reset();
 
  private:
   void ensure_sorted() const;
 
+  std::size_t capacity_;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
 };

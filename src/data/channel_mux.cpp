@@ -12,6 +12,7 @@ ChannelMux::ChannelMux(session::SessionNode& node) : node_(node) {
         Channel ch = r.u16();
         auto it = channels_.find(ch);
         if (it == channels_.end()) return;
+        delivered_.inc();
         Bytes body(payload.begin() + 2, payload.end());
         it->second(origin, body, o);
       });
@@ -21,6 +22,7 @@ ChannelMux::ChannelMux(session::SessionNode& node) : node_(node) {
 }
 
 MsgSeq ChannelMux::send(Channel ch, Bytes payload, session::Ordering o) {
+  sent_.inc();
   ByteWriter w(payload.size() + 2);
   w.u16(ch);
   w.raw(payload.data(), payload.size());

@@ -36,11 +36,21 @@ class ChannelMux {
   session::SessionNode& session() { return node_; }
   NodeId self() const { return node_.id(); }
   const session::View& view() const { return node_.view(); }
+  /// Current virtual time of the owning node's event loop — shared clock
+  /// for the data services' latency instruments.
+  Time now() const { return node_.transport().env().now(); }
+
+  /// Mux-level instruments ("data.mux.*"): per-channel traffic counts.
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
 
  private:
   session::SessionNode& node_;
   std::map<Channel, ChannelFn> channels_;
   std::vector<ViewFn> view_fns_;
+  metrics::Registry metrics_;
+  Counter& sent_ = metrics_.counter("data.mux.sent");
+  Counter& delivered_ = metrics_.counter("data.mux.delivered");
 };
 
 }  // namespace raincore::data

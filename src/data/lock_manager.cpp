@@ -28,6 +28,7 @@ void LockManager::on_view(const session::View& v) {
     any_epoch_ = false;
     grant_fns_.clear();
     my_outstanding_.clear();
+    wait_since_.clear();
     last_epoch_view_sent_ = 0;
   }
   if (!v.has(mux_.self())) return;
@@ -67,6 +68,7 @@ void LockManager::acquire(const std::string& name, GrantFn on_granted) {
   std::uint64_t req = next_req_++;
   if (on_granted) grant_fns_[{name, req}] = std::move(on_granted);
   my_outstanding_[name].push_back(req);
+  wait_since_[{name, req}] = mux_.now();
   send_op(Op::kAcquire, name, req);
 }
 
@@ -75,6 +77,7 @@ void LockManager::release(const std::string& name) {
   // earliest entry (the ownership, or the earliest queued request).
   auto it = my_outstanding_.find(name);
   if (it != my_outstanding_.end() && !it->second.empty()) {
+    wait_since_.erase({name, it->second.front()});
     it->second.pop_front();
     if (it->second.empty()) my_outstanding_.erase(it);
   }
@@ -103,6 +106,10 @@ void LockManager::maybe_grant(const std::string& name) {
   if (lit == locks_.end() || lit->second.queue.empty()) return;
   const Waiter& head = lit->second.queue.front();
   if (head.node != mux_.self()) return;
+  if (auto wit = wait_since_.find({name, head.req}); wit != wait_since_.end()) {
+    stats_.wait_ns.record_time(mux_.now() - wit->second);
+    wait_since_.erase(wit);
+  }
   // Grant exactly the request that reached the head — never a newer
   // request of ours riding on a not-yet-released previous ownership.
   auto it = grant_fns_.find({name, head.req});

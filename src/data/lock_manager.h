@@ -46,10 +46,20 @@ class LockManager {
   std::optional<NodeId> owner(const std::string& name) const;
   std::size_t waiters(const std::string& name) const;
 
+  /// Named views into the lock registry ("data.lock.*" instruments).
   struct Stats {
-    Counter grants, releases, purged_owners, purged_waiters;
+    explicit Stats(metrics::Registry& r)
+        : grants(r.counter("data.lock.grants")),
+          releases(r.counter("data.lock.releases")),
+          purged_owners(r.counter("data.lock.purged_owners")),
+          purged_waiters(r.counter("data.lock.purged_waiters")),
+          wait_ns(r.histogram("data.lock.wait_ns")) {}
+    Counter &grants, &releases, &purged_owners, &purged_waiters;
+    Histogram& wait_ns;  ///< acquire() → local grant latency
   };
   const Stats& stats() const { return stats_; }
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
 
  private:
   enum class Op : std::uint8_t {
@@ -95,7 +105,10 @@ class LockManager {
   /// re-assert requests the table lost and to cancel ownerships it
   /// resurrected after we already released them.
   std::map<std::string, std::deque<std::uint64_t>> my_outstanding_;
-  Stats stats_;
+  /// acquire() timestamps of this node's requests, for the wait histogram.
+  std::map<std::pair<std::string, std::uint64_t>, Time> wait_since_;
+  metrics::Registry metrics_;
+  Stats stats_{metrics_};
 };
 
 }  // namespace raincore::data

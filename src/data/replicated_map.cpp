@@ -43,6 +43,7 @@ void ReplicatedMap::on_view(const session::View& v) {
     } else if (!synced_ && !sync_requested_) {
       // Joiner: ask the group for a snapshot through the agreed stream.
       sync_requested_ = true;
+      sync_ops_.inc();
       ByteWriter w(1);
       w.u8(static_cast<std::uint8_t>(Op::kSyncRequest));
       mux_.send(channel_, w.take());
@@ -70,6 +71,7 @@ void ReplicatedMap::on_view(const session::View& v) {
   if (survivor && gained && synced_ && !prev_members_.empty() &&
       v.view_id != last_reconcile_view_sent_ && mux_.self() == reconciler) {
     last_reconcile_view_sent_ = v.view_id;
+    sync_ops_.inc();
     ByteWriter w(64);
     w.u8(static_cast<std::uint8_t>(Op::kReconcile));
     w.u32(static_cast<std::uint32_t>(data_.size()));
@@ -83,17 +85,23 @@ void ReplicatedMap::on_view(const session::View& v) {
 }
 
 void ReplicatedMap::put(const std::string& key, const std::string& value) {
-  ByteWriter w(key.size() + value.size() + 16);
+  puts_.inc();
+  ByteWriter w(key.size() + value.size() + 24);
   w.u8(static_cast<std::uint8_t>(Op::kPut));
   w.str(key);
   w.str(value);
+  // Multicast timestamp: replicas measure their convergence lag against it
+  // (the simulator's virtual clock is global, so the delta is exact).
+  w.u64(static_cast<std::uint64_t>(mux_.now()));
   mux_.send(channel_, w.take());
 }
 
 void ReplicatedMap::erase(const std::string& key) {
-  ByteWriter w(key.size() + 8);
+  erases_.inc();
+  ByteWriter w(key.size() + 16);
   w.u8(static_cast<std::uint8_t>(Op::kErase));
   w.str(key);
+  w.u64(static_cast<std::uint64_t>(mux_.now()));
   mux_.send(channel_, w.take());
 }
 
@@ -122,14 +130,18 @@ void ReplicatedMap::on_message(NodeId origin, const Bytes& payload) {
     case Op::kPut: {
       std::string key = r.str();
       std::string value = r.str();
+      Time sent_at = static_cast<Time>(r.u64());
       if (!r.ok()) return;
+      convergence_lag_.record_time(mux_.now() - sent_at);
       if (sync_requested_ && !synced_) replay_.emplace_back(origin, payload);
       apply_put(key, std::move(value), origin);
       break;
     }
     case Op::kErase: {
       std::string key = r.str();
+      Time sent_at = static_cast<Time>(r.u64());
       if (!r.ok()) return;
+      convergence_lag_.record_time(mux_.now() - sent_at);
       if (sync_requested_ && !synced_) replay_.emplace_back(origin, payload);
       apply_erase(key, origin);
       break;
@@ -143,6 +155,7 @@ void ReplicatedMap::on_message(NodeId origin, const Bytes& payload) {
         if (n != origin && n < responder) responder = n;
       }
       if (responder != mux_.self() || !synced_) return;
+      sync_ops_.inc();
       ByteWriter w(64);
       w.u8(static_cast<std::uint8_t>(Op::kSnapshot));
       w.u32(origin);  // addressee
@@ -167,6 +180,7 @@ void ReplicatedMap::on_message(NodeId origin, const Bytes& payload) {
         data_[k] = std::move(v);
       }
       synced_ = true;
+      sync_ops_.inc();
       // Replay the operations ordered after our sync request but before the
       // snapshot message; apply-by-overwrite makes this idempotent.
       std::vector<std::pair<NodeId, Bytes>> replay;
@@ -191,6 +205,7 @@ void ReplicatedMap::on_message(NodeId origin, const Bytes& payload) {
       // the agreed stream, so diverged replicas reconverge identically.
       data_ = std::move(adopted);
       synced_ = true;
+      sync_ops_.inc();
       replay_.clear();
       RC_INFO(kMod, "node %u reconciled to %u entries from %u", mux_.self(), n,
               origin);

@@ -49,6 +49,11 @@ class ReplicatedMap {
 
   void set_change_handler(ChangeFn fn) { on_change_ = std::move(fn); }
 
+  /// Map instruments ("data.map.*"): mutation counts, sync-protocol ops,
+  /// and the multicast→apply convergence lag per replica.
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+
  private:
   enum class Op : std::uint8_t {
     kPut = 1,
@@ -80,6 +85,14 @@ class ReplicatedMap {
   /// and receiving the snapshot must be replayed on top of it.
   std::vector<std::pair<NodeId, Bytes>> replay_;
   ChangeFn on_change_;
+  metrics::Registry metrics_;
+  Counter& puts_ = metrics_.counter("data.map.puts");
+  Counter& erases_ = metrics_.counter("data.map.erases");
+  Counter& sync_ops_ = metrics_.counter("data.map.sync_ops");
+  /// Mutation multicast (put/erase) to local apply, per replica: how far
+  /// this replica lags the origin's write (§3 shared-state freshness).
+  Histogram& convergence_lag_ =
+      metrics_.histogram("data.map.convergence_lag_ns");
 };
 
 }  // namespace raincore::data

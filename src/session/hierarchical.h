@@ -75,11 +75,20 @@ class HierarchicalNode {
   SessionNode& local_session() { return local_; }
   SessionNode& global_session() { return global_; }
 
+  /// Named views into the hierarchy registry ("hier.*" instruments).
   struct Stats {
-    Counter forwarded_to_global, injected_from_global, duplicates_dropped;
-    Counter leadership_gained, leadership_lost;
+    explicit Stats(metrics::Registry& r)
+        : forwarded_to_global(r.counter("hier.forwarded_to_global")),
+          injected_from_global(r.counter("hier.injected_from_global")),
+          duplicates_dropped(r.counter("hier.duplicates_dropped")),
+          leadership_gained(r.counter("hier.leadership_gained")),
+          leadership_lost(r.counter("hier.leadership_lost")) {}
+    Counter &forwarded_to_global, &injected_from_global, &duplicates_dropped;
+    Counter &leadership_gained, &leadership_lost;
   };
   const Stats& stats() const { return stats_; }
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
 
  private:
   struct WireMsg {
@@ -117,7 +126,8 @@ class HierarchicalNode {
     std::set<MsgSeq> above;
   };
   std::map<NodeId, OriginSeen> seen_;
-  Stats stats_;
+  metrics::Registry metrics_;
+  Stats stats_{metrics_};
 };
 
 /// Convenience: builds envs for all nodes of a hierarchy on one simulated

@@ -9,8 +9,28 @@ namespace raincore::session {
 namespace {
 constexpr const char* kMod = "session";
 constexpr std::size_t kMaxLineagesTracked = 64;
-#define RC_STATE(why) RC_DEBUG(kMod, "node %u state->%d (%s)", id(), (int)state_, why)
 }  // namespace
+
+Histogram& SessionNode::dwell_hist(State s) {
+  switch (s) {
+    case State::kHungry: return dwell_hungry_;
+    case State::kEating: return dwell_eating_;
+    case State::kStarving: return dwell_starving_;
+    case State::kIdle: break;
+  }
+  return dwell_idle_;
+}
+
+void SessionNode::set_state(State s, const char* why) {
+  if (s != state_) {
+    const Time now = env_.now();
+    dwell_hist(state_).record_time(now - state_since_);
+    state_since_ = now;
+    state_ = s;
+  }
+  RC_DEBUG(kMod, "node %u state->%d (%s)", id(), (int)state_, why);
+  (void)why;
+}
 
 SessionNode::SessionNode(net::NodeEnv& env, SessionConfig cfg)
     : env_(env), cfg_(std::move(cfg)), transport_(env, cfg.transport) {
@@ -50,6 +70,7 @@ void SessionNode::reset_protocol_state() {
   next_agreed_seq_ = 0;
   next_safe_seq_ = 0;
   last_token_rx_ = -1;
+  state_since_ = env_.now();
   incarnation_ = static_cast<std::uint32_t>(env_.rng().next_u64());
 }
 
@@ -77,8 +98,7 @@ void SessionNode::join(std::vector<NodeId> contacts) {
   started_ = true;
   leaving_ = false;
   transport_.set_enabled(true);
-  state_ = State::kHungry;
-  RC_STATE("join");
+  set_state(State::kHungry, "join");
   join_contacts_ = std::move(contacts);
   join_contact_idx_ = 0;
   arm_bodyodor_timer();
@@ -122,8 +142,7 @@ void SessionNode::complete_leave() {
 void SessionNode::stop() {
   started_ = false;
   leaving_ = false;
-  state_ = State::kIdle;
-  RC_STATE("stop");
+  set_state(State::kIdle, "stop");
   active_911_ = 0;
   disarm_hungry_timer();
   if (hold_timer_) env_.cancel(hold_timer_), hold_timer_ = 0;
@@ -282,8 +301,7 @@ void SessionNode::handle_token(Token&& t) {
 void SessionNode::begin_eating(Token&& t) {
   if (hold_timer_) env_.cancel(hold_timer_), hold_timer_ = 0;
   starving_rounds_ = 0;
-  state_ = State::kEating;
-  RC_STATE("begin_eating");
+  set_state(State::kEating, "begin_eating");
   token_ = std::move(t);
   eating_cycle();
 }
@@ -472,8 +490,7 @@ void SessionNode::send_token_to_successor() {
   if (succ == id()) {
     // Singleton group: the token "circulates" by re-entering the eating
     // cycle each hold interval; seq keeps advancing.
-    state_ = State::kEating;
-    RC_STATE("singleton");
+    set_state(State::kEating, "singleton");
     eating_cycle();
     return;
   }
@@ -484,8 +501,7 @@ void SessionNode::send_token_to_successor() {
   const std::uint64_t sent_lineage = token_.lineage;
   Bytes payload = encode_token_msg(token_);
 
-  state_ = State::kHungry;
-  RC_STATE("passed");
+  set_state(State::kHungry, "passed");
   arm_hungry_timer();
   stats_.tokens_passed.inc();
 
@@ -519,8 +535,7 @@ void SessionNode::on_pass_failure(NodeId failed) {
   }
   t.view_id++;
   t.seq++;
-  state_ = State::kEating;
-  RC_STATE("pass_failure");
+  set_state(State::kEating, "pass_failure");
   disarm_hungry_timer();
   token_ = std::move(t);
   adopt_view_from(token_);
@@ -536,6 +551,7 @@ void SessionNode::adopt_view_from(const Token& t) {
   const std::size_t old_size = view_.members.size();
   view_ = std::move(v);
   stats_.view_changes.inc();
+  ring_size_.set(static_cast<double>(view_.members.size()));
   if (on_view_) on_view_(view_);
 
   // Quorum decider (§2.4 split-brain prevention strategy 1): "if N is the
@@ -556,8 +572,7 @@ void SessionNode::adopt_view_from(const Token& t) {
 
 void SessionNode::enter_starving() {
   if (!started_ || state_ == State::kEating) return;
-  state_ = State::kStarving;
-  RC_STATE("starving");
+  set_state(State::kStarving, "starving");
   stats_.starvations.inc();
   RC_INFO(kMod, "node %u STARVING (last copy seq %llu)", id(),
           static_cast<unsigned long long>(last_copy_.seq));
@@ -588,6 +603,7 @@ void SessionNode::start_911_round() {
     return;
   }
   ++starving_rounds_;
+  rounds_911_.inc();
   round_dead_.clear();
   awaiting_grant_.clear();
   for (NodeId n : last_copy_.ring) {

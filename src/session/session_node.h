@@ -24,6 +24,7 @@
 #include <set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "session/messages.h"
 #include "transport/transport.h"
@@ -160,15 +161,36 @@ class SessionNode {
   bool hungry_timer_armed() const { return hungry_timer_ != 0; }
   bool hold_timer_armed() const { return hold_timer_ != 0; }
 
+  /// Named views into the node's metrics registry. The field names predate
+  /// the registry; both spellings address the same instruments.
   struct Stats {
-    Counter tokens_received, tokens_passed, stale_tokens_dropped;
-    Counter msgs_sent, msgs_delivered;
-    Counter regenerations, merges, joins_processed, removals;
-    Counter starvations, denials_sent, view_changes;
-    Histogram roundtrip;  ///< observed token roundtrip times (ns)
+    explicit Stats(metrics::Registry& r)
+        : tokens_received(r.counter("session.token.received")),
+          tokens_passed(r.counter("session.token.passed")),
+          stale_tokens_dropped(r.counter("session.token.stale_dropped")),
+          msgs_sent(r.counter("session.msgs.sent")),
+          msgs_delivered(r.counter("session.msgs.delivered")),
+          regenerations(r.counter("session.911.regenerations")),
+          merges(r.counter("session.merges")),
+          joins_processed(r.counter("session.joins")),
+          removals(r.counter("session.removals")),
+          starvations(r.counter("session.911.starvations")),
+          denials_sent(r.counter("session.911.denials")),
+          view_changes(r.counter("session.view_changes")),
+          roundtrip(r.histogram("session.token.rotation_ns")) {}
+    Counter &tokens_received, &tokens_passed, &stale_tokens_dropped;
+    Counter &msgs_sent, &msgs_delivered;
+    Counter &regenerations, &merges, &joins_processed, &removals;
+    Counter &starvations, &denials_sent, &view_changes;
+    Histogram& roundtrip;  ///< observed token roundtrip times (ns)
   };
   const Stats& stats() const { return stats_; }
   Stats& stats() { return stats_; }
+
+  /// All session instruments ("session.*"), including per-state dwell-time
+  /// histograms and the ring-size gauge, for snapshot/export.
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
 
  private:
   // Message plumbing.
@@ -212,6 +234,10 @@ class SessionNode {
   void fire_view_change();
   void deliver(const AttachedMessage& m);
   void reset_protocol_state();
+  /// Single state-transition point: records dwell time in the state being
+  /// left into the matching "session.state.*_dwell_ns" histogram.
+  void set_state(State s, const char* why);
+  Histogram& dwell_hist(State s);
 
   net::NodeEnv& env_;
   SessionConfig cfg_;
@@ -271,7 +297,19 @@ class SessionNode {
   DeliverFn on_deliver_;
   ViewFn on_view_;
   QuorumShutdownFn on_quorum_shutdown_;
-  Stats stats_;
+
+  metrics::Registry metrics_;
+  Stats stats_{metrics_};
+  Histogram& dwell_idle_ = metrics_.histogram("session.state.idle_dwell_ns");
+  Histogram& dwell_hungry_ =
+      metrics_.histogram("session.state.hungry_dwell_ns");
+  Histogram& dwell_eating_ =
+      metrics_.histogram("session.state.eating_dwell_ns");
+  Histogram& dwell_starving_ =
+      metrics_.histogram("session.state.starving_dwell_ns");
+  Counter& rounds_911_ = metrics_.counter("session.911.rounds");
+  Gauge& ring_size_ = metrics_.gauge("session.ring.size");
+  Time state_since_ = 0;
 };
 
 }  // namespace raincore::session

@@ -436,6 +436,49 @@ void ChaosCluster::violation(std::string what) {
   violations_.push_back(std::move(what));
 }
 
+metrics::Snapshot ChaosCluster::metrics_snapshot() const {
+  metrics::Snapshot merged;
+  for (const auto& [id, stack] : stacks_) {
+    merged.merge(stack->session->metrics().snapshot());
+    merged.merge(stack->session->transport().metrics().snapshot());
+    merged.merge(stack->mux->metrics().snapshot());
+    merged.merge(stack->map->metrics().snapshot());
+    merged.merge(stack->locks->metrics().snapshot());
+    merged.merge(stack->vips->metrics().snapshot());
+  }
+  return merged;
+}
+
+std::size_t ChaosCluster::reservoir_samples() const {
+  std::size_t total = 0;
+  for (const auto& [id, stack] : stacks_) {
+    total += stack->session->metrics().reservoir_samples();
+    total += stack->session->transport().metrics().reservoir_samples();
+    total += stack->mux->metrics().reservoir_samples();
+    total += stack->map->metrics().reservoir_samples();
+    total += stack->locks->metrics().reservoir_samples();
+    total += stack->vips->metrics().reservoir_samples();
+  }
+  return total;
+}
+
+std::string ChaosCluster::ring_dump() const {
+  session::RingIntrospector ri;
+  for (const auto& [id, stack] : stacks_) ri.watch(*stack->session);
+  return ri.dump();
+}
+
+std::string ChaosCluster::failure_report() const {
+  std::string out = "=== chaos failure report ===\n";
+  out += "violations (" + std::to_string(violations_.size()) + "):\n";
+  for (const std::string& v : violations_) out += "  " + v + "\n";
+  out += engine_->describe_schedule();
+  out += ring_dump();
+  out += "final metrics snapshot:\n";
+  out += metrics_snapshot().to_table();
+  return out;
+}
+
 void ChaosCluster::check_token_uniqueness(const char* when) {
   // Sound sampling rule: two nodes may legitimately hold a token each while
   // their groups have not merged yet (§2.4 strategy 2) — but two nodes with
@@ -785,6 +828,9 @@ ChaosRoundResult run_chaos_round(std::uint64_t seed, Time chaos_duration,
   res.schedule = cluster.engine().describe_schedule();
   res.faults = cluster.engine().faults_injected();
   res.classes = cluster.engine().classes_seen();
+  res.metrics = cluster.metrics_snapshot();
+  res.reservoir_samples = cluster.reservoir_samples();
+  if (!res.violations.empty()) res.report = cluster.failure_report();
   return res;
 }
 

@@ -29,9 +29,11 @@
 #include <vector>
 
 #include "apps/vip/vip_manager.h"
+#include "common/metrics.h"
 #include "data/lock_manager.h"
 #include "data/replicated_map.h"
 #include "net/sim_network.h"
+#include "session/introspect.h"
 #include "session/session_node.h"
 
 namespace raincore::testing {
@@ -169,6 +171,18 @@ class ChaosCluster {
   net::SimNetwork& net() { return net_; }
   session::SessionNode& session(NodeId id) { return *stacks_.at(id)->session; }
 
+  /// Cluster-wide merge of every layer's registry on every node (transport,
+  /// session, mux, map, locks, VIPs). Deterministic for a given seed.
+  metrics::Snapshot metrics_snapshot() const;
+  /// Samples currently held across all histogram reservoirs, cluster-wide —
+  /// the memory-flatness measure for long soaks.
+  std::size_t reservoir_samples() const;
+  /// Live ring state of every node (RingIntrospector rendering).
+  std::string ring_dump() const;
+  /// Diagnostic artifact for a failed round: violations, the replayable
+  /// fault schedule, the ring dump, and the final metrics table.
+  std::string failure_report() const;
+
  private:
   struct Stack;
 
@@ -220,6 +234,12 @@ struct ChaosRoundResult {
   std::string schedule;  ///< seed + fault log (replay recipe)
   std::size_t faults = 0;
   std::set<FaultClass> classes;
+  /// Final cluster-wide metrics (deterministic per seed).
+  metrics::Snapshot metrics;
+  std::size_t reservoir_samples = 0;
+  /// Full diagnostic artifact (ring dump + metrics table); non-empty only
+  /// when the round had violations.
+  std::string report;
 };
 
 ChaosRoundResult run_chaos_round(std::uint64_t seed,

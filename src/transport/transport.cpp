@@ -71,9 +71,11 @@ TransferId ReliableTransport::send(NodeId dst, Bytes payload,
                                    DeliveredFn delivered, FailedFn failed) {
   if (!enabled_) return 0;
   TransferId id = next_transfer_id_++;
+  sends_.inc();
   InFlight f;
   f.dst = dst;
   f.wire_seq = ++next_seq_to_[dst];
+  f.started = env_.now();
   f.payload = std::move(payload);
   f.delivered = std::move(delivered);
   f.failed = std::move(failed);
@@ -114,6 +116,7 @@ void ReliableTransport::transmit(const InFlight& f, std::uint8_t to_iface) {
   // redundant links form independent physical paths.
   std::uint8_t from = static_cast<std::uint8_t>(
       to_iface < env_.iface_count() ? to_iface : env_.iface_count() - 1);
+  frames_out_.inc();
   send_frame(net::Address{f.dst, to_iface}, std::move(w), from);
 }
 
@@ -145,6 +148,7 @@ void ReliableTransport::attempt(TransferId id) {
 
   f.timer = env_.schedule(cfg_.rto, [this, id] {
     task_switches_.inc();  // retransmission timer wakes the GC stack
+    retries_.inc();
     attempt(id);
   });
 }
@@ -157,8 +161,11 @@ void ReliableTransport::finish(TransferId id, bool ok) {
   ack_index_.erase({f.dst, f.wire_seq});
   inflight_.erase(it);
   if (ok) {
+    delivered_.inc();
+    ack_latency_.record_time(env_.now() - f.started);
     if (f.delivered) f.delivered(id, f.dst);
   } else {
+    fod_.inc();
     RC_DEBUG(kMod, "node %u: failure-on-delivery to %u (transfer %llu)",
              env_.node(), f.dst, static_cast<unsigned long long>(id));
     if (f.failed) f.failed(id, f.dst);
@@ -196,7 +203,10 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
       send_frame(d.src, std::move(ack), d.dst.iface);
 
       PeerRecv& pr = recv_state_[d.src.node];
-      if (seq <= pr.watermark || pr.above.count(seq) > 0) return;  // duplicate
+      if (seq <= pr.watermark || pr.above.count(seq) > 0) {
+        dup_drops_.inc();
+        return;
+      }
       pr.above.insert(seq);
       while (pr.above.count(pr.watermark + 1) > 0) {
         pr.above.erase(pr.watermark + 1);

@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "common/buffer.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "net/network.h"
 
@@ -107,12 +108,18 @@ class ReliableTransport {
   const Counter& task_switches() const { return task_switches_; }
   Counter& task_switches() { return task_switches_; }
 
+  /// All transport instruments (sends, retries, delivered, failure-on-
+  /// delivery, duplicate drops, ack latency) under "transport.*" names.
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+
  private:
   enum class WireType : std::uint8_t { kData = 1, kAck = 2, kRaw = 3 };
 
   struct InFlight {
     NodeId dst = kInvalidNode;
     std::uint64_t wire_seq = 0;  // per-destination sequence number
+    Time started = 0;            // send() time, for ack-latency measurement
     Bytes payload;
     int attempts_done = 0;   // attempts on the current address (sequential)
     int rounds_done = 0;     // attempt rounds (parallel)
@@ -151,8 +158,16 @@ class ReliableTransport {
   std::unordered_map<NodeId, PeerRecv> recv_state_;
   std::unordered_map<NodeId, std::uint8_t> peer_ifaces_;
 
-  Counter task_switches_;
-  Counter checksum_drops_;
+  metrics::Registry metrics_;
+  Counter& task_switches_ = metrics_.counter("transport.task_switches");
+  Counter& checksum_drops_ = metrics_.counter("transport.checksum_drops");
+  Counter& sends_ = metrics_.counter("transport.sends");
+  Counter& frames_out_ = metrics_.counter("transport.frames_out");
+  Counter& retries_ = metrics_.counter("transport.retries");
+  Counter& delivered_ = metrics_.counter("transport.delivered");
+  Counter& fod_ = metrics_.counter("transport.fod");
+  Counter& dup_drops_ = metrics_.counter("transport.recv.duplicates");
+  Histogram& ack_latency_ = metrics_.histogram("transport.ack_latency_ns");
 };
 
 }  // namespace raincore::transport

@@ -48,6 +48,124 @@ TEST(ChaosDeterminism, ScheduleRecordsSeedForReplay) {
   EXPECT_NE(res.schedule.find("seed=11"), std::string::npos) << res.schedule;
 }
 
+// --- Observability: per-seed snapshot determinism --------------------------
+
+TEST(ChaosDeterminism, SameSeedSameMetricsSnapshot) {
+  // The registry snapshot is part of the replay contract: every counter,
+  // gauge and histogram reservoir must be bit-for-bit identical across two
+  // runs of the same seed (per-name reservoir seeds, virtual time, one Rng).
+  for (std::uint64_t seed : {7ull, 23ull}) {
+    ChaosRoundResult a = run_chaos_round(seed, millis(1200), 5);
+    ChaosRoundResult b = run_chaos_round(seed, millis(1200), 5);
+    EXPECT_EQ(a.metrics, b.metrics) << "seed " << seed;
+    EXPECT_EQ(a.reservoir_samples, b.reservoir_samples) << "seed " << seed;
+    EXPECT_FALSE(a.metrics.empty()) << "seed " << seed;
+    // And the snapshot survives its own JSONL export.
+    metrics::Snapshot back;
+    ASSERT_TRUE(metrics::Snapshot::from_jsonl(a.metrics.to_jsonl(), back));
+    EXPECT_EQ(back, a.metrics) << "seed " << seed;
+  }
+}
+
+TEST(ChaosMetrics, ReservoirOccupancyIsBoundedAcrossRoundLengths) {
+  // Histogram memory must be flat: quadrupling the soak length cannot grow
+  // reservoir occupancy beyond the fixed per-instrument capacities.
+  ChaosRoundResult short_round = run_chaos_round(5, millis(800), 4);
+  ChaosRoundResult long_round = run_chaos_round(5, millis(3200), 4);
+  EXPECT_GT(short_round.reservoir_samples, 0u);
+  // Longer rounds record more samples but retain at most capacity each;
+  // occupancy may only grow while under-filled reservoirs top up.
+  std::size_t cap_bound = 0;
+  for (const auto& [name, hs] : long_round.metrics.histograms) {
+    (void)name;
+    cap_bound += Histogram::kDefaultCapacity;
+  }
+  EXPECT_LE(long_round.reservoir_samples, cap_bound);
+}
+
+// --- Observability: ring introspection and the failure report --------------
+
+TEST(RingIntrospection, DumpShowsStateHolderAndMembership) {
+  TestCluster c({1, 2, 3});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3}, seconds(10)));
+
+  session::RingIntrospector ri;
+  for (NodeId id : c.ids()) ri.watch(c.node(id));
+  EXPECT_EQ(ri.watched(), 3u);
+
+  auto caps = ri.capture();
+  ASSERT_EQ(caps.size(), 3u);
+  for (const auto& ni : caps) {
+    EXPECT_TRUE(ni.started);
+    EXPECT_EQ(ni.members.size(), 3u);
+    EXPECT_EQ(ni.group_id, 1u);
+  }
+
+  std::string dump = ri.dump();
+  for (const char* want : {"node 1", "node 2", "node 3", "view=", "seq=",
+                           "ring=[", "distinct_views=1"}) {
+    EXPECT_NE(dump.find(want), std::string::npos)
+        << "missing \"" << want << "\" in:\n" << dump;
+  }
+
+  JsonValue j = ri.to_json();
+  const JsonValue* nodes = j.find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  EXPECT_EQ(nodes->items().size(), 3u);
+}
+
+TEST(RingIntrospection, StoppedNodeShowsAsDown) {
+  TestCluster c({1, 2});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2}, seconds(10)));
+  c.node(2).stop();
+  session::RingIntrospector ri;
+  ri.watch(c.node(1));
+  ri.watch(c.node(2));
+  EXPECT_NE(ri.dump().find("DOWN"), std::string::npos) << ri.dump();
+}
+
+TEST(ChaosFailureReport, InjectedViolationProducesFullDiagnostics) {
+  // Sabotage a cluster behind the engine's back: stopping a session while
+  // its network stays "up" guarantees the membership invariant fails at
+  // heal time. The resulting failure report must carry everything needed to
+  // debug it — the violations, the replayable schedule, the ring dump and
+  // the final metrics table.
+  ChaosConfig cfg;
+  cfg.seed = 31;
+  // No engine-driven crashes: the engine must not "heal" our sabotage by
+  // restarting node 2 itself.
+  cfg.weights[static_cast<std::size_t>(FaultClass::kCrashRestart)] = 0.0;
+  net::SimNetConfig ncfg;
+  ncfg.seed = 31;
+  ChaosCluster cluster({1, 2, 3, 4}, cfg, {}, ncfg);
+  ASSERT_TRUE(cluster.bootstrap());
+  cluster.run_chaos(millis(600));
+  cluster.session(2).stop();  // the engine does not know — cannot heal it
+  cluster.heal_and_check(millis(3000));
+
+  ASSERT_FALSE(cluster.violations().empty())
+      << "sabotage was not caught by the invariant checkers";
+  std::string report = cluster.failure_report();
+  for (const char* want :
+       {"=== chaos failure report ===", "violations (", "seed=31",
+        "ring=[", "final metrics snapshot:", "session.token.received",
+        "transport.sends"}) {
+    EXPECT_NE(report.find(want), std::string::npos)
+        << "missing \"" << want << "\" in report:\n" << report;
+  }
+  // The dump must show the sabotaged node as not running.
+  EXPECT_NE(cluster.ring_dump().find("DOWN"), std::string::npos);
+}
+
+TEST(ChaosFailureReport, CleanRoundHasEmptyReport) {
+  ChaosRoundResult res = run_chaos_round(9, millis(1000), 4);
+  ASSERT_TRUE(res.violations.empty()) << res.report;
+  EXPECT_TRUE(res.report.empty());
+  EXPECT_FALSE(res.metrics.empty());
+}
+
 // --- Coverage: every fault class fires, invariants still hold --------------
 
 TEST(ChaosEngineTest, AllFaultClassesExercised) {

@@ -3,6 +3,8 @@
 // ACD → ACBD example), split-brain partitions and group merge.
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
+#include "session/messages.h"
 #include "tests/util/test_cluster.h"
 
 namespace raincore {
@@ -285,6 +287,97 @@ TEST(SessionFailure, RejoinAfterCrashRestart) {
   for (NodeId id : c.ids()) {
     EXPECT_EQ(c.delivered(id).back().payload, "back") << "node " << id;
   }
+}
+
+TEST(SessionFailureMetrics, RemovalCountMatchesInjectedCrashesAndFodFired) {
+  // One injected crash must surface as exactly one membership removal
+  // cluster-wide, driven by at least one transport failure-on-delivery.
+  TestCluster c({1, 2, 3});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3}, seconds(10)));
+
+  auto sum_over = [&](const std::vector<NodeId>& ids, auto&& get) {
+    std::uint64_t s = 0;
+    for (NodeId id : ids) s += get(c.node(id));
+    return s;
+  };
+  auto removals = [](session::SessionNode& n) {
+    return n.stats().removals.value();
+  };
+  auto fods = [](session::SessionNode& n) {
+    return n.transport().metrics().counter("transport.fod").value();
+  };
+
+  EXPECT_EQ(sum_over({1, 2}, removals), 0u);
+  EXPECT_EQ(sum_over({1, 2}, fods), 0u) << "healthy ring produced FODs";
+
+  c.net().set_node_up(3, false);
+  c.node(3).stop();
+  ASSERT_TRUE(c.run_until_converged({1, 2}, seconds(5)));
+
+  EXPECT_EQ(sum_over({1, 2}, removals), 1u)
+      << "one crash must cause exactly one removal";
+  EXPECT_GE(sum_over({1, 2}, fods), 1u)
+      << "the removal must have been detected via failure-on-delivery";
+}
+
+TEST(SessionFailureMetrics, DenialCounterCountsRefused911s) {
+  // A healthy member refuses token-recovery requests carrying an older
+  // token copy; each refusal increments "session.911.denials" exactly once.
+  TestCluster c({1, 2});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2}, seconds(10)));
+  c.run(seconds(1));  // let the token's seq advance well past zero
+
+  std::uint64_t before = c.node(1).stats().denials_sent.value();
+  // Craft 911 requests from member 2 claiming a stale (seq 0) token copy;
+  // request_id != 0 marks them as recovery (not join) requests. The replies
+  // reach node 2 but are dropped: it has no matching active round.
+  const int kRequests = 3;
+  for (int i = 0; i < kRequests; ++i) {
+    session::Msg911 m{2, 1000 + static_cast<std::uint64_t>(i), 0};
+    c.node(2).transport().send(1, session::encode_911(m));
+    c.run(millis(50));
+  }
+  EXPECT_EQ(c.node(1).stats().denials_sent.value() - before,
+            static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(SessionFailureMetrics, TokenLossDrives911RoundsAndStarvingDwell) {
+  // Killing the token holder starves the survivors: the 911 machinery must
+  // show up in the metrics (rounds ran, STARVING state was dwelt in, one
+  // regeneration cluster-wide).
+  TestCluster c({1, 2, 3, 4});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4}, seconds(10)));
+
+  c.run(millis(3));
+  NodeId holder = kInvalidNode;
+  for (NodeId id : c.ids()) {
+    if (c.node(id).holds_token()) holder = id;
+  }
+  if (holder == kInvalidNode) holder = 2;
+  c.net().set_node_up(holder, false);
+  c.node(holder).stop();
+
+  std::vector<NodeId> expected;
+  for (NodeId id : c.ids()) {
+    if (id != holder) expected.push_back(id);
+  }
+  ASSERT_TRUE(c.run_until_converged(expected, seconds(10)));
+
+  std::uint64_t rounds = 0, regens = 0, starving_dwells = 0;
+  for (NodeId id : expected) {
+    metrics::Registry& reg = c.node(id).metrics();
+    rounds += reg.counter("session.911.rounds").value();
+    regens += reg.counter("session.911.regenerations").value();
+    starving_dwells +=
+        reg.histogram("session.state.starving_dwell_ns").count();
+  }
+  EXPECT_GE(rounds, 1u) << "token loss must trigger at least one 911 round";
+  EXPECT_EQ(regens, 1u) << "911 mutual exclusivity";
+  EXPECT_GE(starving_dwells, 1u)
+      << "some survivor must have passed through STARVING";
 }
 
 TEST(SessionFailure, LossyNetworkStillConvergesAndOrders) {
