@@ -120,6 +120,46 @@ void BM_TokenRingFullRotation(benchmark::State& state) {
 }
 BENCHMARK(BM_TokenRingFullRotation)->Arg(2)->Arg(8)->Arg(32);
 
+/// Wire-buffer cost of the steady-state token hot path: allocations and
+/// payload copies charged to wire_stats() per token hop, on a ring of N
+/// with one 128-byte multicast submitted per rotation. The per-hop figures
+/// land in the JSON rows as user counters — the perf trail that the
+/// zero-copy acceptance criterion diffs across PRs.
+void BM_TokenHopWire(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  session::SessionConfig scfg;
+  scfg.token_hold = 0;  // rotate as fast as the wire allows
+  bench::GcCluster c(bench::Stack::kRaincore, n, scfg);
+  c.start();
+  c.run(seconds(1));
+  auto hops = [&c] {
+    std::uint64_t total = 0;
+    for (NodeId id : c.ids()) {
+      total += c.session(id).stats().tokens_passed.value();
+    }
+    return total;
+  };
+  WireStats& ws = wire_stats();
+  const std::uint64_t hops0 = hops();
+  const std::uint64_t allocs0 = ws.allocs.value();
+  const std::uint64_t copies0 = ws.copies.value();
+  const std::uint64_t bytes0 = ws.bytes_copied.value();
+  for (auto _ : state) {
+    c.multicast(1, 128);
+    const std::uint64_t target = hops() + n;  // one full rotation
+    while (hops() < target) c.net().loop().step();
+  }
+  const double dh = static_cast<double>(hops() - hops0);
+  state.counters["wire_allocs_per_hop"] =
+      static_cast<double>(ws.allocs.value() - allocs0) / dh;
+  state.counters["wire_copies_per_hop"] =
+      static_cast<double>(ws.copies.value() - copies0) / dh;
+  state.counters["wire_bytes_copied_per_hop"] =
+      static_cast<double>(ws.bytes_copied.value() - bytes0) / dh;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenHopWire)->Arg(4)->Arg(8);
+
 /// Console reporter that also captures every finished run so the main below
 /// can re-emit them in the raincore.bench.v1 schema (google-benchmark's own
 /// JSON has a different shape; downstream tooling only speaks ours). Wraps
@@ -137,6 +177,9 @@ class CollectingReporter : public benchmark::ConsoleReporter {
               JsonValue::number(static_cast<double>(run.iterations)));
       row.set("real_time_s", JsonValue::number(run.real_accumulated_time));
       row.set("cpu_time_s", JsonValue::number(run.cpu_accumulated_time));
+      for (const auto& [name, counter] : run.counters) {
+        row.set(name, JsonValue::number(counter.value));
+      }
       report_.add(std::move(row));
     }
   }

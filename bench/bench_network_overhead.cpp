@@ -5,8 +5,12 @@
 // on the wire — doubled with acknowledgements — while the token protocol
 // needs N packets of ≈N·M bytes (and delivery is reliable *and* ordered).
 // Here both packet and byte counts are measured at the simulated switch.
+// --json=PATH additionally emits the table as a raincore.bench.v1 document.
 #include <cstdio>
 
+#include <string>
+
+#include "bench/util/bench_json.h"
 #include "bench/util/gc_harness.h"
 
 using namespace raincore;
@@ -48,12 +52,16 @@ Row run_case(Stack stack, std::size_t n, std::size_t msg_bytes, int rounds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = json_path_from_args(argc, argv);
+  JsonReport report("bench_network_overhead");
   print_banner("Raincore bench E2: network overhead per multicast round",
                "IPPS'01 paper §4.1 ((N-1)^2 * M bytes vs N packets of N*M)");
 
   const std::size_t kMsgBytes = 512;
   const int kRounds = 50;
+  report.param("msg_bytes", static_cast<double>(kMsgBytes));
+  report.param("rounds", static_cast<double>(kRounds));
 
   std::printf("\nWorkload: each of N nodes multicasts one %zu-byte message per\n",
               kMsgBytes);
@@ -95,6 +103,16 @@ int main() {
       std::printf("%-14s %4zu | %12.1f %14.1f | %16.1f %16.1f | %10.1f\n",
                   stack_name(s), n, row.pkts_per_round, row.kbytes_per_round,
                   paper_pkts, paper_kib, row.delivered);
+      JsonValue jrow = JsonReport::row(std::string(stack_name(s)) + "_n" +
+                                       std::to_string(n));
+      jrow.set("stack", JsonValue::string(stack_name(s)));
+      jrow.set("nodes", JsonValue::number(static_cast<double>(n)));
+      jrow.set("pkts_per_round", JsonValue::number(row.pkts_per_round));
+      jrow.set("kib_per_round", JsonValue::number(row.kbytes_per_round));
+      jrow.set("paper_pkts", JsonValue::number(paper_pkts));
+      jrow.set("paper_kib", JsonValue::number(paper_kib));
+      jrow.set("delivered_per_round", JsonValue::number(row.delivered));
+      report.add(std::move(jrow));
     }
     std::printf("\n");
   }
@@ -102,5 +120,6 @@ int main() {
   std::printf("Expected shape (paper): broadcast-based packet count grows like\n");
   std::printf("(N-1)^2 (x2 with acks); the token protocol stays at ~2N packets\n");
   std::printf("per round, each carrying the round's piggybacked messages.\n");
+  maybe_write_report(report, json_path);
   return 0;
 }

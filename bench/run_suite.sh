@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs the JSON-emitting bench suite with fixed seeds and assembles the
+# per-bench raincore.bench.v1 documents into one suite file — the perf
+# trail that successive PRs diff against (BENCH_PR<n>.json at the repo
+# root; see ISSUE/CHANGES for the trajectory).
+#
+# Usage: bench/run_suite.sh [build-dir] [output-file]
+#   build-dir    defaults to <repo>/build (must already be built)
+#   output-file  defaults to <repo>/BENCH_PR3.json
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+OUT="${2:-$ROOT/BENCH_PR3.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "error: $BUILD/bench not found — build the tree first" >&2
+  echo "  cmake -B build -S $ROOT && cmake --build build -j" >&2
+  exit 1
+fi
+
+run() {
+  echo "== $*" >&2
+  "$@" >&2
+}
+
+# Fixed seeds / fixed workloads throughout: bench_chaos pins its base seed,
+# the sim benches all derive from SimNetConfig's default seed, and gbench
+# gets an explicit min time so run duration does not depend on machine load.
+run "$BUILD/bench/bench_micro" --benchmark_min_time=0.05 \
+    "--json=$TMP/bench_micro.json"
+run "$BUILD/bench/bench_latency" "--json=$TMP/bench_latency.json"
+run "$BUILD/bench/bench_network_overhead" \
+    "--json=$TMP/bench_network_overhead.json"
+run "$BUILD/bench/bench_chaos" 3 1500 5 1 "--json=$TMP/bench_chaos.json"
+
+# Assemble: {"schema": "raincore.bench.suite.v1", "runs": {name: doc, ...}}
+{
+  printf '{"schema":"raincore.bench.suite.v1","runs":{'
+  first=1
+  for f in "$TMP"/*.json; do
+    name="$(basename "$f" .json)"
+    [ "$first" -eq 1 ] || printf ','
+    first=0
+    printf '"%s":' "$name"
+    tr -d '\n' < "$f"
+  done
+  printf '}}\n'
+} > "$OUT"
+
+echo "wrote $OUT" >&2

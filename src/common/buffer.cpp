@@ -1,0 +1,10 @@
+#include "common/buffer.h"
+
+namespace raincore {
+
+WireStats& wire_stats() {
+  static WireStats stats;
+  return stats;
+}
+
+}  // namespace raincore

@@ -12,9 +12,23 @@
 #include <string_view>
 #include <vector>
 
+#include "common/stats.h"
+
 namespace raincore {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// Process-wide cost accounting for the wire path: every layer that
+/// allocates a wire buffer or copies a payload byte range charges these
+/// counters (frame builds, receive-path copy-outs, simulator duplication).
+/// Single-loop diagnostic instruments — benches and the perf regression
+/// tests read deltas around a measured section; not thread-safe.
+struct WireStats {
+  Counter allocs;        ///< wire buffer allocations
+  Counter copies;        ///< payload byte ranges copied into a fresh buffer
+  Counter bytes_copied;  ///< total payload bytes memcpy'd
+};
+WireStats& wire_stats();
 
 /// Appends fixed-width little-endian values to a growing byte vector.
 class ByteWriter {

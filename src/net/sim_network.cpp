@@ -243,6 +243,11 @@ void SimNetwork::do_send(Datagram&& d) {
     src_stats.pkts_duplicated.inc();
   }
   for (int i = 0; i < copies; ++i) {
+    if (i + 1 < copies) {
+      wire_stats().allocs.inc();  // duplication deep-copies the payload
+      wire_stats().copies.inc();
+      wire_stats().bytes_copied.inc(d.payload.size());
+    }
     Datagram c = (i + 1 < copies) ? d : std::move(d);
     if (link.corrupt > 0.0 && !c.payload.empty() && rng_.chance(link.corrupt)) {
       int flips = 1 + static_cast<int>(rng_.next_below(4));

@@ -56,6 +56,9 @@ class UdpNetwork::UdpNodeEnv final : public NodeEnv {
     w.u8(from_iface);
     w.raw(payload.data(), payload.size());
     Bytes framed = w.take();
+    wire_stats().allocs.inc();
+    wire_stats().copies.inc();
+    wire_stats().bytes_copied.inc(payload.size());
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -85,6 +88,9 @@ class UdpNetwork::UdpNodeEnv final : public NodeEnv {
       d.src.iface = r.u8();
       d.dst = Address{id_, iface};
       d.payload.assign(buf + 5, buf + n);
+      wire_stats().allocs.inc();
+      wire_stats().copies.inc();
+      wire_stats().bytes_copied.inc(d.payload.size());
       if (receiver_) receiver_(std::move(d));
     }
   }

@@ -6,6 +6,7 @@ Bytes encode_token_msg(const Token& t) {
   ByteWriter w(128);
   w.u8(static_cast<std::uint8_t>(SessionMsgType::kToken));
   t.serialize(w);
+  wire_stats().allocs.inc();  // fresh session payload buffer per hop
   return w.take();
 }
 

@@ -45,6 +45,8 @@ void Token::serialize(ByteWriter& w) const {
     w.u16(m.hops);
     w.u16(m.ring_at_attach);
     w.bytes(m.payload);
+    wire_stats().copies.inc();  // gather: payload memcpy'd into the frame
+    wire_stats().bytes_copied.inc(m.payload.size());
   }
 }
 
@@ -72,6 +74,9 @@ bool Token::deserialize(ByteReader& r, Token& out) {
     m.hops = r.u16();
     m.ring_at_attach = r.u16();
     m.payload = r.bytes();
+    wire_stats().allocs.inc();  // scatter: each payload copied back out
+    wire_stats().copies.inc();
+    wire_stats().bytes_copied.inc(m.payload.size());
     if (!r.ok()) return false;
     out.msgs.push_back(std::move(m));
   }

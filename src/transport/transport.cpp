@@ -90,12 +90,15 @@ void ReliableTransport::send_unreliable(NodeId dst, Bytes payload) {
   ByteWriter w(payload.size() + 1 + kChecksumLen);
   w.u8(static_cast<std::uint8_t>(WireType::kRaw));
   w.raw(payload.data(), payload.size());
+  wire_stats().copies.inc();
+  wire_stats().bytes_copied.inc(payload.size());
   send_frame(net::Address{dst, 0}, std::move(w), 0);
 }
 
 void ReliableTransport::send_frame(const net::Address& to, ByteWriter&& frame,
                                    std::uint8_t from_iface) {
   frame.u32(frame_checksum(frame.view().data(), frame.size()));
+  wire_stats().allocs.inc();  // every outgoing frame is a fresh buffer
   env_.send(to, frame.take(), from_iface);
 }
 
@@ -112,6 +115,8 @@ void ReliableTransport::transmit(const InFlight& f, std::uint8_t to_iface) {
   w.u8(static_cast<std::uint8_t>(WireType::kData));
   w.u64(f.wire_seq);
   w.raw(f.payload.data(), f.payload.size());
+  wire_stats().copies.inc();
+  wire_stats().bytes_copied.inc(f.payload.size());
   // Pair local interface i with remote interface i where possible, so that
   // redundant links form independent physical paths.
   std::uint8_t from = static_cast<std::uint8_t>(
@@ -229,6 +234,9 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
       if (on_message_) {
         Bytes payload(d.payload.begin() + kDataHeader,
                       d.payload.begin() + body);
+        wire_stats().allocs.inc();
+        wire_stats().copies.inc();
+        wire_stats().bytes_copied.inc(payload.size());
         on_message_(d.src.node, std::move(payload));
       }
       break;
@@ -243,6 +251,9 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
     case WireType::kRaw: {
       if (on_message_ && body > 1) {
         Bytes payload(d.payload.begin() + 1, d.payload.begin() + body);
+        wire_stats().allocs.inc();
+        wire_stats().copies.inc();
+        wire_stats().bytes_copied.inc(payload.size());
         on_message_(d.src.node, std::move(payload));
       }
       break;
