@@ -19,11 +19,18 @@
 
 #include "bench/util/bench_json.h"
 #include "bench/util/gc_harness.h"
+#include "common/log.h"
 #include "testing/chaos.h"
 
 using namespace raincore;
 
 int main(int argc, char** argv) {
+  if (const char* lvl = std::getenv("RAINCORE_LOG")) {
+    std::string s = lvl;
+    if (s == "trace") raincore::set_log_level(raincore::LogLevel::kTrace);
+    else if (s == "debug") raincore::set_log_level(raincore::LogLevel::kDebug);
+    else if (s == "info") raincore::set_log_level(raincore::LogLevel::kInfo);
+  }
   std::string json_path = bench::json_path_from_args(argc, argv);
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {

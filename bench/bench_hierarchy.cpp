@@ -60,7 +60,7 @@ Result run_hier(std::size_t n, std::size_t ring_size, Time hold) {
   Histogram latency;
   std::map<std::uint64_t, std::pair<Time, std::size_t>> track;
   for (NodeId id : h.all_ids()) {
-    h.node(id).set_deliver_handler([&, n](NodeId, const Bytes& p) {
+    h.node(id).set_deliver_handler([&, n](NodeId, const Slice& p) {
       if (p.size() < 8) return;
       ByteReader r(p);
       std::uint64_t mid = r.u64();

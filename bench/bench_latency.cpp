@@ -48,7 +48,7 @@ Histogram run_safe(std::size_t n, Time hold, int msgs) {
   std::uint64_t next_id = 1;
   for (NodeId id = 1; id <= n; ++id) {
     c.session(id).set_deliver_handler(
-        [&, n](NodeId, const Bytes& p, session::Ordering) {
+        [&, n](NodeId, const Slice& p, session::Ordering) {
           if (p.size() < 8) return;
           ByteReader r(p);
           std::uint64_t mid = r.u64();

@@ -28,11 +28,11 @@ void BM_TokenSerialize(benchmark::State& state) {
     session::AttachedMessage m;
     m.origin = 1 + (i % 8);
     m.seq = i;
-    m.payload = Bytes(128, 0xcd);
+    m.payload = Slice::copy(Bytes(128, 0xcd));
     t.msgs.push_back(std::move(m));
   }
   for (auto _ : state) {
-    Bytes b = t.encode();
+    Slice b = t.encode();
     benchmark::DoNotOptimize(b);
   }
   state.SetItemsProcessed(state.iterations());
@@ -47,10 +47,10 @@ void BM_TokenDeserialize(benchmark::State& state) {
     session::AttachedMessage m;
     m.origin = 1;
     m.seq = i;
-    m.payload = Bytes(128, 0xcd);
+    m.payload = Slice::copy(Bytes(128, 0xcd));
     t.msgs.push_back(std::move(m));
   }
-  Bytes b = t.encode();
+  Slice b = t.encode();
   for (auto _ : state) {
     ByteReader r(b);
     session::Token out;
@@ -90,7 +90,7 @@ void BM_TransportRoundTrip(benchmark::State& state) {
   auto& e1 = net.add_node(1);
   auto& e2 = net.add_node(2);
   transport::ReliableTransport t1(e1), t2(e2);
-  t2.set_message_handler([](NodeId, Bytes&&) {});
+  t2.set_message_handler([](NodeId, Slice) {});
   for (auto _ : state) {
     bool done = false;
     t1.send(2, Bytes(64, 0x11),

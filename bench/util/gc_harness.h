@@ -45,7 +45,7 @@ class GcCluster {
       if (stack == Stack::kRaincore) {
         m.session = std::make_unique<session::SessionNode>(env, scfg);
         m.session->set_deliver_handler(
-            [this, id](NodeId origin, const Bytes& payload, session::Ordering) {
+            [this, id](NodeId origin, const Slice& payload, session::Ordering) {
               on_deliver(id, origin, payload);
             });
       } else {
@@ -60,7 +60,7 @@ class GcCluster {
             m.gc = std::make_unique<baseline::TwoPhaseGC>(env, ids_);
         }
         m.gc->set_deliver_handler(
-            [this, id](NodeId origin, const Bytes& payload) {
+            [this, id](NodeId origin, const Slice& payload) {
               on_deliver(id, origin, payload);
             });
       }
@@ -105,7 +105,7 @@ class GcCluster {
     }
   }
 
-  void on_deliver(NodeId at, NodeId, const Bytes& payload) {
+  void on_deliver(NodeId at, NodeId, const Slice& payload) {
     (void)at;
     ++deliveries_;
     if (payload.size() >= 16) {

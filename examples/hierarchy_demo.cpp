@@ -19,7 +19,7 @@ int main() {
   net::SimNetwork net;
   HierarchyHarness h(net, cfg);
   for (NodeId id : h.all_ids()) {
-    h.node(id).set_deliver_handler([id](NodeId origin, const Bytes& p) {
+    h.node(id).set_deliver_handler([id](NodeId origin, const Slice& p) {
       if (id % 10 == 2) {  // print from one member per ring only
         std::printf("  node %2u <- %2u: %.*s\n", id, origin,
                     static_cast<int>(p.size()), p.data());

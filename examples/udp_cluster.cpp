@@ -31,7 +31,7 @@ int main() {
       auto& env = net.add_node(id);
       nodes[id] = std::make_unique<session::SessionNode>(env, cfg);
       nodes[id]->set_deliver_handler(
-          [id](NodeId origin, const Bytes& payload, session::Ordering) {
+          [id](NodeId origin, const Slice& payload, session::Ordering) {
             std::printf("  [udp] node %u delivered from %u: %.*s\n", id, origin,
                         static_cast<int>(payload.size()), payload.data());
           });

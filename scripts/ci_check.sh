@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI gate for the zero-copy wire path: builds an AddressSanitizer tree and
+# runs the two suites most likely to surface aliasing bugs in ref-counted
+# slice buffers — the full chaos sweep (seeds 1..50, every protocol
+# invariant checker armed) and the `perf`-labelled allocation/copy budget
+# tests. A use-after-free in an aliased datagram view, a frame mutated
+# while shared, or a regression back to per-retry copies all fail here.
+#
+# Usage: scripts/ci_check.sh [asan-build-dir]
+#   asan-build-dir  defaults to <repo>/build-asan (configured on demand)
+#
+# Environment:
+#   CHAOS_ROUNDS=50 CHAOS_MS=3000 CHAOS_NODES=5 CHAOS_SEED=1  sweep shape
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-asan}"
+ROUNDS="${CHAOS_ROUNDS:-50}"
+MS="${CHAOS_MS:-3000}"
+NODES="${CHAOS_NODES:-5}"
+SEED="${CHAOS_SEED:-1}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure + build (ASAN) in $BUILD"
+cmake -B "$BUILD" -S "$ROOT" -DRAINCORE_ASAN=ON
+cmake --build "$BUILD" -j"$JOBS" --target bench_chaos wire_perf_test
+
+echo "== chaos sweep: $ROUNDS rounds x ${MS}ms, $NODES nodes, seeds $SEED.."
+"$BUILD/bench/bench_chaos" "$ROUNDS" "$MS" "$NODES" "$SEED"
+
+echo "== perf label under ASAN (allocation/copy budgets, encode-once)"
+ctest --test-dir "$BUILD" -L perf --output-on-failure
+
+echo "== ci_check OK"

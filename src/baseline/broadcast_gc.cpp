@@ -6,15 +6,18 @@ BroadcastGC::BroadcastGC(net::NodeEnv& env, std::vector<NodeId> group,
                         transport::TransportConfig tcfg)
     : env_(env), group_(std::move(group)), transport_(env, tcfg) {
   transport_.set_message_handler(
-      [this](NodeId src, Bytes&& p) { on_message(src, std::move(p)); });
+      [this](NodeId src, Slice p) { on_message(src, std::move(p)); });
 }
 
-MsgSeq BroadcastGC::multicast(Bytes payload) {
+MsgSeq BroadcastGC::multicast(Slice payload) {
   MsgSeq seq = ++next_seq_;
-  ByteWriter w(payload.size() + 8);
+  // Encoded once; the N−1 unicast transfers share this buffer by refcount
+  // (the transport re-frames per peer because each carries its own wire
+  // seq, but the encode itself is not repeated).
+  FrameBuilder w(payload.size() + 8);
   w.u64(seq);
   w.raw(payload.data(), payload.size());
-  Bytes framed = w.take();
+  Slice framed = w.finish();
   for (NodeId peer : group_) {
     if (peer == env_.node()) continue;
     transport_.send(peer, framed);
@@ -23,13 +26,12 @@ MsgSeq BroadcastGC::multicast(Bytes payload) {
   return seq;
 }
 
-void BroadcastGC::on_message(NodeId src, Bytes&& payload) {
+void BroadcastGC::on_message(NodeId src, Slice payload) {
   ByteReader r(payload);
   MsgSeq seq = r.u64();
   if (!r.ok()) return;
-  Bytes body(payload.begin() + 8, payload.end());
   SenderState& s = senders_[src];
-  s.buffered[seq] = std::move(body);
+  s.buffered[seq] = payload.subslice(8);  // aliases the datagram
   while (!s.buffered.empty() && s.buffered.begin()->first == s.next_expected) {
     if (on_deliver_) on_deliver_(src, s.buffered.begin()->second);
     s.buffered.erase(s.buffered.begin());

@@ -17,7 +17,8 @@ class BroadcastGC final : public GroupComm {
   BroadcastGC(net::NodeEnv& env, std::vector<NodeId> group,
                  transport::TransportConfig tcfg = {});
 
-  MsgSeq multicast(Bytes payload) override;
+  using GroupComm::multicast;
+  MsgSeq multicast(Slice payload) override;
   void set_deliver_handler(DeliverFn fn) override { on_deliver_ = std::move(fn); }
   const Counter& task_switches() const override {
     return transport_.task_switches();
@@ -27,7 +28,7 @@ class BroadcastGC final : public GroupComm {
   transport::ReliableTransport& transport() { return transport_; }
 
  private:
-  void on_message(NodeId src, Bytes&& payload);
+  void on_message(NodeId src, Slice payload);
 
   net::NodeEnv& env_;
   std::vector<NodeId> group_;
@@ -38,7 +39,7 @@ class BroadcastGC final : public GroupComm {
   /// Per-sender FIFO re-ordering (retransmissions can reorder arrivals).
   struct SenderState {
     MsgSeq next_expected = 1;
-    std::map<MsgSeq, Bytes> buffered;
+    std::map<MsgSeq, Slice> buffered;
   };
   std::map<NodeId, SenderState> senders_;
 };

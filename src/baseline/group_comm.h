@@ -16,12 +16,18 @@ namespace raincore::baseline {
 
 class GroupComm {
  public:
-  using DeliverFn = std::function<void(NodeId origin, const Bytes& payload)>;
+  /// Payload slices on the receive path alias the inbound datagram.
+  using DeliverFn = std::function<void(NodeId origin, const Slice& payload)>;
 
   virtual ~GroupComm() = default;
 
   /// Reliably multicasts to the (static) group; returns a per-origin seq.
-  virtual MsgSeq multicast(Bytes payload) = 0;
+  /// One encode per multicast; the per-peer unicast frames share the
+  /// encoded buffer by reference.
+  virtual MsgSeq multicast(Slice payload) = 0;
+  MsgSeq multicast(Bytes payload) {
+    return multicast(Slice::take(std::move(payload)));
+  }
   virtual void set_deliver_handler(DeliverFn fn) = 0;
 
   /// CPU task-switch count: entries into group-communication processing

@@ -11,51 +11,49 @@ SequencerGC::SequencerGC(net::NodeEnv& env, std::vector<NodeId> group,
   assert(!group_.empty());
   sequencer_ = *std::min_element(group_.begin(), group_.end());
   transport_.set_message_handler(
-      [this](NodeId src, Bytes&& p) { on_message(src, std::move(p)); });
+      [this](NodeId src, Slice p) { on_message(src, std::move(p)); });
 }
 
-MsgSeq SequencerGC::multicast(Bytes payload) {
+MsgSeq SequencerGC::multicast(Slice payload) {
   MsgSeq seq = ++next_local_;
   if (is_sequencer()) {
     broadcast_ordered(env_.node(), payload);
   } else {
-    ByteWriter w(payload.size() + 1);
+    FrameBuilder w(payload.size() + 1);
     w.u8(static_cast<std::uint8_t>(Kind::kSubmit));
     w.raw(payload.data(), payload.size());
-    transport_.send(sequencer_, w.take());
+    transport_.send(sequencer_, w.finish());
   }
   return seq;
 }
 
-void SequencerGC::broadcast_ordered(NodeId origin, const Bytes& body) {
+void SequencerGC::broadcast_ordered(NodeId origin, const Slice& body) {
   std::uint64_t gseq = next_global_++;
-  ByteWriter w(body.size() + 16);
+  FrameBuilder w(body.size() + 16);
   w.u8(static_cast<std::uint8_t>(Kind::kOrdered));
   w.u64(gseq);
   w.u32(origin);
   w.raw(body.data(), body.size());
-  Bytes framed = w.take();
+  Slice framed = w.finish();
   for (NodeId peer : group_) {
     if (peer == env_.node()) continue;
     transport_.send(peer, framed);
   }
-  pending_[gseq] = {origin, body};
+  pending_[gseq] = {origin, framed.subslice(13)};
   deliver_in_order();
 }
 
-void SequencerGC::on_message(NodeId src, Bytes&& payload) {
+void SequencerGC::on_message(NodeId src, Slice payload) {
   ByteReader r(payload);
   auto kind = static_cast<Kind>(r.u8());
   if (kind == Kind::kSubmit) {
     if (!is_sequencer()) return;
-    Bytes body(payload.begin() + 1, payload.end());
-    broadcast_ordered(src, body);
+    broadcast_ordered(src, payload.subslice(1));
   } else if (kind == Kind::kOrdered) {
     std::uint64_t gseq = r.u64();
     NodeId origin = r.u32();
     if (!r.ok()) return;
-    Bytes body(payload.begin() + 13, payload.end());
-    pending_[gseq] = {origin, std::move(body)};
+    pending_[gseq] = {origin, payload.subslice(13)};
     deliver_in_order();
   }
 }

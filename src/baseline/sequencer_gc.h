@@ -16,7 +16,8 @@ class SequencerGC final : public GroupComm {
   SequencerGC(net::NodeEnv& env, std::vector<NodeId> group,
                  transport::TransportConfig tcfg = {});
 
-  MsgSeq multicast(Bytes payload) override;
+  using GroupComm::multicast;
+  MsgSeq multicast(Slice payload) override;
   void set_deliver_handler(DeliverFn fn) override { on_deliver_ = std::move(fn); }
   const Counter& task_switches() const override {
     return transport_.task_switches();
@@ -29,8 +30,8 @@ class SequencerGC final : public GroupComm {
  private:
   enum class Kind : std::uint8_t { kSubmit = 1, kOrdered = 2 };
 
-  void on_message(NodeId src, Bytes&& payload);
-  void broadcast_ordered(NodeId origin, const Bytes& body);
+  void on_message(NodeId src, Slice payload);
+  void broadcast_ordered(NodeId origin, const Slice& body);
   void deliver_in_order();
 
   net::NodeEnv& env_;
@@ -42,7 +43,7 @@ class SequencerGC final : public GroupComm {
   std::uint64_t next_global_ = 1;  // used only by the sequencer
 
   std::uint64_t next_deliver_ = 1;
-  std::map<std::uint64_t, std::pair<NodeId, Bytes>> pending_;
+  std::map<std::uint64_t, std::pair<NodeId, Slice>> pending_;
 };
 
 }  // namespace raincore::baseline

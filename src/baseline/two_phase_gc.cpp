@@ -6,13 +6,13 @@ TwoPhaseGC::TwoPhaseGC(net::NodeEnv& env, std::vector<NodeId> group,
                       transport::TransportConfig tcfg)
     : env_(env), group_(std::move(group)), transport_(env, tcfg) {
   transport_.set_message_handler(
-      [this](NodeId src, Bytes&& p) { on_message(src, std::move(p)); });
+      [this](NodeId src, Slice p) { on_message(src, std::move(p)); });
 }
 
-MsgSeq TwoPhaseGC::multicast(Bytes payload) {
+MsgSeq TwoPhaseGC::multicast(Slice payload) {
   MsgSeq id = ++next_seq_;
   Pending p;
-  p.payload = payload;
+  p.payload = payload;  // refcount bump, not a copy
   for (NodeId peer : group_) {
     if (peer != env_.node()) p.awaiting_votes.insert(peer);
   }
@@ -20,11 +20,11 @@ MsgSeq TwoPhaseGC::multicast(Bytes payload) {
     if (on_deliver_) on_deliver_(env_.node(), payload);
     return id;
   }
-  ByteWriter w(payload.size() + 16);
+  FrameBuilder w(payload.size() + 16);
   w.u8(static_cast<std::uint8_t>(Kind::kPrepare));
   w.u64(id);
   w.raw(payload.data(), payload.size());
-  Bytes framed = w.take();
+  Slice framed = w.finish();
   coordinating_[id] = std::move(p);
   for (NodeId peer : group_) {
     if (peer != env_.node()) transport_.send(peer, framed);
@@ -32,7 +32,7 @@ MsgSeq TwoPhaseGC::multicast(Bytes payload) {
   return id;
 }
 
-void TwoPhaseGC::on_message(NodeId src, Bytes&& payload) {
+void TwoPhaseGC::on_message(NodeId src, Slice payload) {
   ByteReader r(payload);
   auto kind = static_cast<Kind>(r.u8());
   MsgSeq id = r.u64();
@@ -40,11 +40,11 @@ void TwoPhaseGC::on_message(NodeId src, Bytes&& payload) {
 
   switch (kind) {
     case Kind::kPrepare: {
-      prepared_[{src, id}] = Bytes(payload.begin() + 9, payload.end());
-      ByteWriter w(9);
+      prepared_[{src, id}] = payload.subslice(9);  // aliases the datagram
+      FrameBuilder w(9);
       w.u8(static_cast<std::uint8_t>(Kind::kVote));
       w.u64(id);
-      transport_.send(src, w.take());
+      transport_.send(src, w.finish());
       break;
     }
     case Kind::kVote: {
@@ -53,10 +53,10 @@ void TwoPhaseGC::on_message(NodeId src, Bytes&& payload) {
       it->second.awaiting_votes.erase(src);
       if (!it->second.awaiting_votes.empty()) return;
       // All votes in: commit everywhere, deliver locally.
-      ByteWriter w(9);
+      FrameBuilder w(9);
       w.u8(static_cast<std::uint8_t>(Kind::kCommit));
       w.u64(id);
-      Bytes framed = w.take();
+      Slice framed = w.finish();
       for (NodeId peer : group_) {
         if (peer != env_.node()) transport_.send(peer, framed);
       }

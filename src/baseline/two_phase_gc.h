@@ -21,7 +21,8 @@ class TwoPhaseGC final : public GroupComm {
   TwoPhaseGC(net::NodeEnv& env, std::vector<NodeId> group,
                 transport::TransportConfig tcfg = {});
 
-  MsgSeq multicast(Bytes payload) override;
+  using GroupComm::multicast;
+  MsgSeq multicast(Slice payload) override;
   void set_deliver_handler(DeliverFn fn) override { on_deliver_ = std::move(fn); }
   const Counter& task_switches() const override {
     return transport_.task_switches();
@@ -34,11 +35,11 @@ class TwoPhaseGC final : public GroupComm {
   enum class Kind : std::uint8_t { kPrepare = 1, kVote = 2, kCommit = 3 };
 
   struct Pending {  // coordinator side
-    Bytes payload;
+    Slice payload;
     std::set<NodeId> awaiting_votes;
   };
 
-  void on_message(NodeId src, Bytes&& payload);
+  void on_message(NodeId src, Slice payload);
 
   net::NodeEnv& env_;
   std::vector<NodeId> group_;
@@ -48,7 +49,7 @@ class TwoPhaseGC final : public GroupComm {
   std::map<MsgSeq, Pending> coordinating_;
   /// Participant side: buffered PREPAREs awaiting COMMIT, keyed by
   /// (coordinator, msg id).
-  std::map<std::pair<NodeId, MsgSeq>, Bytes> prepared_;
+  std::map<std::pair<NodeId, MsgSeq>, Slice> prepared_;
 };
 
 }  // namespace raincore::baseline

@@ -1,10 +1,46 @@
 #include "common/buffer.h"
 
+#include <algorithm>
+
 namespace raincore {
 
 WireStats& wire_stats() {
   static WireStats stats;
   return stats;
+}
+
+Slice Slice::adopt(Bytes store, std::size_t off, std::size_t len) {
+  Slice s;
+  s.store_ = std::make_shared<Bytes>(std::move(store));
+  s.off_ = std::min(off, s.store_->size());
+  s.len_ = std::min(len, s.store_->size() - s.off_);
+  wire_stats().allocs.inc();
+  return s;
+}
+
+Slice Slice::copy(const std::uint8_t* p, std::size_t n) {
+  Slice s;
+  s.store_ = std::make_shared<Bytes>(p, p + n);
+  s.off_ = 0;
+  s.len_ = n;
+  wire_stats().allocs.inc();
+  wire_stats().copies.inc();
+  wire_stats().bytes_copied.inc(n);
+  return s;
+}
+
+std::optional<SliceFramed> Slice::expand(std::size_t hdr,
+                                           std::size_t tail) const {
+  if (!store_ || store_.use_count() != 1) return std::nullopt;
+  if (off_ < hdr || tailroom() < tail) return std::nullopt;
+  Framed f;
+  f.frame = *this;
+  f.frame.off_ = off_ - hdr;
+  f.frame.len_ = len_ + hdr + tail;
+  std::uint8_t* base = f.frame.store_->data();
+  f.head = base + off_ - hdr;
+  f.tail = base + off_ + len_;
+  return f;
 }
 
 }  // namespace raincore

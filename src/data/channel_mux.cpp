@@ -6,27 +6,29 @@ namespace raincore::data {
 
 ChannelMux::ChannelMux(session::SessionNode& node) : node_(node) {
   node_.set_deliver_handler(
-      [this](NodeId origin, const Bytes& payload, session::Ordering o) {
+      [this](NodeId origin, const Slice& payload, session::Ordering o) {
         if (payload.size() < 2) return;
         ByteReader r(payload);
         Channel ch = r.u16();
         auto it = channels_.find(ch);
         if (it == channels_.end()) return;
         delivered_.inc();
-        Bytes body(payload.begin() + 2, payload.end());
-        it->second(origin, body, o);
+        // The body view aliases the token frame — no per-channel copy-out.
+        it->second(origin, payload.subslice(2), o);
       });
   node_.set_view_handler([this](const session::View& v) {
     for (auto& fn : view_fns_) fn(v);
   });
 }
 
-MsgSeq ChannelMux::send(Channel ch, Bytes payload, session::Ordering o) {
+MsgSeq ChannelMux::send(Channel ch, Slice payload, session::Ordering o) {
   sent_.inc();
-  ByteWriter w(payload.size() + 2);
+  // Built with wire slack so the eventual token gather is the only copy of
+  // this payload on the send path.
+  FrameBuilder w(payload.size() + 2);
   w.u16(ch);
   w.raw(payload.data(), payload.size());
-  return node_.multicast(w.take(), o);
+  return node_.multicast(w.finish(), o);
 }
 
 void ChannelMux::subscribe(Channel ch, ChannelFn fn) {

@@ -15,8 +15,9 @@ using Channel = std::uint16_t;
 
 class ChannelMux {
  public:
+  /// Channel payload slices alias the delivered token frame (zero-copy).
   using ChannelFn =
-      std::function<void(NodeId origin, const Bytes& payload, session::Ordering)>;
+      std::function<void(NodeId origin, const Slice& payload, session::Ordering)>;
   using ViewFn = std::function<void(const session::View&)>;
 
   explicit ChannelMux(session::SessionNode& node);
@@ -24,8 +25,12 @@ class ChannelMux {
   ChannelMux& operator=(const ChannelMux&) = delete;
 
   /// Multicasts on a channel with the given ordering.
-  MsgSeq send(Channel ch, Bytes payload,
+  MsgSeq send(Channel ch, Slice payload,
               session::Ordering o = session::Ordering::kAgreed);
+  MsgSeq send(Channel ch, Bytes payload,
+              session::Ordering o = session::Ordering::kAgreed) {
+    return send(ch, Slice::take(std::move(payload)), o);
+  }
 
   /// At most one subscriber per channel (services own their channels).
   void subscribe(Channel ch, ChannelFn fn);

@@ -13,7 +13,7 @@ constexpr const char* kMod = "dlm";
 LockManager::LockManager(ChannelMux& mux, Channel channel)
     : mux_(mux), channel_(channel) {
   mux_.subscribe(channel_,
-                 [this](NodeId origin, const Bytes& payload, session::Ordering) {
+                 [this](NodeId origin, const Slice& payload, session::Ordering) {
                    on_message(origin, payload);
                  });
   mux_.subscribe_views([this](const session::View& v) { on_view(v); });
@@ -229,7 +229,7 @@ void LockManager::apply_epoch(const std::vector<NodeId>& members,
   for (const auto& entry : locks_) maybe_grant(entry.first);
 }
 
-void LockManager::on_message(NodeId origin, const Bytes& payload) {
+void LockManager::on_message(NodeId origin, const Slice& payload) {
   ByteReader r(payload);
   auto op = static_cast<Op>(r.u8());
   switch (op) {

@@ -79,7 +79,7 @@ class LockManager {
     std::deque<Waiter> queue;  ///< front = owner
   };
 
-  void on_message(NodeId origin, const Bytes& payload);
+  void on_message(NodeId origin, const Slice& payload);
   void on_view(const session::View& v);
   void apply_acquire(const std::string& name, NodeId node, std::uint64_t req);
   void apply_release(const std::string& name, NodeId node);

@@ -13,7 +13,7 @@ constexpr const char* kMod = "repmap";
 ReplicatedMap::ReplicatedMap(ChannelMux& mux, Channel channel)
     : mux_(mux), channel_(channel) {
   mux_.subscribe(channel_,
-                 [this](NodeId origin, const Bytes& payload, session::Ordering) {
+                 [this](NodeId origin, const Slice& payload, session::Ordering) {
                    on_message(origin, payload);
                  });
   mux_.subscribe_views([this](const session::View& v) { on_view(v); });
@@ -31,7 +31,6 @@ void ReplicatedMap::on_view(const session::View& v) {
     sync_requested_ = false;
     was_member_ = false;
     prev_members_.clear();
-    last_reconcile_view_sent_ = 0;
   }
   if (!v.has(mux_.self())) return;
   bool survivor = was_member_;  // member of a previous view, not a fresh joiner
@@ -68,9 +67,20 @@ void ReplicatedMap::on_view(const session::View& v) {
       reconciler = n;
     }
   }
+  RC_DEBUG(kMod,
+           "node %u ch%u view %llu (%zu members) gained=%d survivor=%d "
+           "synced=%d reconciler=%u",
+           mux_.self(), channel_, static_cast<unsigned long long>(v.view_id),
+           v.members.size(), gained ? 1 : 0, survivor ? 1 : 0, synced_ ? 1 : 0,
+           reconciler);
+  // One reconcile per member-gaining *transition* — the session layer only
+  // announces a view when the membership actually changed, so no further
+  // dedup is needed. (Keying this on view_id is wrong: view ids are token
+  // state and collide across lineages after regenerations, which used to
+  // suppress the reconcile for a re-merged view whose id matched an earlier
+  // one whose reconcile never reached the gained members.)
   if (survivor && gained && synced_ && !prev_members_.empty() &&
-      v.view_id != last_reconcile_view_sent_ && mux_.self() == reconciler) {
-    last_reconcile_view_sent_ = v.view_id;
+      mux_.self() == reconciler) {
     sync_ops_.inc();
     ByteWriter w(64);
     w.u8(static_cast<std::uint8_t>(Op::kReconcile));
@@ -123,7 +133,7 @@ void ReplicatedMap::apply_erase(const std::string& key, NodeId origin) {
   if (data_.erase(key) > 0 && on_change_) on_change_(key, std::nullopt, origin);
 }
 
-void ReplicatedMap::on_message(NodeId origin, const Bytes& payload) {
+void ReplicatedMap::on_message(NodeId origin, const Slice& payload) {
   ByteReader r(payload);
   auto op = static_cast<Op>(r.u8());
   switch (op) {
@@ -183,7 +193,7 @@ void ReplicatedMap::on_message(NodeId origin, const Bytes& payload) {
       sync_ops_.inc();
       // Replay the operations ordered after our sync request but before the
       // snapshot message; apply-by-overwrite makes this idempotent.
-      std::vector<std::pair<NodeId, Bytes>> replay;
+      std::vector<std::pair<NodeId, Slice>> replay;
       replay.swap(replay_);
       for (auto& [o, p] : replay) on_message(o, p);
       RC_INFO(kMod, "node %u synced snapshot of %u entries (+%zu replayed)",

@@ -63,7 +63,7 @@ class ReplicatedMap {
     kReconcile = 5,
   };
 
-  void on_message(NodeId origin, const Bytes& payload);
+  void on_message(NodeId origin, const Slice& payload);
   void on_view(const session::View& v);
   void apply_put(const std::string& key, std::string value, NodeId origin);
   void apply_erase(const std::string& key, NodeId origin);
@@ -78,12 +78,12 @@ class ReplicatedMap {
   /// Members of the previous view we belonged to — used to detect
   /// member-gaining view changes (merges) that need a RECONCILE.
   std::vector<NodeId> prev_members_;
-  std::uint64_t last_reconcile_view_sent_ = 0;
   /// Joiner-side replay buffer: the snapshot covers exactly the operations
   /// ordered before our kSyncRequest, but it is *attached* by the responder
   /// one round later — so every op we deliver between sending the request
-  /// and receiving the snapshot must be replayed on top of it.
-  std::vector<std::pair<NodeId, Bytes>> replay_;
+  /// and receiving the snapshot must be replayed on top of it. The retained
+  /// slices keep their token-frame storage alive past delivery (ref-count).
+  std::vector<std::pair<NodeId, Slice>> replay_;
   ChangeFn on_change_;
   metrics::Registry metrics_;
   Counter& puts_ = metrics_.counter("data.map.puts");

@@ -14,7 +14,7 @@ DistributedBarrier::DistributedBarrier(ChannelMux& mux, Channel channel,
                                        std::size_t parties)
     : mux_(mux), channel_(channel), parties_(parties) {
   mux_.subscribe(channel_,
-                 [this](NodeId origin, const Bytes& payload, session::Ordering) {
+                 [this](NodeId origin, const Slice& payload, session::Ordering) {
                    on_message(origin, payload);
                  });
 }
@@ -26,7 +26,7 @@ void DistributedBarrier::arrive() {
   mux_.send(channel_, w.take());
 }
 
-void DistributedBarrier::on_message(NodeId origin, const Bytes& payload) {
+void DistributedBarrier::on_message(NodeId origin, const Slice& payload) {
   ByteReader r(payload);
   if (static_cast<BarrierOp>(r.u8()) != BarrierOp::kArrive) return;
   std::uint64_t gen = r.u64();
@@ -45,7 +45,7 @@ void DistributedBarrier::on_message(NodeId origin, const Bytes& payload) {
 DistributedCounter::DistributedCounter(ChannelMux& mux, Channel channel)
     : mux_(mux), channel_(channel) {
   mux_.subscribe(channel_,
-                 [this](NodeId origin, const Bytes& payload, session::Ordering) {
+                 [this](NodeId origin, const Slice& payload, session::Ordering) {
                    on_message(origin, payload);
                  });
 }
@@ -60,7 +60,7 @@ void DistributedCounter::add(std::int64_t delta, ResultFn on_applied) {
   mux_.send(channel_, w.take());
 }
 
-void DistributedCounter::on_message(NodeId origin, const Bytes& payload) {
+void DistributedCounter::on_message(NodeId origin, const Slice& payload) {
   ByteReader r(payload);
   if (static_cast<CounterOp>(r.u8()) != CounterOp::kAdd) return;
   std::uint64_t op = r.u64();
@@ -82,7 +82,7 @@ void DistributedCounter::on_message(NodeId origin, const Bytes& payload) {
 DistributedQueue::DistributedQueue(ChannelMux& mux, Channel channel)
     : mux_(mux), channel_(channel) {
   mux_.subscribe(channel_,
-                 [this](NodeId origin, const Bytes& payload, session::Ordering) {
+                 [this](NodeId origin, const Slice& payload, session::Ordering) {
                    on_message(origin, payload);
                  });
 }
@@ -103,7 +103,7 @@ void DistributedQueue::try_pop(PopFn fn) {
   mux_.send(channel_, w.take());
 }
 
-void DistributedQueue::on_message(NodeId origin, const Bytes& payload) {
+void DistributedQueue::on_message(NodeId origin, const Slice& payload) {
   ByteReader r(payload);
   auto op = static_cast<QueueOp>(r.u8());
   if (op == QueueOp::kPush) {

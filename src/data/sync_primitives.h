@@ -35,7 +35,7 @@ class DistributedBarrier {
   std::size_t waiting() const { return arrived_.size(); }
 
  private:
-  void on_message(NodeId origin, const Bytes& payload);
+  void on_message(NodeId origin, const Slice& payload);
 
   ChannelMux& mux_;
   Channel channel_;
@@ -60,7 +60,7 @@ class DistributedCounter {
   std::int64_t value() const { return value_; }
 
  private:
-  void on_message(NodeId origin, const Bytes& payload);
+  void on_message(NodeId origin, const Slice& payload);
 
   ChannelMux& mux_;
   Channel channel_;
@@ -87,7 +87,7 @@ class DistributedQueue {
   const std::deque<std::string>& items() const { return items_; }
 
  private:
-  void on_message(NodeId origin, const Bytes& payload);
+  void on_message(NodeId origin, const Slice& payload);
 
   ChannelMux& mux_;
   Channel channel_;

@@ -25,9 +25,14 @@ class NodeEnv {
   virtual NodeId node() const = 0;
   virtual std::uint8_t iface_count() const = 0;
 
-  /// Sends an unreliable datagram from the given local interface.
-  virtual void send(const Address& to, Bytes payload, std::uint8_t from_iface) = 0;
-  void send(const Address& to, Bytes payload) { send(to, std::move(payload), 0); }
+  /// Sends an unreliable datagram from the given local interface. The
+  /// payload is a ref-counted view: fan-out (retries, parallel interfaces)
+  /// passes the same storage without copying.
+  virtual void send(const Address& to, Slice payload, std::uint8_t from_iface) = 0;
+  void send(const Address& to, Slice payload) { send(to, std::move(payload), 0); }
+  void send(const Address& to, Bytes payload, std::uint8_t from_iface = 0) {
+    send(to, Slice::take(std::move(payload)), from_iface);
+  }
 
   /// One-shot timer; returns an id usable with cancel().
   virtual TimerId schedule(Time delay, EventFn fn) = 0;

@@ -9,7 +9,9 @@ namespace raincore::net {
 struct Datagram {
   Address src;
   Address dst;
-  Bytes payload;
+  /// Ref-counted view: copies of a Datagram (simulator duplication, the
+  /// sender's retained retry buffer) share one payload storage.
+  Slice payload;
 };
 
 }  // namespace raincore::net

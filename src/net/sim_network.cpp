@@ -31,7 +31,7 @@ class SimNetwork::SimNodeEnv final : public NodeEnv {
   NodeId node() const override { return id_; }
   std::uint8_t iface_count() const override { return n_ifaces_; }
 
-  void send(const Address& to, Bytes payload, std::uint8_t from_iface) override {
+  void send(const Address& to, Slice payload, std::uint8_t from_iface) override {
     assert(from_iface < n_ifaces_);
     Datagram d;
     d.src = Address{id_, from_iface};
@@ -243,18 +243,20 @@ void SimNetwork::do_send(Datagram&& d) {
     src_stats.pkts_duplicated.inc();
   }
   for (int i = 0; i < copies; ++i) {
-    if (i + 1 < copies) {
-      wire_stats().allocs.inc();  // duplication deep-copies the payload
-      wire_stats().copies.inc();
-      wire_stats().bytes_copied.inc(d.payload.size());
-    }
+    // Duplicates share the payload storage — copying a Datagram only bumps
+    // the slice refcount.
     Datagram c = (i + 1 < copies) ? d : std::move(d);
     if (link.corrupt > 0.0 && !c.payload.empty() && rng_.chance(link.corrupt)) {
+      // Copy-on-write: the sender's retained retry buffer (and any
+      // duplicate in flight) aliases this payload, so an in-flight bit
+      // flip must never write through the shared storage.
+      Slice mut = std::move(c.payload).cow();
       int flips = 1 + static_cast<int>(rng_.next_below(4));
       for (int k = 0; k < flips; ++k) {
-        c.payload[rng_.next_below(c.payload.size())] ^=
+        mut.mutable_data()[rng_.next_below(mut.size())] ^=
             static_cast<std::uint8_t>(1u << rng_.next_below(8));
       }
+      c.payload = std::move(mut);
       src_stats.pkts_corrupted.inc();
     }
     schedule_delivery(std::move(c), link, dst);

@@ -47,25 +47,33 @@ class UdpNetwork::UdpNodeEnv final : public NodeEnv {
   NodeId node() const override { return id_; }
   std::uint8_t iface_count() const override { return n_ifaces_; }
 
-  void send(const Address& to, Bytes payload, std::uint8_t from_iface) override {
+  void send(const Address& to, Slice payload, std::uint8_t from_iface) override {
     assert(from_iface < n_ifaces_);
     // Wire framing: [src_node u32][src_iface u8] + payload, so the receiver
     // recovers the logical source address regardless of ephemeral routing.
-    ByteWriter w(payload.size() + 5);
-    w.u32(id_);
-    w.u8(from_iface);
-    w.raw(payload.data(), payload.size());
-    Bytes framed = w.take();
-    wire_stats().allocs.inc();
-    wire_stats().copies.inc();
-    wire_stats().bytes_copied.inc(payload.size());
+    // The header goes out as a separate iovec: the payload slice is shared
+    // with retries and parallel interfaces (which carry different headers),
+    // so it is never copied or prepended in place here.
+    std::uint8_t hdr[5];
+    for (int i = 0; i < 4; ++i) hdr[i] = static_cast<std::uint8_t>(id_ >> (8 * i));
+    hdr[4] = from_iface;
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(net_.port_of(to));
     ::inet_pton(AF_INET, net_.cfg_.bind_ip.c_str(), &addr.sin_addr);
-    ::sendto(fds_[from_iface], framed.data(), framed.size(), 0,
-             reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+
+    iovec iov[2];
+    iov[0].iov_base = hdr;
+    iov[0].iov_len = sizeof(hdr);
+    iov[1].iov_base = const_cast<std::uint8_t*>(payload.data());
+    iov[1].iov_len = payload.size();
+    msghdr msg{};
+    msg.msg_name = &addr;
+    msg.msg_namelen = sizeof(addr);
+    msg.msg_iov = iov;
+    msg.msg_iovlen = payload.empty() ? 1 : 2;
+    ::sendmsg(fds_[from_iface], &msg, 0);
   }
 
   TimerId schedule(Time delay, EventFn fn) override {
@@ -87,10 +95,9 @@ class UdpNetwork::UdpNodeEnv final : public NodeEnv {
       d.src.node = r.u32();
       d.src.iface = r.u8();
       d.dst = Address{id_, iface};
-      d.payload.assign(buf + 5, buf + n);
-      wire_stats().allocs.inc();
-      wire_stats().copies.inc();
-      wire_stats().bytes_copied.inc(d.payload.size());
+      // One copy off the stack receive buffer; everything above (transport
+      // payload, decoded piggyback messages) aliases this storage.
+      d.payload = Slice::copy(buf + 5, static_cast<std::size_t>(n) - 5);
       if (receiver_) receiver_(std::move(d));
     }
   }

@@ -38,10 +38,10 @@ HierarchicalNode::HierarchicalNode(net::NodeEnv& local_env,
   incarnation_ = static_cast<std::uint32_t>(local_env.rng().next_u64());
 
   local_.set_deliver_handler(
-      [this](NodeId, const Bytes& payload, Ordering) { on_local_deliver(payload); });
+      [this](NodeId, const Slice& payload, Ordering) { on_local_deliver(payload); });
   local_.set_view_handler([this](const View& v) { on_local_view(v); });
   global_.set_deliver_handler(
-      [this](NodeId, const Bytes& payload, Ordering) { on_global_deliver(payload); });
+      [this](NodeId, const Slice& payload, Ordering) { on_global_deliver(payload); });
 }
 
 void HierarchicalNode::start() {
@@ -60,27 +60,27 @@ void HierarchicalNode::stop() {
   leader_ = false;
 }
 
-Bytes HierarchicalNode::encode(const WireMsg& m) {
-  ByteWriter w(m.payload.size() + 24);
+Slice HierarchicalNode::encode(const WireMsg& m) {
+  FrameBuilder w(m.payload.size() + 24);
   w.u32(m.ring);
   w.u32(m.origin);
   w.u32(m.incarnation);
   w.u64(m.seq);
   w.bytes(m.payload);
-  return w.take();
+  return w.finish();
 }
 
-bool HierarchicalNode::decode(const Bytes& b, WireMsg& m) {
+bool HierarchicalNode::decode(const Slice& b, WireMsg& m) {
   ByteReader r(b);
   m.ring = r.u32();
   m.origin = r.u32();
   m.incarnation = r.u32();
   m.seq = r.u64();
-  m.payload = r.bytes();
+  m.payload = r.slice();  // aliases the delivered token frame
   return r.ok() && r.at_end();
 }
 
-MsgSeq HierarchicalNode::multicast(Bytes payload) {
+MsgSeq HierarchicalNode::multicast(Slice payload) {
   WireMsg m;
   m.ring = static_cast<std::uint32_t>(my_ring_);
   m.origin = id();
@@ -111,7 +111,7 @@ bool HierarchicalNode::already_delivered(const WireMsg& m) {
   return false;
 }
 
-void HierarchicalNode::on_local_deliver(const Bytes& payload) {
+void HierarchicalNode::on_local_deliver(const Slice& payload) {
   WireMsg m;
   if (!decode(payload, m)) return;
 
@@ -129,7 +129,7 @@ void HierarchicalNode::on_local_deliver(const Bytes& payload) {
   if (on_deliver_) on_deliver_(m.origin, m.payload);
 }
 
-void HierarchicalNode::on_global_deliver(const Bytes& payload) {
+void HierarchicalNode::on_global_deliver(const Slice& payload) {
   WireMsg m;
   if (!decode(payload, m)) return;
   // Remote-ring traffic: inject into our local ring. Delivery (including

@@ -50,7 +50,8 @@ struct HierarchyConfig {
 
 class HierarchicalNode {
  public:
-  using DeliverFn = std::function<void(NodeId origin, const Bytes& payload)>;
+  /// Payload slices alias the local ring's token frame (zero-copy).
+  using DeliverFn = std::function<void(NodeId origin, const Slice& payload)>;
 
   /// `local_env` carries the local ring's traffic; `global_env` (a second
   /// logical endpoint of the same machine) carries the global ring's and is
@@ -64,7 +65,10 @@ class HierarchicalNode {
   void stop();
 
   /// Hierarchy-wide FIFO multicast: delivered on every node of every ring.
-  MsgSeq multicast(Bytes payload);
+  MsgSeq multicast(Slice payload);
+  MsgSeq multicast(Bytes payload) {
+    return multicast(Slice::take(std::move(payload)));
+  }
 
   void set_deliver_handler(DeliverFn fn) { on_deliver_ = std::move(fn); }
 
@@ -96,13 +100,13 @@ class HierarchicalNode {
     NodeId origin = kInvalidNode;
     std::uint32_t incarnation = 0;
     MsgSeq seq = 0;
-    Bytes payload;
+    Slice payload;
   };
-  static Bytes encode(const WireMsg& m);
-  static bool decode(const Bytes& b, WireMsg& m);
+  static Slice encode(const WireMsg& m);
+  static bool decode(const Slice& b, WireMsg& m);
 
-  void on_local_deliver(const Bytes& payload);
-  void on_global_deliver(const Bytes& payload);
+  void on_local_deliver(const Slice& payload);
+  void on_global_deliver(const Slice& payload);
   void on_local_view(const View& v);
   bool already_delivered(const WireMsg& m);
 

@@ -2,42 +2,41 @@
 
 namespace raincore::session {
 
-Bytes encode_token_msg(const Token& t) {
-  ByteWriter w(128);
+Slice encode_token_msg(const Token& t) {
+  FrameBuilder w(128 + t.msgs.size() * 32);
   w.u8(static_cast<std::uint8_t>(SessionMsgType::kToken));
   t.serialize(w);
-  wire_stats().allocs.inc();  // fresh session payload buffer per hop
-  return w.take();
+  return w.finish();
 }
 
-Bytes encode_911(const Msg911& m) {
-  ByteWriter w(32);
+Slice encode_911(const Msg911& m) {
+  FrameBuilder w(32);
   w.u8(static_cast<std::uint8_t>(SessionMsgType::k911));
   w.u32(m.requester);
   w.u64(m.request_id);
   w.u64(m.last_copy_seq);
-  return w.take();
+  return w.finish();
 }
 
-Bytes encode_911_reply(const Msg911Reply& m) {
-  ByteWriter w(32);
+Slice encode_911_reply(const Msg911Reply& m) {
+  FrameBuilder w(32);
   w.u8(static_cast<std::uint8_t>(SessionMsgType::k911Reply));
   w.u32(m.responder);
   w.u64(m.request_id);
   w.u8(m.granted ? 1 : 0);
   w.u64(m.responder_copy_seq);
-  return w.take();
+  return w.finish();
 }
 
-Bytes encode_bodyodor(const MsgBodyOdor& m) {
-  ByteWriter w(16);
+Slice encode_bodyodor(const MsgBodyOdor& m) {
+  FrameBuilder w(16);
   w.u8(static_cast<std::uint8_t>(SessionMsgType::kBodyOdor));
   w.u32(m.sender);
   w.u32(m.group_id);
-  return w.take();
+  return w.finish();
 }
 
-bool peek_type(const Bytes& payload, SessionMsgType& out) {
+bool peek_type(const Slice& payload, SessionMsgType& out) {
   if (payload.empty()) return false;
   out = static_cast<SessionMsgType>(payload[0]);
   return true;
@@ -49,13 +48,13 @@ bool skip_type(ByteReader& r, SessionMsgType expect) {
 }
 }  // namespace
 
-bool decode_token_msg(const Bytes& payload, Token& out) {
+bool decode_token_msg(const Slice& payload, Token& out) {
   ByteReader r(payload);
   if (!skip_type(r, SessionMsgType::kToken)) return false;
   return Token::deserialize(r, out) && r.at_end();
 }
 
-bool decode_911(const Bytes& payload, Msg911& out) {
+bool decode_911(const Slice& payload, Msg911& out) {
   ByteReader r(payload);
   if (!skip_type(r, SessionMsgType::k911)) return false;
   out.requester = r.u32();
@@ -64,7 +63,7 @@ bool decode_911(const Bytes& payload, Msg911& out) {
   return r.ok() && r.at_end();
 }
 
-bool decode_911_reply(const Bytes& payload, Msg911Reply& out) {
+bool decode_911_reply(const Slice& payload, Msg911Reply& out) {
   ByteReader r(payload);
   if (!skip_type(r, SessionMsgType::k911Reply)) return false;
   out.responder = r.u32();
@@ -74,7 +73,7 @@ bool decode_911_reply(const Bytes& payload, Msg911Reply& out) {
   return r.ok() && r.at_end();
 }
 
-bool decode_bodyodor(const Bytes& payload, MsgBodyOdor& out) {
+bool decode_bodyodor(const Slice& payload, MsgBodyOdor& out) {
   ByteReader r(payload);
   if (!skip_type(r, SessionMsgType::kBodyOdor)) return false;
   out.sender = r.u32();

@@ -41,17 +41,21 @@ struct MsgBodyOdor {
   GroupId group_id = kInvalidNode;
 };
 
-Bytes encode_token_msg(const Token& t);
-Bytes encode_911(const Msg911& m);
-Bytes encode_911_reply(const Msg911Reply& m);
-Bytes encode_bodyodor(const MsgBodyOdor& m);
+/// Encoders build through FrameBuilder: the returned slice carries wire
+/// slack, so the transport frames it in place (encode-once, §2.2 wire path).
+Slice encode_token_msg(const Token& t);
+Slice encode_911(const Msg911& m);
+Slice encode_911_reply(const Msg911Reply& m);
+Slice encode_bodyodor(const MsgBodyOdor& m);
 
 /// Peeks the message type; returns false on an empty payload.
-bool peek_type(const Bytes& payload, SessionMsgType& out);
+bool peek_type(const Slice& payload, SessionMsgType& out);
 
-bool decode_token_msg(const Bytes& payload, Token& out);
-bool decode_911(const Bytes& payload, Msg911& out);
-bool decode_911_reply(const Bytes& payload, Msg911Reply& out);
-bool decode_bodyodor(const Bytes& payload, MsgBodyOdor& out);
+/// Decoders read a slice view; piggybacked message payloads inside a
+/// decoded token alias the input storage (zero-copy scatter).
+bool decode_token_msg(const Slice& payload, Token& out);
+bool decode_911(const Slice& payload, Msg911& out);
+bool decode_911_reply(const Slice& payload, Msg911Reply& out);
+bool decode_bodyodor(const Slice& payload, MsgBodyOdor& out);
 
 }  // namespace raincore::session

@@ -9,6 +9,11 @@ namespace raincore::session {
 namespace {
 constexpr const char* kMod = "session";
 constexpr std::size_t kMaxLineagesTracked = 64;
+/// Delivery watermarks retained per origin across its crash-restarts. Old
+/// incarnations must stay suppressible for as long as token regeneration
+/// can resurrect their messages; a handful is plenty — an incarnation's
+/// messages retire within one or two token rounds of their last attach.
+constexpr std::size_t kMaxIncarnationsPerOrigin = 8;
 }  // namespace
 
 Histogram& SessionNode::dwell_hist(State s) {
@@ -37,7 +42,7 @@ SessionNode::SessionNode(net::NodeEnv& env, SessionConfig cfg)
   incarnation_ = static_cast<std::uint32_t>(env_.rng().next_u64());
   eligible_.insert(cfg_.eligible.begin(), cfg_.eligible.end());
   transport_.set_message_handler(
-      [this](NodeId src, Bytes&& payload) { on_transport_message(src, std::move(payload)); });
+      [this](NodeId src, Slice payload) { on_transport_message(src, std::move(payload)); });
 }
 
 SessionNode::~SessionNode() { stop(); }
@@ -159,7 +164,7 @@ void SessionNode::set_eligible(std::vector<NodeId> eligible) {
 
 // --- Public services ---------------------------------------------------------
 
-MsgSeq SessionNode::multicast(Bytes payload, Ordering ordering) {
+MsgSeq SessionNode::multicast(Slice payload, Ordering ordering) {
   AttachedMessage m;
   m.origin = id();
   m.incarnation = incarnation_;
@@ -171,11 +176,11 @@ MsgSeq SessionNode::multicast(Bytes payload, Ordering ordering) {
   return pending_out_.back().seq;
 }
 
-void SessionNode::submit_open(NodeId member, Bytes payload) {
-  ByteWriter w(payload.size() + 1);
+void SessionNode::submit_open(NodeId member, Slice payload) {
+  FrameBuilder w(payload.size() + 1);
   w.u8(static_cast<std::uint8_t>(SessionMsgType::kOpenSubmit));
   w.raw(payload.data(), payload.size());
-  transport_.send(member, w.take());
+  transport_.send(member, w.finish());
 }
 
 void SessionNode::run_exclusive(std::function<void()> fn) {
@@ -189,7 +194,7 @@ void SessionNode::run_exclusive(std::function<void()> fn) {
 
 // --- Message plumbing --------------------------------------------------------
 
-void SessionNode::on_transport_message(NodeId src, Bytes&& payload) {
+void SessionNode::on_transport_message(NodeId src, Slice payload) {
   (void)src;
   if (!started_) return;
   SessionMsgType type;
@@ -217,8 +222,9 @@ void SessionNode::on_transport_message(NodeId src, Bytes&& payload) {
     }
     case SessionMsgType::kOpenSubmit: {
       // Open group communication (§2.6): forward an outsider's message to
-      // the whole group as our own multicast.
-      multicast(Bytes(payload.begin() + 1, payload.end()));
+      // the whole group as our own multicast. The body aliases the inbound
+      // datagram — no copy-out.
+      multicast(payload.subslice(1));
       break;
     }
     default:
@@ -363,10 +369,7 @@ void SessionNode::process_attached(Token& t) {
         continue;  // full round(s) complete everywhere: retire
       }
 
-      OriginState& os = origin_state_[m.origin];
-      if (os.incarnation != m.incarnation) {
-        os = OriginState{m.incarnation, 0, 0};
-      }
+      OriginState& os = origin_watermarks(m.origin, m.incarnation);
       if (!m.safe) {
         if (m.seq > os.agreed) {
           os.agreed = m.seq;
@@ -389,6 +392,34 @@ void SessionNode::process_attached(Token& t) {
     kept.push_back(std::move(m));
   }
   t.msgs = std::move(kept);
+}
+
+SessionNode::OriginState& SessionNode::origin_watermarks(
+    NodeId origin, std::uint32_t incarnation) {
+  const auto key = std::make_pair(origin, incarnation);
+  auto it = origin_state_.find(key);
+  if (it != origin_state_.end()) return it->second;
+  OriginState& fresh = origin_state_[key];
+  fresh.stamp = ++origin_stamp_;
+  // Bounded retention: evict this origin's oldest-seen incarnations (never
+  // the one just added — it carries the newest stamp).
+  const auto lo_key = std::make_pair(origin, std::uint32_t{0});
+  for (;;) {
+    auto lo = origin_state_.lower_bound(lo_key);
+    auto oldest = origin_state_.end();
+    std::size_t count = 0;
+    for (auto i = lo; i != origin_state_.end() && i->first.first == origin;
+         ++i) {
+      ++count;
+      if (oldest == origin_state_.end() ||
+          i->second.stamp < oldest->second.stamp) {
+        oldest = i;
+      }
+    }
+    if (count <= kMaxIncarnationsPerOrigin) break;
+    origin_state_.erase(oldest);
+  }
+  return origin_state_[key];
 }
 
 void SessionNode::attach_pending(Token& t) {
@@ -499,7 +530,12 @@ void SessionNode::send_token_to_successor() {
   last_copy_ = token_;  // local copy reflects the token as sent (§2.3)
   const TokenSeq sent_seq = token_.seq;
   const std::uint64_t sent_lineage = token_.lineage;
-  Bytes payload = encode_token_msg(token_);
+  // Encode-once per hop: this is the only serialization of the token for
+  // this pass. The transport frames it in place (the FrameBuilder slack)
+  // and every retransmission — and both interfaces under kParallel —
+  // shares that one buffer. A pass failure re-encodes only because the
+  // membership changed (the failed successor is removed).
+  Slice payload = encode_token_msg(token_);
 
   set_state(State::kHungry, "passed");
   arm_hungry_timer();

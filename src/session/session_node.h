@@ -83,8 +83,10 @@ class SessionNode {
  public:
   enum class State { kIdle, kHungry, kEating, kStarving };
 
+  /// Delivery callback. The payload slice aliases the token frame it rode
+  /// in on (zero-copy); retaining the slice keeps that storage alive.
   using DeliverFn =
-      std::function<void(NodeId origin, const Bytes& payload, Ordering)>;
+      std::function<void(NodeId origin, const Slice& payload, Ordering)>;
   using ViewFn = std::function<void(const View&)>;
   /// Invoked when the quorum decider (§2.4) shuts this node down.
   using QuorumShutdownFn = std::function<void()>;
@@ -123,7 +125,12 @@ class SessionNode {
 
   /// Atomic reliable multicast to the current group (self included).
   /// Returns the per-origin sequence number in the chosen ordering class.
-  MsgSeq multicast(Bytes payload, Ordering ordering = Ordering::kAgreed);
+  /// The payload slice is attached by reference and gathered into the token
+  /// frame once per hop — the caller's buffer is never copied up front.
+  MsgSeq multicast(Slice payload, Ordering ordering = Ordering::kAgreed);
+  MsgSeq multicast(Bytes payload, Ordering ordering = Ordering::kAgreed) {
+    return multicast(Slice::take(std::move(payload)), ordering);
+  }
 
   /// Mutual exclusion service (§2.7): fn runs while this node is EATING —
   /// no other node can be EATING at the same time.
@@ -133,7 +140,10 @@ class SessionNode {
   /// through `member`, which reliably multicasts it on our behalf. Usable
   /// by non-members (the submitting node never joins the ring); delivery
   /// handlers see the gateway member as the origin.
-  void submit_open(NodeId member, Bytes payload);
+  void submit_open(NodeId member, Slice payload);
+  void submit_open(NodeId member, Bytes payload) {
+    submit_open(member, Slice::take(std::move(payload)));
+  }
 
   void set_deliver_handler(DeliverFn fn) { on_deliver_ = std::move(fn); }
   void set_view_handler(ViewFn fn) { on_view_ = std::move(fn); }
@@ -194,7 +204,7 @@ class SessionNode {
 
  private:
   // Message plumbing.
-  void on_transport_message(NodeId src, Bytes&& payload);
+  void on_transport_message(NodeId src, Slice payload);
   void handle_token(Token&& t);
   void handle_911(const Msg911& m);
   void handle_911_reply(const Msg911Reply& m);
@@ -258,14 +268,25 @@ class SessionNode {
   std::uint32_t incarnation_ = 0;
   MsgSeq next_agreed_seq_ = 0;
   MsgSeq next_safe_seq_ = 0;
-  /// Per-origin delivery watermarks, reset when the origin's incarnation
-  /// changes (crash-restart).
+  /// Per-(origin, incarnation) delivery watermarks.
+  ///
+  /// Keyed by incarnation — not reset on incarnation change — because token
+  /// regeneration can resurrect an origin's previous-incarnation messages
+  /// (they ride on whichever last_copy_ wins the 911 arbitration) and those
+  /// may interleave with the restarted origin's new stream. A single
+  /// per-origin watermark that resets whenever the incarnation flips would
+  /// forget the old incarnation's progress and re-deliver a stale seq (the
+  /// chaos sweep's seed-547 "counter 20 after 21" agreed-order violation).
+  /// Each incarnation keeps its own watermark instead; old ones are evicted
+  /// in arrival order once an origin exceeds kMaxIncarnationsPerOrigin.
   struct OriginState {
-    std::uint32_t incarnation = 0;
     MsgSeq agreed = 0;
     MsgSeq safe = 0;
+    std::uint64_t stamp = 0;  ///< arrival order, for bounded eviction
   };
-  std::map<NodeId, OriginState> origin_state_;
+  std::map<std::pair<NodeId, std::uint32_t>, OriginState> origin_state_;
+  std::uint64_t origin_stamp_ = 0;
+  OriginState& origin_watermarks(NodeId origin, std::uint32_t incarnation);
   std::deque<AttachedMessage> pending_out_;
   std::deque<std::function<void()>> exclusive_queue_;
 

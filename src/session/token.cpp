@@ -73,20 +73,20 @@ bool Token::deserialize(ByteReader& r, Token& out) {
     m.safe = r.u8() != 0;
     m.hops = r.u16();
     m.ring_at_attach = r.u16();
-    m.payload = r.bytes();
-    wire_stats().allocs.inc();  // scatter: each payload copied back out
-    wire_stats().copies.inc();
-    wire_stats().bytes_copied.inc(m.payload.size());
+    // Zero-copy scatter: the payload view aliases the reader's backing
+    // slice (the inbound datagram); Slice::copy self-charges wire_stats on
+    // the non-aliasing fallback.
+    m.payload = r.slice();
     if (!r.ok()) return false;
     out.msgs.push_back(std::move(m));
   }
   return r.ok();
 }
 
-Bytes Token::encode() const {
-  ByteWriter w(64 + msgs.size() * 32);
+Slice Token::encode() const {
+  FrameBuilder w(64 + msgs.size() * 32);
   serialize(w);
-  return w.take();
+  return w.finish();
 }
 
 }  // namespace raincore::session

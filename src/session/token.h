@@ -22,7 +22,10 @@ struct AttachedMessage {
   bool safe = false;       ///< safe ordering: delivered on the second round
   std::uint16_t hops = 0;  ///< nodes that have processed this message
   std::uint16_t ring_at_attach = 0;  ///< ring size when attached
-  Bytes payload;
+  /// Ref-counted view: on the receive path this aliases the inbound
+  /// datagram's storage (zero-copy scatter); copying an AttachedMessage —
+  /// token copies, last_copy_ retention — bumps a refcount, not bytes.
+  Slice payload;
 
   bool operator==(const AttachedMessage&) const = default;
 };
@@ -62,7 +65,9 @@ struct Token {
 
   void serialize(ByteWriter& w) const;
   static bool deserialize(ByteReader& r, Token& out);
-  Bytes encode() const;
+  /// Standalone encoding with wire slack (tests/benches; the session path
+  /// goes through encode_token_msg which prepends the message type).
+  Slice encode() const;
 
   bool operator==(const Token&) const = default;
 };

@@ -34,7 +34,7 @@ std::string TraceEvent::to_string() const {
 SessionTracer::SessionTracer(SessionNode& node, std::size_t capacity)
     : node_(node), capacity_(capacity) {
   node_.set_deliver_handler(
-      [this](NodeId origin, const Bytes& payload, Ordering o) {
+      [this](NodeId origin, const Slice& payload, Ordering o) {
         TraceEvent ev;
         ev.at = now();
         ev.kind = TraceEventKind::kDeliver;

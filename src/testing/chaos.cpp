@@ -348,7 +348,7 @@ ChaosCluster::ChaosCluster(std::vector<NodeId> ids, ChaosConfig chaos_cfg,
     st->vips = std::make_unique<apps::VipManager>(*st->mux, subnet_, vcfg);
     st->traffic_rng = setup_rng.fork();
     st->mux->subscribe(kAppChannel, [this, id](NodeId origin,
-                                               const Bytes& payload,
+                                               const Slice& payload,
                                                session::Ordering) {
       record_delivery(id, origin, payload);
     });
@@ -414,7 +414,7 @@ void ChaosCluster::start_traffic(NodeId id) {
 }
 
 void ChaosCluster::record_delivery(NodeId receiver, NodeId origin,
-                                   const Bytes& payload) {
+                                   const Slice& payload) {
   Stack& st = *stacks_.at(receiver);
   st.log.push_back(
       {st.epoch, origin, std::string(payload.begin(), payload.end())});

@@ -187,7 +187,7 @@ class ChaosCluster {
   struct Stack;
 
   void start_traffic(NodeId id);
-  void record_delivery(NodeId receiver, NodeId origin, const Bytes& payload);
+  void record_delivery(NodeId receiver, NodeId origin, const Slice& payload);
   void check_token_uniqueness(const char* when);
   void check_membership(const std::vector<NodeId>& live);
   void check_chaos_deliveries();

@@ -24,6 +24,24 @@ std::uint32_t frame_checksum(const std::uint8_t* data, std::size_t n) {
   }
   return h;
 }
+
+void put_le32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// Seals a writer built with kChecksumLen tailroom: the checksum lands in
+/// the tailroom in place and the full frame view comes back.
+Slice seal_frame(ByteWriter&& w) {
+  Slice body = w.finish();
+  auto f = body.expand(0, kChecksumLen);
+  assert(f && "seal_frame requires kChecksumLen tailroom");
+  put_le32(f->tail, frame_checksum(f->frame.data(), body.size()));
+  return std::move(f->frame);
+}
 }  // namespace
 
 ReliableTransport::ReliableTransport(net::NodeEnv& env, TransportConfig cfg)
@@ -67,7 +85,7 @@ void ReliableTransport::set_enabled(bool enabled) {
   }
 }
 
-TransferId ReliableTransport::send(NodeId dst, Bytes payload,
+TransferId ReliableTransport::send(NodeId dst, Slice payload,
                                    DeliveredFn delivered, FailedFn failed) {
   if (!enabled_) return 0;
   TransferId id = next_transfer_id_++;
@@ -76,7 +94,7 @@ TransferId ReliableTransport::send(NodeId dst, Bytes payload,
   f.dst = dst;
   f.wire_seq = ++next_seq_to_[dst];
   f.started = env_.now();
-  f.payload = std::move(payload);
+  f.frame = build_data_frame(std::move(payload), f.wire_seq);
   f.delivered = std::move(delivered);
   f.failed = std::move(failed);
   ack_index_[{dst, f.wire_seq}] = id;
@@ -85,21 +103,49 @@ TransferId ReliableTransport::send(NodeId dst, Bytes payload,
   return id;
 }
 
-void ReliableTransport::send_unreliable(NodeId dst, Bytes payload) {
-  if (!enabled_) return;
-  ByteWriter w(payload.size() + 1 + kChecksumLen);
-  w.u8(static_cast<std::uint8_t>(WireType::kRaw));
-  w.raw(payload.data(), payload.size());
+Slice ReliableTransport::build_data_frame(Slice&& payload, std::uint64_t seq) {
+  // Fast path: the payload was encoded with wire slack (FrameBuilder) and
+  // nobody else holds its storage — header and checksum land in place, so
+  // the session's encode buffer IS the wire frame.
+  if (auto f = payload.expand(kDataHeader, kChecksumLen)) {
+    f->head[0] = static_cast<std::uint8_t>(WireType::kData);
+    put_le64(f->head + 1, seq);
+    std::size_t body = f->frame.size() - kChecksumLen;
+    put_le32(f->tail, frame_checksum(f->frame.data(), body));
+    frames_inplace_.inc();
+    return std::move(f->frame);
+  }
+  // Slack-less or shared payload: one re-copy into a framed buffer.
+  frame_copies_.inc();
   wire_stats().copies.inc();
   wire_stats().bytes_copied.inc(payload.size());
+  ByteWriter w(0, kChecksumLen, kDataHeader + payload.size());
+  w.u8(static_cast<std::uint8_t>(WireType::kData));
+  w.u64(seq);
+  w.raw(payload.data(), payload.size());
+  return seal_frame(std::move(w));
+}
+
+void ReliableTransport::send_unreliable(NodeId dst, Slice payload) {
+  if (!enabled_) return;
+  if (auto f = payload.expand(1, kChecksumLen)) {
+    f->head[0] = static_cast<std::uint8_t>(WireType::kRaw);
+    std::size_t body = f->frame.size() - kChecksumLen;
+    put_le32(f->tail, frame_checksum(f->frame.data(), body));
+    env_.send(net::Address{dst, 0}, std::move(f->frame), 0);
+    return;
+  }
+  wire_stats().copies.inc();
+  wire_stats().bytes_copied.inc(payload.size());
+  ByteWriter w(0, kChecksumLen, 1 + payload.size());
+  w.u8(static_cast<std::uint8_t>(WireType::kRaw));
+  w.raw(payload.data(), payload.size());
   send_frame(net::Address{dst, 0}, std::move(w), 0);
 }
 
 void ReliableTransport::send_frame(const net::Address& to, ByteWriter&& frame,
                                    std::uint8_t from_iface) {
-  frame.u32(frame_checksum(frame.view().data(), frame.size()));
-  wire_stats().allocs.inc();  // every outgoing frame is a fresh buffer
-  env_.send(to, frame.take(), from_iface);
+  env_.send(to, seal_frame(std::move(frame)), from_iface);
 }
 
 void ReliableTransport::cancel(TransferId id) {
@@ -111,18 +157,14 @@ void ReliableTransport::cancel(TransferId id) {
 }
 
 void ReliableTransport::transmit(const InFlight& f, std::uint8_t to_iface) {
-  ByteWriter w(f.payload.size() + kDataHeader + kChecksumLen);
-  w.u8(static_cast<std::uint8_t>(WireType::kData));
-  w.u64(f.wire_seq);
-  w.raw(f.payload.data(), f.payload.size());
-  wire_stats().copies.inc();
-  wire_stats().bytes_copied.inc(f.payload.size());
   // Pair local interface i with remote interface i where possible, so that
-  // redundant links form independent physical paths.
+  // redundant links form independent physical paths. The pre-built frame is
+  // shared by reference: a retransmission or parallel-interface send costs
+  // a refcount bump, not a copy.
   std::uint8_t from = static_cast<std::uint8_t>(
       to_iface < env_.iface_count() ? to_iface : env_.iface_count() - 1);
   frames_out_.inc();
-  send_frame(net::Address{f.dst, to_iface}, std::move(w), from);
+  env_.send(net::Address{f.dst, to_iface}, f.frame, from);
 }
 
 void ReliableTransport::attempt(TransferId id) {
@@ -202,7 +244,7 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
       std::uint64_t seq = r.u64();
       if (!r.ok() || body < kDataHeader) return;
       // Always acknowledge, even duplicates: the original ack may be lost.
-      ByteWriter ack(kDataHeader + kChecksumLen);
+      ByteWriter ack(0, kChecksumLen, kDataHeader);
       ack.u8(static_cast<std::uint8_t>(WireType::kAck));
       ack.u64(seq);
       send_frame(d.src, std::move(ack), d.dst.iface);
@@ -232,12 +274,9 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
         }
       }
       if (on_message_) {
-        Bytes payload(d.payload.begin() + kDataHeader,
-                      d.payload.begin() + body);
-        wire_stats().allocs.inc();
-        wire_stats().copies.inc();
-        wire_stats().bytes_copied.inc(payload.size());
-        on_message_(d.src.node, std::move(payload));
+        // Zero-copy delivery: the payload view aliases the datagram.
+        on_message_(d.src.node,
+                    d.payload.subslice(kDataHeader, body - kDataHeader));
       }
       break;
     }
@@ -250,11 +289,7 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
     }
     case WireType::kRaw: {
       if (on_message_ && body > 1) {
-        Bytes payload(d.payload.begin() + 1, d.payload.begin() + body);
-        wire_stats().allocs.inc();
-        wire_stats().copies.inc();
-        wire_stats().bytes_copied.inc(payload.size());
-        on_message_(d.src.node, std::move(payload));
+        on_message_(d.src.node, d.payload.subslice(1, body - 1));
       }
       break;
     }

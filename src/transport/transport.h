@@ -52,7 +52,9 @@ using TransferId = std::uint64_t;
 
 class ReliableTransport {
  public:
-  using MessageFn = std::function<void(NodeId src, Bytes&& payload)>;
+  /// Upper-layer delivery: the payload slice aliases the inbound datagram
+  /// (zero-copy); retaining it keeps the datagram storage alive.
+  using MessageFn = std::function<void(NodeId src, Slice payload)>;
   using DeliveredFn = std::function<void(TransferId, NodeId peer)>;
   using FailedFn = std::function<void(TransferId, NodeId peer)>;
 
@@ -70,12 +72,26 @@ class ReliableTransport {
   /// Starts an atomic reliable transfer. `delivered` fires on the first
   /// acknowledgement; `failed` is the failure-on-delivery notification and
   /// fires after all sending efforts are exhausted.
-  TransferId send(NodeId dst, Bytes payload, DeliveredFn delivered = {},
+  ///
+  /// The transfer is framed exactly once: when the payload was built with
+  /// wire slack (FrameBuilder) and is solely owned, the header/checksum
+  /// land in its own headroom/tailroom; otherwise one copy re-frames it.
+  /// Either way every retransmission and every interface under
+  /// SendStrategy::kParallel shares that single frame buffer.
+  TransferId send(NodeId dst, Slice payload, DeliveredFn delivered = {},
                   FailedFn failed = {});
+  TransferId send(NodeId dst, Bytes payload, DeliveredFn delivered = {},
+                  FailedFn failed = {}) {
+    return send(dst, Slice::take(std::move(payload)), std::move(delivered),
+                std::move(failed));
+  }
 
   /// Fire-and-forget datagram bypassing acks/retransmission (used for
   /// low-frequency advisory traffic such as BODYODOR discovery).
-  void send_unreliable(NodeId dst, Bytes payload);
+  void send_unreliable(NodeId dst, Slice payload);
+  void send_unreliable(NodeId dst, Bytes payload) {
+    send_unreliable(dst, Slice::take(std::move(payload)));
+  }
 
   /// Abandons an in-flight transfer without a failure notification.
   void cancel(TransferId id);
@@ -120,7 +136,7 @@ class ReliableTransport {
     NodeId dst = kInvalidNode;
     std::uint64_t wire_seq = 0;  // per-destination sequence number
     Time started = 0;            // send() time, for ack-latency measurement
-    Bytes payload;
+    Slice frame;                 // framed once; shared by every (re)send
     int attempts_done = 0;   // attempts on the current address (sequential)
     int rounds_done = 0;     // attempt rounds (parallel)
     std::uint8_t addr_index = 0;
@@ -130,8 +146,13 @@ class ReliableTransport {
   };
 
   void on_datagram(net::Datagram&& d);
+  /// Seals a writer built with kChecksumLen tailroom (checksum appended in
+  /// place) and sends the resulting frame.
   void send_frame(const net::Address& to, ByteWriter&& frame,
                   std::uint8_t from_iface);
+  /// Frames a payload for a DATA transfer: in place via the payload's own
+  /// slack when possible, through one re-copy otherwise.
+  Slice build_data_frame(Slice&& payload, std::uint64_t seq);
   void attempt(TransferId id);
   void transmit(const InFlight& f, std::uint8_t to_iface);
   std::uint8_t peer_iface_count(NodeId peer) const;
@@ -167,6 +188,10 @@ class ReliableTransport {
   Counter& delivered_ = metrics_.counter("transport.delivered");
   Counter& fod_ = metrics_.counter("transport.fod");
   Counter& dup_drops_ = metrics_.counter("transport.recv.duplicates");
+  /// Encode-once accounting: transfers framed in the payload's own slack
+  /// vs. transfers that needed the one-copy fallback.
+  Counter& frames_inplace_ = metrics_.counter("transport.frames_inplace");
+  Counter& frame_copies_ = metrics_.counter("transport.frame_copies");
   Histogram& ack_latency_ = metrics_.histogram("transport.ack_latency_ns");
 };
 

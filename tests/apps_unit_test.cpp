@@ -141,10 +141,10 @@ TEST(ChannelMuxTest, RoutesByChannel) {
   session::SessionNode n1(net.add_node(1), cfg), n2(net.add_node(2), cfg);
   data::ChannelMux m1(n1), m2(n2);
   std::vector<std::string> ch7, ch9;
-  m2.subscribe(7, [&](NodeId, const Bytes& p, session::Ordering) {
+  m2.subscribe(7, [&](NodeId, const Slice& p, session::Ordering) {
     ch7.emplace_back(p.begin(), p.end());
   });
-  m2.subscribe(9, [&](NodeId, const Bytes& p, session::Ordering) {
+  m2.subscribe(9, [&](NodeId, const Slice& p, session::Ordering) {
     ch9.emplace_back(p.begin(), p.end());
   });
   n1.found();

@@ -28,7 +28,7 @@ class BaselineCluster {
     for (NodeId id : ids_) {
       auto& env = net_.add_node(id);
       auto gc = std::make_unique<T>(env, ids_, tcfg);
-      gc->set_deliver_handler([this, id](NodeId origin, const Bytes& p) {
+      gc->set_deliver_handler([this, id](NodeId origin, const Slice& p) {
         log_[id].emplace_back(origin, std::string(p.begin(), p.end()));
       });
       nodes_[id] = std::move(gc);
@@ -149,11 +149,11 @@ TEST(SingleNodeGroupsDeliverLocally, AllBaselines) {
   auto& e1 = net.add_node(1);
   int delivered = 0;
   BroadcastGC b(e1, {1});
-  b.set_deliver_handler([&](NodeId, const Bytes&) { ++delivered; });
+  b.set_deliver_handler([&](NodeId, const Slice&) { ++delivered; });
   b.multicast(Bytes{1});
   auto& e2 = net.add_node(2);
   TwoPhaseGC t(e2, {2});
-  t.set_deliver_handler([&](NodeId, const Bytes&) { ++delivered; });
+  t.set_deliver_handler([&](NodeId, const Slice&) { ++delivered; });
   t.multicast(Bytes{1});
   net.loop().run_for(millis(10));
   EXPECT_EQ(delivered, 2);

@@ -68,7 +68,7 @@ TEST(BufferTest, OversizedLengthPrefixFailsCleanly) {
 TEST(BufferTest, EmptyStringAndBytes) {
   ByteWriter w;
   w.str("");
-  w.bytes({});
+  w.bytes(Bytes{});
   ByteReader r(w.view());
   EXPECT_EQ(r.str(), "");
   EXPECT_TRUE(r.bytes().empty());

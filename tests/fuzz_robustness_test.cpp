@@ -52,7 +52,7 @@ TEST_P(FuzzRobustness, TruncatedProtocolMessagesAreRejected) {
   Rng rng(GetParam() ^ 0xfu);
 
   session::Token t = c.node(1).last_copy();
-  std::vector<Bytes> valid = {
+  std::vector<Slice> valid = {
       session::encode_token_msg(t),
       session::encode_911(session::Msg911{9, 1, 99999}),
       session::encode_911_reply(session::Msg911Reply{9, 1, true, 5}),
@@ -60,7 +60,7 @@ TEST_P(FuzzRobustness, TruncatedProtocolMessagesAreRejected) {
   };
   std::uint64_t wire_seq = 1;
   for (int i = 0; i < 500; ++i) {
-    const Bytes& base = valid[rng.next_below(valid.size())];
+    const Slice& base = valid[rng.next_below(valid.size())];
     std::size_t cut = rng.next_below(base.size()) + 1;
     Bytes payload(base.begin(), base.begin() + cut);
     // Wrap in a transport DATA frame (type 1, u64 seq).
@@ -85,7 +85,7 @@ TEST_P(FuzzRobustness, BitFlippedTokensAreHandled) {
   auto& evil = c.net().add_node(9);
   Rng rng(GetParam() * 31);
   for (int i = 0; i < 300; ++i) {
-    Bytes msg = session::encode_token_msg(c.node(1).last_copy());
+    Bytes msg = session::encode_token_msg(c.node(1).last_copy()).to_bytes();
     // Flip a few random bits.
     for (int k = 0; k < 4; ++k) {
       msg[rng.next_below(msg.size())] ^=
@@ -115,6 +115,172 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRobustness,
                          [](const ::testing::TestParamInfo<std::uint64_t>& p) {
                            return "seed" + std::to_string(p.param);
                          });
+
+// --- Zero-copy wire-path edges ---------------------------------------------
+//
+// The Slice/FrameBuilder machinery underpins every wire format; these are
+// the sharp edges the refactor introduced: length prefixes that overrun the
+// view, zero-length views, slack exhaustion forcing the copy fallback, and
+// decoded aliases that must keep the datagram storage alive.
+
+TEST(SliceEdge, TruncatedLengthPrefixFailsSticky) {
+  FrameBuilder w(64);
+  w.u32(1234);
+  w.bytes(Bytes{1, 2, 3, 4, 5, 6, 7, 8});
+  Slice full = w.finish();
+
+  // Every truncation point either fails cleanly or round-trips; the reader
+  // never reads past the view and the failure is sticky.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Slice partial = full.subslice(0, cut);
+    ByteReader r(partial);
+    (void)r.u32();
+    Slice blob = r.slice();
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+    EXPECT_TRUE(blob.empty()) << "cut at " << cut;
+    EXPECT_EQ(r.u64(), 0u) << "sticky failure must zero later reads";
+  }
+
+  // A length prefix claiming more than the view holds must fail even when
+  // the backing *storage* has that many bytes past the view (the tailroom):
+  // aliasing reads are bounded by the view, not the allocation.
+  ByteWriter lying;
+  lying.u32(1000);  // claims 1000 payload bytes, none follow
+  Slice lie = Slice::take(lying.take());
+  ByteReader r(lie);
+  EXPECT_TRUE(r.slice().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SliceEdge, ZeroLengthViews) {
+  Slice empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.use_count(), 0);
+  EXPECT_FALSE(empty.expand(1, 0).has_value()) << "no storage, no slack";
+  EXPECT_TRUE(empty == Slice());
+  EXPECT_TRUE(empty == Bytes{});
+
+  // Zero-length blob inside a frame: aliases the base without failing.
+  FrameBuilder w;
+  w.bytes(Bytes{});
+  w.u8(0x5a);
+  Slice frame = w.finish();
+  ByteReader r(frame);
+  Slice blob = r.slice();
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(blob.empty());
+  EXPECT_EQ(r.u8(), 0x5a);
+  EXPECT_TRUE(r.at_end());
+
+  // Zero-length subslice at every position, including one past the data.
+  Slice s = Slice::copy(Bytes{1, 2, 3});
+  for (std::size_t pos = 0; pos <= 4; ++pos) {
+    Slice sub = s.subslice(pos, 0);
+    EXPECT_TRUE(sub.empty()) << "pos " << pos;
+  }
+  EXPECT_EQ(s.subslice(99, 7).size(), 0u) << "start past the end clamps";
+
+  // An empty FrameBuilder body still carries its slack and frames in place.
+  FrameBuilder e;
+  Slice body = e.finish();
+  EXPECT_EQ(body.size(), 0u);
+  EXPECT_EQ(body.headroom(), kWireHeadroom);
+  EXPECT_EQ(body.tailroom(), kWireTailroom);
+  EXPECT_TRUE(body.expand(kWireHeadroom, kWireTailroom).has_value());
+}
+
+TEST(SliceEdge, HeadroomExhaustionForcesCopyFallback) {
+  FrameBuilder w(16);
+  w.u64(0xabcdef);
+  Slice payload = w.finish();
+  ASSERT_EQ(payload.headroom(), kWireHeadroom);
+
+  // First expansion claims the slack...
+  auto framed = payload.expand(kWireHeadroom, kWireTailroom);
+  ASSERT_TRUE(framed.has_value());
+  EXPECT_EQ(framed->frame.size(),
+            payload.size() + kWireHeadroom + kWireTailroom);
+  EXPECT_EQ(framed->frame.headroom(), 0u);
+  EXPECT_EQ(framed->frame.tailroom(), 0u);
+  // ...so a second framing pass around the result finds none left and the
+  // caller must take the copy path (exactly the transport's slow path).
+  EXPECT_FALSE(framed->frame.expand(1, 0).has_value());
+  EXPECT_FALSE(framed->frame.expand(0, 1).has_value());
+
+  // Asking for more slack than was reserved fails without touching *this.
+  FrameBuilder small(4);
+  small.u8(7);
+  Slice tight = small.finish();
+  EXPECT_FALSE(tight.expand(kWireHeadroom + 1, 0).has_value());
+  EXPECT_FALSE(tight.expand(0, kWireTailroom + 1).has_value());
+  EXPECT_EQ(tight.headroom(), kWireHeadroom) << "failed expand must not move";
+
+  // Shared storage refuses in-place framing even with slack available —
+  // expanding would scribble a header into a buffer someone else views.
+  Slice a = FrameBuilder().finish();
+  Slice b = a;  // second owner
+  EXPECT_FALSE(a.expand(1, 0).has_value());
+  b = Slice();
+  EXPECT_TRUE(a.expand(1, 0).has_value()) << "sole owner again";
+
+  // Buffers that never had slack (plain take) always fall back.
+  Slice bare = Slice::take(Bytes{1, 2, 3});
+  EXPECT_FALSE(bare.expand(1, 0).has_value());
+}
+
+TEST(SliceEdge, AliasedDecodeOutlivesDatagram) {
+  // Decoded piggyback payloads alias the inbound token frame; retaining
+  // them past the frame's lifetime must keep the storage alive (ASAN turns
+  // a violation into a hard failure).
+  session::Token t;
+  t.lineage = 77;
+  t.ring = {1, 2};
+  for (int i = 0; i < 3; ++i) {
+    session::AttachedMessage m;
+    m.origin = 1;
+    m.seq = static_cast<MsgSeq>(i);
+    m.payload = Slice::copy(Bytes(64, static_cast<std::uint8_t>(0xa0 + i)));
+    t.msgs.push_back(m);
+  }
+  Slice frame = session::encode_token_msg(t);
+
+  session::Token out;
+  ASSERT_TRUE(session::decode_token_msg(frame, out));
+  ASSERT_EQ(out.msgs.size(), 3u);
+  // The decoded payloads are views into the frame storage, not copies.
+  for (const auto& m : out.msgs) {
+    EXPECT_GE(m.payload.use_count(), 2) << "expected an aliasing view";
+  }
+
+  frame = Slice();  // drop the only other reference to the datagram
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.msgs[i].payload,
+              Bytes(64, static_cast<std::uint8_t>(0xa0 + i)))
+        << "aliased payload must survive the datagram";
+  }
+}
+
+TEST(SliceEdge, CowIsolatesCorruptionFromSharedFrames) {
+  // The simulator's corruption fault mutates datagrams through cow(); a
+  // shared frame (a retained retry buffer) must never observe the flip.
+  FrameBuilder w;
+  w.u64(0x1122334455667788);
+  Slice original = w.finish();
+  Slice wire = original;  // the copy the network "carries"
+
+  Slice corrupted = std::move(wire).cow();
+  ASSERT_TRUE(corrupted.unique());
+  corrupted.mutable_data()[0] ^= 0xff;
+  EXPECT_FALSE(corrupted == original) << "flip must be visible locally";
+  ByteReader r(original);
+  EXPECT_EQ(r.u64(), 0x1122334455667788u) << "retained frame untouched";
+
+  // Sole owner: cow() must be free (same storage, no copy).
+  Slice lone = Slice::copy(Bytes{1, 2, 3});
+  const std::uint8_t* before = lone.data();
+  Slice still = std::move(lone).cow();
+  EXPECT_EQ(still.data(), before);
+}
 
 }  // namespace
 }  // namespace raincore

@@ -24,7 +24,7 @@ struct Fixture {
       : net(ncfg), h(net, std::move(cfg)) {
     for (NodeId id : h.all_ids()) {
       h.node(id).set_deliver_handler(
-          [this, id](NodeId origin, const Bytes& payload) {
+          [this, id](NodeId origin, const Slice& payload) {
             log[id].emplace_back(origin,
                                  std::string(payload.begin(), payload.end()));
           });

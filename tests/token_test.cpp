@@ -30,7 +30,7 @@ Token sample_token() {
   m.safe = true;
   m.hops = 2;
   m.ring_at_attach = 3;
-  m.payload = {9, 8, 7};
+  m.payload = Slice::copy(Bytes{9, 8, 7});
   t.msgs.push_back(m);
   return t;
 }
@@ -82,7 +82,7 @@ TEST(TokenTest, InsertAfterPlacesJoinerCorrectly) {
 
 TEST(TokenTest, SerializationRoundTrip) {
   Token t = sample_token();
-  Bytes b = t.encode();
+  Slice b = t.encode();
   ByteReader r(b);
   Token out;
   ASSERT_TRUE(Token::deserialize(r, out));
@@ -91,7 +91,7 @@ TEST(TokenTest, SerializationRoundTrip) {
 
 TEST(TokenTest, EmptyTokenRoundTrip) {
   Token t;
-  Bytes b = t.encode();
+  Slice b = t.encode();
   ByteReader r(b);
   Token out;
   ASSERT_TRUE(Token::deserialize(r, out));
@@ -99,7 +99,7 @@ TEST(TokenTest, EmptyTokenRoundTrip) {
 }
 
 TEST(TokenTest, TruncatedBufferFailsDeserialize) {
-  Bytes b = sample_token().encode();
+  Slice b = sample_token().encode();
   for (std::size_t cut : {std::size_t{0}, b.size() / 2, b.size() - 1}) {
     Bytes partial(b.begin(), b.begin() + cut);
     ByteReader r(partial);
@@ -123,7 +123,7 @@ TEST(TokenTest, HugeCountsRejected) {
 
 TEST(SessionMessagesTest, Msg911RoundTrip) {
   session::Msg911 m{42, 7, 12345};
-  Bytes b = session::encode_911(m);
+  Slice b = session::encode_911(m);
   session::SessionMsgType type;
   ASSERT_TRUE(session::peek_type(b, type));
   EXPECT_EQ(type, session::SessionMsgType::k911);
@@ -136,7 +136,7 @@ TEST(SessionMessagesTest, Msg911RoundTrip) {
 
 TEST(SessionMessagesTest, Msg911ReplyRoundTrip) {
   session::Msg911Reply m{3, 9, true, 777};
-  Bytes b = session::encode_911_reply(m);
+  Slice b = session::encode_911_reply(m);
   session::Msg911Reply out;
   ASSERT_TRUE(session::decode_911_reply(b, out));
   EXPECT_EQ(out.responder, 3u);
@@ -147,7 +147,7 @@ TEST(SessionMessagesTest, Msg911ReplyRoundTrip) {
 
 TEST(SessionMessagesTest, BodyOdorRoundTrip) {
   session::MsgBodyOdor m{8, 2};
-  Bytes b = session::encode_bodyodor(m);
+  Slice b = session::encode_bodyodor(m);
   session::MsgBodyOdor out;
   ASSERT_TRUE(session::decode_bodyodor(b, out));
   EXPECT_EQ(out.sender, 8u);
@@ -156,14 +156,14 @@ TEST(SessionMessagesTest, BodyOdorRoundTrip) {
 
 TEST(SessionMessagesTest, TokenMessageRoundTrip) {
   Token t = sample_token();
-  Bytes b = session::encode_token_msg(t);
+  Slice b = session::encode_token_msg(t);
   Token out;
   ASSERT_TRUE(session::decode_token_msg(b, out));
   EXPECT_EQ(out, t);
 }
 
 TEST(SessionMessagesTest, WrongTypeRejected) {
-  Bytes b = session::encode_911(session::Msg911{1, 2, 3});
+  Slice b = session::encode_911(session::Msg911{1, 2, 3});
   Token out;
   EXPECT_FALSE(session::decode_token_msg(b, out));
   session::MsgBodyOdor bo;
@@ -171,10 +171,10 @@ TEST(SessionMessagesTest, WrongTypeRejected) {
 }
 
 TEST(SessionMessagesTest, TrailingGarbageRejected) {
-  Bytes b = session::encode_911(session::Msg911{1, 2, 3});
+  Bytes b = session::encode_911(session::Msg911{1, 2, 3}).to_bytes();
   b.push_back(0xFF);
   session::Msg911 out;
-  EXPECT_FALSE(session::decode_911(b, out));
+  EXPECT_FALSE(session::decode_911(Slice::take(std::move(b)), out));
 }
 
 TEST(SessionMessagesTest, EmptyPayloadPeekFails) {

@@ -109,7 +109,7 @@ TEST(SessionTracerTest, RecordsViewChangesAndDeliveries) {
   SessionTracer t1(n1);
   int forwarded = 0;
   t1.set_deliver_handler(
-      [&](NodeId, const Bytes&, session::Ordering) { ++forwarded; });
+      [&](NodeId, const Slice&, session::Ordering) { ++forwarded; });
   n1.found();
   n2.join({1});
   net.loop().run_for(seconds(2));

@@ -19,12 +19,12 @@ struct Pair {
       : t1(net.add_node(1, ifaces), cfg), t2(net.add_node(2, ifaces), cfg) {
     t1.set_peer_ifaces(2, ifaces);
     t2.set_peer_ifaces(1, ifaces);
-    t2.set_message_handler([this](NodeId src, Bytes&& p) {
+    t2.set_message_handler([this](NodeId src, Slice p) {
       received.emplace_back(src, std::move(p));
     });
   }
   ReliableTransport t1, t2;
-  std::vector<std::pair<NodeId, Bytes>> received;
+  std::vector<std::pair<NodeId, Slice>> received;
 };
 
 TEST(TransportTest, DeliversAndAcks) {

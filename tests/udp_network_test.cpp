@@ -58,8 +58,8 @@ TEST(UdpNetworkTest, ReliableTransportOverRealSockets) {
   auto& e1 = net.add_node(1);
   auto& e2 = net.add_node(2);
   transport::ReliableTransport t1(e1), t2(e2);
-  std::vector<Bytes> got;
-  t2.set_message_handler([&](NodeId, Bytes&& p) { got.push_back(std::move(p)); });
+  std::vector<Slice> got;
+  t2.set_message_handler([&](NodeId, Slice p) { got.push_back(std::move(p)); });
   bool delivered = false;
   t1.send(2, Bytes{9, 9, 9},
           [&](transport::TransferId, NodeId) { delivered = true; });
@@ -82,7 +82,7 @@ TEST(UdpNetworkTest, SessionGroupFormsOverUdp) {
   for (NodeId id = 1; id <= 3; ++id) {
     nodes[id] = std::make_unique<session::SessionNode>(net.add_node(id), scfg);
     nodes[id]->set_deliver_handler(
-        [&delivered, id](NodeId, const Bytes&, session::Ordering) {
+        [&delivered, id](NodeId, const Slice&, session::Ordering) {
           delivered[id]++;
         });
   }

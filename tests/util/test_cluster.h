@@ -33,7 +33,7 @@ class TestCluster {
       auto& env = net_.add_node(id, ifaces);
       auto node = std::make_unique<session::SessionNode>(env, cfg_);
       node->set_deliver_handler(
-          [this, id](NodeId origin, const Bytes& payload, session::Ordering o) {
+          [this, id](NodeId origin, const Slice& payload, session::Ordering o) {
             deliveries_[id].push_back(
                 Delivery{origin, std::string(payload.begin(), payload.end()), o});
           });

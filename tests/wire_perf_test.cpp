@@ -1,0 +1,134 @@
+// Wire-path cost regression tests (ctest label: perf).
+//
+// The zero-copy refactor pinned down what a steady-state token hop is
+// allowed to cost: the sender encodes the token once into a FrameBuilder
+// (one allocation), the transport frames it in place in the payload's own
+// slack, every retransmission and every parallel-interface send shares that
+// single buffer, and the receive path delivers aliasing views. These tests
+// read the process-wide wire_stats() deltas and the transport's encode-once
+// counters so a regression (an extra copy or allocation per hop) fails a
+// unit test instead of silently inflating the benchmarks.
+#include <gtest/gtest.h>
+
+#include "tests/util/test_cluster.h"
+#include "transport/transport.h"
+
+namespace raincore {
+namespace {
+
+using testing::TestCluster;
+
+std::uint64_t total_hops(TestCluster& c) {
+  std::uint64_t total = 0;
+  for (NodeId id : c.ids()) total += c.node(id).stats().tokens_passed.value();
+  return total;
+}
+
+TEST(WirePerf, SteadyStateTokenHopAllocationBudget) {
+  TestCluster c({1, 2, 3});
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3}, seconds(10)));
+  c.run(seconds(1));  // settle into steady rotation
+
+  WireStats& ws = wire_stats();
+  const std::uint64_t hops0 = total_hops(c);
+  const std::uint64_t allocs0 = ws.allocs.value();
+  const std::uint64_t copies0 = ws.copies.value();
+  const std::uint64_t bytes0 = ws.bytes_copied.value();
+  c.run(seconds(2));
+  const double dh = static_cast<double>(total_hops(c) - hops0);
+  ASSERT_GE(dh, 100) << "ring is not rotating";
+
+  // Per idle hop: one token encode (FrameBuilder) + one ACK frame, both a
+  // single allocation; the DATA frame lands in the payload's slack and the
+  // decode path aliases the datagram, so no payload bytes are copied.
+  // (Pre-refactor this path measured ~5 allocations and ~670 copied bytes
+  // per hop — see BENCH_PR3.json.)
+  const double allocs_per_hop =
+      static_cast<double>(ws.allocs.value() - allocs0) / dh;
+  const double copies_per_hop =
+      static_cast<double>(ws.copies.value() - copies0) / dh;
+  const double bytes_per_hop =
+      static_cast<double>(ws.bytes_copied.value() - bytes0) / dh;
+  RecordProperty("allocs_per_hop", std::to_string(allocs_per_hop));
+  RecordProperty("copies_per_hop", std::to_string(copies_per_hop));
+  RecordProperty("bytes_per_hop", std::to_string(bytes_per_hop));
+  EXPECT_LE(allocs_per_hop, 3.0);
+  EXPECT_LE(copies_per_hop, 0.5);
+  EXPECT_LE(bytes_per_hop, 64.0);
+
+  // Encode-once accounting: in steady state every DATA transfer is framed
+  // in the payload's own slack; the copy fallback stays untouched.
+  for (NodeId id : c.ids()) {
+    auto& m = c.node(id).transport().metrics();
+    EXPECT_GT(m.counter("transport.frames_inplace").value(), 0u)
+        << "node " << id;
+    EXPECT_EQ(m.counter("transport.frame_copies").value(), 0u) << "node " << id;
+  }
+}
+
+TEST(WirePerf, RetriesAndParallelSendsShareOneFrame) {
+  net::SimNetwork net;
+  auto& e1 = net.add_node(1);
+  auto& e2 = net.add_node(2);
+  transport::TransportConfig tcfg;
+  tcfg.rto = millis(10);
+  tcfg.attempts_per_address = 3;
+  tcfg.strategy = transport::SendStrategy::kParallel;
+  tcfg.default_peer_ifaces = 2;
+  transport::ReliableTransport t1(e1, tcfg);
+  transport::ReliableTransport t2(e2, tcfg);
+  t2.set_enabled(false);  // never acks: every attempt round must retransmit
+
+  FrameBuilder w(64);
+  for (int i = 0; i < 8; ++i) w.u64(static_cast<std::uint64_t>(i));
+  Slice payload = w.finish();
+
+  WireStats& ws = wire_stats();
+  const std::uint64_t allocs0 = ws.allocs.value();
+  const std::uint64_t copies0 = ws.copies.value();
+  bool failed = false;
+  t1.send(2, std::move(payload), {}, [&](transport::TransferId, NodeId) {
+    failed = true;
+  });
+  net.loop().run_for(seconds(1));
+  ASSERT_TRUE(failed) << "transfer should exhaust all attempts";
+
+  auto& m = t1.metrics();
+  // 3 attempt rounds x 2 interfaces, all sharing the single in-place frame
+  // (the exhausting timer pass counts as a retry too but sends nothing).
+  EXPECT_EQ(m.counter("transport.frames_out").value(), 6u);
+  EXPECT_EQ(m.counter("transport.retries").value(), 3u);
+  EXPECT_EQ(m.counter("transport.frames_inplace").value(), 1u);
+  EXPECT_EQ(m.counter("transport.frame_copies").value(), 0u);
+  // No wire allocation or payload copy beyond the empty ACK machinery:
+  // the frame was built once, before the send.
+  EXPECT_EQ(ws.allocs.value() - allocs0, 0u);
+  EXPECT_EQ(ws.copies.value() - copies0, 0u);
+}
+
+TEST(WirePerf, SlackLessPayloadTakesExactlyOneReframeCopy) {
+  net::SimNetwork net;
+  auto& e1 = net.add_node(1);
+  auto& e2 = net.add_node(2);
+  transport::ReliableTransport t1(e1);
+  transport::ReliableTransport t2(e2);
+  Bytes got;
+  t2.set_message_handler(
+      [&](NodeId, Slice p) { got = p.to_bytes(); });
+
+  const Bytes body(100, 0x3c);
+  WireStats& ws = wire_stats();
+  const std::uint64_t copies0 = ws.copies.value();
+  t1.send(2, body);  // Bytes overload: no slack, must re-frame
+  net.loop().run_for(millis(100));
+  ASSERT_EQ(got, body);
+
+  EXPECT_EQ(t1.metrics().counter("transport.frame_copies").value(), 1u);
+  EXPECT_EQ(t1.metrics().counter("transport.frames_inplace").value(), 0u);
+  EXPECT_EQ(ws.copies.value() - copies0, 1u)
+      << "exactly the one re-frame copy, nothing on the receive path";
+}
+
+}  // namespace
+}  // namespace raincore
