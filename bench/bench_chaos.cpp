@@ -8,10 +8,19 @@
 // exactly with `run_chaos_round(seed, ...)`.
 //
 // Usage: bench_chaos [rounds] [virtual-ms-per-round] [nodes] [base-seed]
-//                    [--json=PATH]
+//                    [--json=PATH] [--loss=P] [--adaptive]
+//                    [--false-removal-budget=N]
+// --loss layers a uniform base packet-loss probability P (0..1) on every
+// link under the fault schedule; --adaptive switches the cluster from the
+// fixed-RTO failure detector to the adaptive one (RTT estimation, backoff
+// with jitter, link-health steering, probation). With
+// --false-removal-budget the run exits non-zero if the oracle counts more
+// than N removals of still-alive nodes across all rounds — the CI gate for
+// lossy-link soaks.
 // With --json the per-seed table is additionally emitted as a
 // raincore.bench.v1 document: one result row per seed (faults, violations,
-// reservoir occupancy) plus the merged final metrics snapshot.
+// removal-oracle outcomes, reservoir occupancy) plus the merged final
+// metrics snapshot.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -32,10 +41,20 @@ int main(int argc, char** argv) {
     else if (s == "info") raincore::set_log_level(raincore::LogLevel::kInfo);
   }
   std::string json_path = bench::json_path_from_args(argc, argv);
+  testing::ChaosProfile profile;
+  long long false_removal_budget = -1;  // -1 = no gate
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
-    if (a.rfind("--", 0) != 0) pos.push_back(a);
+    if (a.rfind("--loss=", 0) == 0) {
+      profile.base_loss = std::strtod(a.c_str() + 7, nullptr);
+    } else if (a == "--adaptive") {
+      profile.adaptive = true;
+    } else if (a.rfind("--false-removal-budget=", 0) == 0) {
+      false_removal_budget = std::strtoll(a.c_str() + 23, nullptr, 10);
+    } else if (a.rfind("--", 0) != 0) {
+      pos.push_back(a);
+    }
   }
   std::size_t rounds = pos.size() > 0 ? std::strtoull(pos[0].c_str(), nullptr, 10) : 20;
   long long per_round_ms = pos.size() > 1 ? std::strtoll(pos[1].c_str(), nullptr, 10) : 5000;
@@ -44,34 +63,43 @@ int main(int argc, char** argv) {
 
   bench::print_banner("Raincore chaos soak",
                       "randomized fault schedules + protocol invariant checks");
-  std::printf("\n%zu rounds x %lld virtual ms of chaos, %zu nodes, seeds %llu..%llu\n\n",
+  std::printf("\n%zu rounds x %lld virtual ms of chaos, %zu nodes, seeds %llu..%llu\n",
               rounds, per_round_ms, nodes,
               static_cast<unsigned long long>(base_seed),
               static_cast<unsigned long long>(base_seed + rounds - 1));
-  std::printf("%8s %8s %10s %12s %10s\n", "seed", "faults", "classes",
-              "violations", "reservoir");
-  std::printf("--------------------------------------------------\n");
+  std::printf("base loss %.1f%%, detector: %s\n\n", profile.base_loss * 100.0,
+              profile.adaptive ? "adaptive" : "fixed-RTO");
+  std::printf("%8s %8s %10s %12s %8s %8s %10s\n", "seed", "faults", "classes",
+              "violations", "false-rm", "true-rm", "reservoir");
+  std::printf("----------------------------------------------------------------------\n");
 
   bench::JsonReport report("bench_chaos");
   report.param("rounds", static_cast<double>(rounds));
   report.param("virtual_ms_per_round", static_cast<double>(per_round_ms));
   report.param("nodes", static_cast<double>(nodes));
   report.param("base_seed", static_cast<double>(base_seed));
+  report.param("base_loss", profile.base_loss);
+  report.param("adaptive", profile.adaptive ? 1.0 : 0.0);
 
   metrics::Snapshot merged;
   std::size_t total_faults = 0;
   std::size_t total_violations = 0;
+  std::uint64_t total_false_removals = 0;
   for (std::size_t i = 0; i < rounds; ++i) {
     std::uint64_t seed = base_seed + i;
     testing::ChaosRoundResult res =
-        testing::run_chaos_round(seed, millis(per_round_ms), nodes);
+        testing::run_chaos_round(seed, millis(per_round_ms), nodes, profile);
     total_faults += res.faults;
     total_violations += res.violations.size();
-    std::printf("%8llu %8zu %7zu/%zu %12zu %10zu\n",
+    total_false_removals += res.false_removals;
+    std::printf("%8llu %8zu %7zu/%zu %12zu %8llu %8llu %10zu\n",
                 static_cast<unsigned long long>(seed), res.faults,
                 res.classes.size(),
                 static_cast<std::size_t>(testing::FaultClass::kCount),
-                res.violations.size(), res.reservoir_samples);
+                res.violations.size(),
+                static_cast<unsigned long long>(res.false_removals),
+                static_cast<unsigned long long>(res.true_removals),
+                res.reservoir_samples);
     JsonValue row = bench::JsonReport::row("seed_" + std::to_string(seed));
     row.set("seed", JsonValue::number(static_cast<double>(seed)));
     row.set("faults", JsonValue::number(static_cast<double>(res.faults)));
@@ -79,6 +107,10 @@ int main(int argc, char** argv) {
             JsonValue::number(static_cast<double>(res.classes.size())));
     row.set("violations",
             JsonValue::number(static_cast<double>(res.violations.size())));
+    row.set("false_removals",
+            JsonValue::number(static_cast<double>(res.false_removals)));
+    row.set("true_removals",
+            JsonValue::number(static_cast<double>(res.true_removals)));
     row.set("reservoir_samples",
             JsonValue::number(static_cast<double>(res.reservoir_samples)));
     report.add(std::move(row));
@@ -96,7 +128,16 @@ int main(int argc, char** argv) {
   report.set_metrics(merged);
   bench::maybe_write_report(report, json_path);
 
-  std::printf("\nTotal: %zu faults injected, %zu invariant violations\n",
-              total_faults, total_violations);
+  std::printf("\nTotal: %zu faults injected, %zu invariant violations, "
+              "%llu false removals\n",
+              total_faults, total_violations,
+              static_cast<unsigned long long>(total_false_removals));
+  if (false_removal_budget >= 0 &&
+      total_false_removals > static_cast<std::uint64_t>(false_removal_budget)) {
+    std::printf("FAIL: false removals %llu exceed budget %lld\n",
+                static_cast<unsigned long long>(total_false_removals),
+                false_removal_budget);
+    return 1;
+  }
   return total_violations == 0 ? 0 : 1;
 }

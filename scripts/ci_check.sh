@@ -9,8 +9,16 @@
 # Usage: scripts/ci_check.sh [asan-build-dir]
 #   asan-build-dir  defaults to <repo>/build-asan (configured on demand)
 #
+# A lossy-link soak follows the clean sweep: the same invariant checkers
+# under 5% uniform base packet loss with the RTT-inflation and link-flap
+# fault classes in the schedule and the adaptive detector on. The soak
+# fails if the ground-truth oracle counts more false removals (a node
+# removed while its process was alive) than SOAK_FALSE_RM_BUDGET.
+#
 # Environment:
 #   CHAOS_ROUNDS=50 CHAOS_MS=3000 CHAOS_NODES=5 CHAOS_SEED=1  sweep shape
+#   SOAK_ROUNDS=10 SOAK_MS=2000 SOAK_SEED=301                 soak shape
+#   SOAK_LOSS=0.05 SOAK_FALSE_RM_BUDGET=12                    soak gate
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,6 +27,11 @@ ROUNDS="${CHAOS_ROUNDS:-50}"
 MS="${CHAOS_MS:-3000}"
 NODES="${CHAOS_NODES:-5}"
 SEED="${CHAOS_SEED:-1}"
+SOAK_ROUNDS="${SOAK_ROUNDS:-10}"
+SOAK_MS="${SOAK_MS:-2000}"
+SOAK_SEED="${SOAK_SEED:-301}"
+SOAK_LOSS="${SOAK_LOSS:-0.05}"
+SOAK_FALSE_RM_BUDGET="${SOAK_FALSE_RM_BUDGET:-12}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "== configure + build (ASAN) in $BUILD"
@@ -27,6 +40,12 @@ cmake --build "$BUILD" -j"$JOBS" --target bench_chaos wire_perf_test
 
 echo "== chaos sweep: $ROUNDS rounds x ${MS}ms, $NODES nodes, seeds $SEED.."
 "$BUILD/bench/bench_chaos" "$ROUNDS" "$MS" "$NODES" "$SEED"
+
+echo "== lossy-link soak: $SOAK_ROUNDS rounds x ${SOAK_MS}ms at ${SOAK_LOSS} loss," \
+     "adaptive detector, false-removal budget $SOAK_FALSE_RM_BUDGET"
+"$BUILD/bench/bench_chaos" "$SOAK_ROUNDS" "$SOAK_MS" "$NODES" "$SOAK_SEED" \
+    --loss="$SOAK_LOSS" --adaptive \
+    --false-removal-budget="$SOAK_FALSE_RM_BUDGET"
 
 echo "== perf label under ASAN (allocation/copy budgets, encode-once)"
 ctest --test-dir "$BUILD" -L perf --output-on-failure

@@ -74,6 +74,8 @@ void SessionNode::reset_protocol_state() {
   round_dead_.clear();
   next_agreed_seq_ = 0;
   next_safe_seq_ = 0;
+  probation_peer_ = kInvalidNode;
+  probation_left_ = 0;
   last_token_rx_ = -1;
   state_since_ = env_.now();
   incarnation_ = static_cast<std::uint32_t>(env_.rng().next_u64());
@@ -307,6 +309,10 @@ void SessionNode::handle_token(Token&& t) {
 void SessionNode::begin_eating(Token&& t) {
   if (hold_timer_) env_.cancel(hold_timer_), hold_timer_ = 0;
   starving_rounds_ = 0;
+  // The token is here: whatever pass was struggling has resolved, so any
+  // successor on probation gets a fresh budget for its next incident.
+  probation_peer_ = kInvalidNode;
+  probation_left_ = 0;
   set_state(State::kEating, "begin_eating");
   token_ = std::move(t);
   eating_cycle();
@@ -556,12 +562,37 @@ void SessionNode::send_token_to_successor() {
 }
 
 void SessionNode::on_pass_failure(NodeId failed) {
+  // Probation (adaptive failure detection): a pass failure on a link whose
+  // peer was heard from within the recent past is more likely loss than
+  // death. Burn a bounded extra attempt budget before the paper's
+  // aggressive removal — this is what turns 5% packet loss from a steady
+  // stream of false removals into retries.
+  if (cfg_.transport.adaptive && cfg_.probation_passes > 0) {
+    if (probation_peer_ != failed) {
+      probation_peer_ = failed;
+      probation_left_ = cfg_.probation_passes;
+    }
+    const Time window = 2 * transport_.failure_detection_bound(failed);
+    if (probation_left_ > 0 && transport_.since_heard(failed) <= window) {
+      --probation_left_;
+      stats_.probation_retries.inc();
+      RC_INFO(kMod,
+              "node %u: pass to %u failed but peer is recently alive; "
+              "probation retry (%d left)",
+              id(), failed, probation_left_);
+      resend_pass_under_probation(failed);
+      return;
+    }
+  }
+  probation_peer_ = kInvalidNode;
+
   // Aggressive failure detection (§2.2): the failure-on-delivery
   // notification immediately removes the unreachable successor from the
   // membership; the token continues to the next healthy node.
   RC_INFO(kMod, "node %u: pass to %u failed; removing it from membership", id(),
           failed);
   stats_.removals.inc();
+  if (on_removal_) on_removal_(failed);
   readmit_after_[failed] = env_.now() + cfg_.readmit_backoff;
   Token t = last_copy_;
   t.remove(failed);
@@ -578,6 +609,31 @@ void SessionNode::on_pass_failure(NodeId failed) {
   send_token_to_successor();
 }
 
+void SessionNode::resend_pass_under_probation(NodeId succ) {
+  const TokenSeq sent_seq = last_copy_.seq;
+  const std::uint64_t sent_lineage = last_copy_.lineage;
+  // Extend the starvation clock over the extra budget so the probation
+  // attempt cannot itself push us into a spurious 911.
+  arm_hungry_timer();
+  transport_.send(
+      succ, encode_token_msg(last_copy_),
+      /*delivered=*/[this](transport::TransferId, NodeId peer) {
+        if (!started_) return;
+        // The extra attempt got through: one false removal avoided.
+        stats_.probation_saves.inc();
+        if (probation_peer_ == peer) probation_peer_ = kInvalidNode;
+      },
+      /*failed=*/[this, succ, sent_seq, sent_lineage](transport::TransferId,
+                                                      NodeId) {
+        if (!started_) return;
+        if (state_ != State::kHungry || last_copy_.lineage != sent_lineage ||
+            last_copy_.seq != sent_seq) {
+          return;
+        }
+        on_pass_failure(succ);
+      });
+}
+
 void SessionNode::adopt_view_from(const Token& t) {
   View v;
   v.view_id = t.view_id;
@@ -585,7 +641,16 @@ void SessionNode::adopt_view_from(const Token& t) {
   v.members = t.ring;
   if (v == view_) return;
   const std::size_t old_size = view_.members.size();
+  // Membership removal is the transport's cue to prune per-peer state
+  // (sequence/epoch, dedup window, RTT/health estimates). A departed peer
+  // that later rejoins starts a fresh send epoch, so its restarted
+  // sequence space cannot collide with the forgotten dedup window.
+  std::vector<NodeId> departed;
+  for (NodeId m : view_.members) {
+    if (m != id() && !v.has(m)) departed.push_back(m);
+  }
   view_ = std::move(v);
+  for (NodeId m : departed) transport_.forget_peer(m);
   stats_.view_changes.inc();
   ring_size_.set(static_cast<double>(view_.members.size()));
   if (on_view_) on_view_(view_);
@@ -667,7 +732,7 @@ void SessionNode::start_911_round() {
   // Round watchdog: abandon and retry if replies stall (e.g. lost by a
   // crash that the transport has not yet classified).
   if (starving_timer_) env_.cancel(starving_timer_);
-  starving_timer_ = env_.schedule(cfg_.starving_retry, [this, round] {
+  starving_timer_ = env_.schedule(effective_starving_retry(), [this, round] {
     starving_timer_ = 0;
     if (!started_ || state_ != State::kStarving) return;
     if (active_911_ == round) active_911_ = 0;
@@ -688,7 +753,10 @@ void SessionNode::regenerate_token() {
   // makes the multicast atomic across token loss (§2.6).
   Token t = last_copy_;
   for (NodeId dead : round_dead_) {
-    if (t.remove(dead)) t.view_id++;
+    if (t.remove(dead)) {
+      t.view_id++;
+      if (on_removal_) on_removal_(dead);
+    }
   }
   round_dead_.clear();
   t.seq = last_copy_.seq + 1;
@@ -785,10 +853,44 @@ void SessionNode::handle_bodyodor(const MsgBodyOdor& m) {
 
 void SessionNode::arm_hungry_timer() {
   disarm_hungry_timer();
-  hungry_timer_ = env_.schedule(cfg_.hungry_timeout, [this] {
+  hungry_timer_ = env_.schedule(effective_hungry_timeout(), [this] {
     hungry_timer_ = 0;
     enter_starving();
   });
+}
+
+Time SessionNode::max_member_detection_bound() const {
+  Time worst = 0;
+  for (NodeId m : view_.members) {
+    if (m != id()) {
+      worst = std::max(worst, transport_.failure_detection_bound(m));
+    }
+  }
+  return worst;
+}
+
+Time SessionNode::effective_hungry_timeout() const {
+  if (!cfg_.transport.adaptive) return cfg_.hungry_timeout;
+  // Derived from live transport state instead of an independent constant:
+  // the token must survive one hold per member, a few full
+  // failure-detection chains along the way (a removal re-sends the token),
+  // and our own probation budget. Tracks the estimator both ways — snappy
+  // 911 escalation on fast links, patience when measured RTTs inflate.
+  const Time hold = std::max<Time>(cfg_.token_hold, micros(10));
+  const Time ring =
+      static_cast<Time>(std::max<std::size_t>(view_.members.size(), 1));
+  const Time derived = ring * hold + (3 + cfg_.probation_passes) *
+                                         max_member_detection_bound();
+  return std::max<Time>(derived, millis(50));
+}
+
+Time SessionNode::effective_starving_retry() const {
+  if (!cfg_.transport.adaptive) return cfg_.starving_retry;
+  // A 911 round needs every reachable member's reply and every dead
+  // member's failure-on-delivery before it can complete; retrying before
+  // the detection bound elapses would abandon rounds that were about to
+  // finish.
+  return std::max<Time>(max_member_detection_bound() + millis(10), millis(20));
 }
 
 void SessionNode::disarm_hungry_timer() {

@@ -66,6 +66,12 @@ struct SessionConfig {
   /// the peer works) admits it instead — this is what turns the paper's
   /// ABCD ring into ACBD around a broken A→B link (§2.3).
   Time readmit_backoff = millis(1500);
+  /// Probation (adaptive failure detection): when a token pass fails but
+  /// the successor has been heard from recently — its link is degraded,
+  /// not dead — grant it up to this many extra full transfer attempts
+  /// before removing it. Active only with transport.adaptive; 0 restores
+  /// the paper's aggressive remove-on-first-failure behaviour (§2.2).
+  int probation_passes = 1;
   /// Flow control: own messages attached per token visit.
   std::size_t max_msgs_per_visit = 128;
   /// Nodes eligible to ever be members (discovery targets, §2.4). Empty
@@ -90,6 +96,11 @@ class SessionNode {
   using ViewFn = std::function<void(const View&)>;
   /// Invoked when the quorum decider (§2.4) shuts this node down.
   using QuorumShutdownFn = std::function<void()>;
+  /// Invoked with the peer id each time this node removes another member
+  /// from the ring (failed token pass or 911 round). Harnesses use it to
+  /// attribute removals — e.g. the chaos false-removal oracle checks
+  /// whether the removed node's process was actually alive.
+  using RemovalFn = std::function<void(NodeId)>;
 
   SessionNode(net::NodeEnv& env, SessionConfig cfg = {});
   SessionNode(const SessionNode&) = delete;
@@ -150,6 +161,7 @@ class SessionNode {
   void set_quorum_shutdown_handler(QuorumShutdownFn fn) {
     on_quorum_shutdown_ = std::move(fn);
   }
+  void set_removal_handler(RemovalFn fn) { on_removal_ = std::move(fn); }
   void set_eligible(std::vector<NodeId> eligible);
 
   // --- Introspection ---------------------------------------------------------
@@ -187,11 +199,14 @@ class SessionNode {
           starvations(r.counter("session.911.starvations")),
           denials_sent(r.counter("session.911.denials")),
           view_changes(r.counter("session.view_changes")),
+          probation_retries(r.counter("session.probation_retries")),
+          probation_saves(r.counter("session.probation_saves")),
           roundtrip(r.histogram("session.token.rotation_ns")) {}
     Counter &tokens_received, &tokens_passed, &stale_tokens_dropped;
     Counter &msgs_sent, &msgs_delivered;
     Counter &regenerations, &merges, &joins_processed, &removals;
     Counter &starvations, &denials_sent, &view_changes;
+    Counter &probation_retries, &probation_saves;
     Histogram& roundtrip;  ///< observed token roundtrip times (ns)
   };
   const Stats& stats() const { return stats_; }
@@ -219,6 +234,7 @@ class SessionNode {
   void pass_token();
   void send_token_to_successor();
   void on_pass_failure(NodeId failed);
+  void resend_pass_under_probation(NodeId succ);
   void adopt_view_from(const Token& t);
   void note_lineage(std::uint64_t lineage, TokenSeq seq);
   bool is_stale(const Token& t) const;
@@ -235,11 +251,16 @@ class SessionNode {
   Token merge_tokens(Token own);
   void send_join_request();
 
-  // Timers.
+  // Timers. In adaptive mode the hungry/starving intervals are derived
+  // live from the transport's per-peer failure-detection bounds instead of
+  // the independent constants in SessionConfig.
   void arm_hungry_timer();
   void disarm_hungry_timer();
   void arm_hold_timer();
   void arm_bodyodor_timer();
+  Time max_member_detection_bound() const;
+  Time effective_hungry_timeout() const;
+  Time effective_starving_retry() const;
 
   void fire_view_change();
   void deliver(const AttachedMessage& m);
@@ -290,6 +311,10 @@ class SessionNode {
   std::deque<AttachedMessage> pending_out_;
   std::deque<std::function<void()>> exclusive_queue_;
 
+  // Probation state: the successor currently on its extra attempt budget.
+  NodeId probation_peer_ = kInvalidNode;
+  int probation_left_ = 0;
+
   // Join / merge state.
   std::set<NodeId> pending_joins_;         ///< plain 911 joiners
   std::map<NodeId, Time> readmit_after_;   ///< per-peer re-admit cooldown
@@ -318,6 +343,7 @@ class SessionNode {
   DeliverFn on_deliver_;
   ViewFn on_view_;
   QuorumShutdownFn on_quorum_shutdown_;
+  RemovalFn on_removal_;
 
   metrics::Registry metrics_;
   Stats stats_{metrics_};

@@ -27,6 +27,9 @@ const char* fault_class_name(FaultClass c) {
     case FaultClass::kDuplicateBurst: return "duplicate-burst";
     case FaultClass::kCorruptBurst: return "corrupt-burst";
     case FaultClass::kReorderWindow: return "reorder-window";
+    case FaultClass::kRttInflate: return "rtt-inflate";
+    case FaultClass::kAsymLoss: return "asym-loss";
+    case FaultClass::kLinkFlap: return "link-flap";
     case FaultClass::kCount: break;
   }
   return "?";
@@ -270,11 +273,77 @@ void ChaosEngine::inject_one() {
       injected = true;
       break;
     }
+    case FaultClass::kRttInflate: {
+      // Sustained congestion, not a blip: one-way latency inflates by a
+      // multi-x factor for the whole fault. A fixed-RTO detector keeps
+      // timing out and removing the (alive, just slow) peer; the adaptive
+      // estimator should track the inflation instead.
+      auto [a, b] = pick_pair();
+      if (a == kInvalidNode) break;
+      ev.a = a;
+      ev.b = b;
+      Time lat = net_.config().default_latency *
+                 static_cast<Time>(3 + rng_.next_below(10));
+      net_.set_latency(a, b, lat, lat / 4);
+      add_revert(duration, [this, a = a, b = b] {
+        net_.set_latency(a, b, net_.config().default_latency,
+                         net_.config().default_jitter);
+      });
+      injected = true;
+      break;
+    }
+    case FaultClass::kAsymLoss: {
+      // Heavy loss in one direction only (a -> b); the reverse path stays
+      // clean. Acks keep arriving for traffic b -> a, so naive detectors
+      // that key liveness on "have I heard anything" are stressed by the
+      // asymmetry.
+      auto [a, b] = pick_pair();
+      if (a == kInvalidNode) break;
+      ev.a = a;
+      ev.b = b;
+      ev.rate = 0.3 + 0.6 * rng_.next_double();
+      net_.set_drop_rate(a, b, ev.rate, /*bidirectional=*/false);
+      add_revert(duration, [this, a = a, b = b] {
+        net_.set_drop_rate(a, b, net_.config().default_drop,
+                           /*bidirectional=*/false);
+      });
+      injected = true;
+      break;
+    }
+    case FaultClass::kLinkFlap: {
+      // The link toggles up/down on a short period — alive long enough to
+      // ack sometimes, dead long enough to time out sometimes. This is the
+      // probation step's target scenario.
+      auto [a, b] = pick_pair();
+      if (a == kInvalidNode) break;
+      ev.a = a;
+      ev.b = b;
+      Time period = millis(2) + static_cast<Time>(rng_.next_below(millis(10)));
+      ev.rate = to_millis(period);  // record the flap period for the schedule
+      flap_link(a, b, /*down=*/true, period, net_.now() + duration);
+      injected = true;
+      break;
+    }
     case FaultClass::kCount:
       break;
   }
 
   if (injected) schedule_.push_back(ev);
+}
+
+void ChaosEngine::flap_link(NodeId a, NodeId b, bool down, Time period,
+                            Time until) {
+  // Invoked both by its own revert timer and by stop_and_heal's pending-fn
+  // sweep: once the engine stops (or the fault expires) the link must end
+  // in the up state.
+  if (!running_ || net_.now() >= until) {
+    net_.set_link_up(a, b, true);
+    return;
+  }
+  net_.set_link_up(a, b, !down);
+  add_revert(period, [this, a, b, down, period, until] {
+    flap_link(a, b, !down, period, until);
+  });
 }
 
 void ChaosEngine::stop_and_heal() {
@@ -352,15 +421,23 @@ ChaosCluster::ChaosCluster(std::vector<NodeId> ids, ChaosConfig chaos_cfg,
                                                session::Ordering) {
       record_delivery(id, origin, payload);
     });
+    st->session->set_removal_handler(
+        [this, id](NodeId removed) { on_removal_observed(id, removed); });
     stacks_.emplace(id, std::move(st));
   }
   engine_ = std::make_unique<ChaosEngine>(net_, ids_, chaos_cfg_);
-  engine_->set_crash_hook(
-      [this](NodeId id) { stacks_.at(id)->session->stop(); });
+  engine_->set_crash_hook([this](NodeId id) {
+    Stack& st = *stacks_.at(id);
+    st.session->stop();
+    st.crashed_at = net_.now();
+    st.detection_recorded = false;
+  });
   engine_->set_restart_hook([this](NodeId id) {
     Stack& st = *stacks_.at(id);
     ++st.epoch;  // new incarnation: its traffic counters restart from zero
     st.traffic_counter = 0;
+    st.crashed_at = -1;
+    st.restarted_at = net_.now();
     st.session->found();  // discovery (BODYODOR) merges it back in
   });
 }
@@ -420,6 +497,34 @@ void ChaosCluster::record_delivery(NodeId receiver, NodeId origin,
       {st.epoch, origin, std::string(payload.begin(), payload.end())});
 }
 
+void ChaosCluster::on_removal_observed(NodeId remover, NodeId removed) {
+  (void)remover;
+  auto it = stacks_.find(removed);
+  if (it == stacks_.end()) return;
+  Stack& target = *it->second;
+  if (target.session->started()) {
+    // A removal landing just after the node's chaos restart was decided
+    // while the node was genuinely down — a correct (if stale) detection
+    // that raced the rejoin, not a detector error. The grace window covers
+    // the worst-case detection bound plus removal propagation.
+    constexpr Time kRestartGrace = millis(500);
+    if (target.restarted_at >= 0 &&
+        net_.now() - target.restarted_at <= kRestartGrace) {
+      true_removals_.inc();
+      return;
+    }
+    // Ground truth says the removed node's process is alive: the detector
+    // misclassified packet loss / congestion as a crash.
+    false_removals_.inc();
+    return;
+  }
+  true_removals_.inc();
+  if (target.crashed_at >= 0 && !target.detection_recorded) {
+    target.detection_recorded = true;
+    detection_latency_.record_time(net_.now() - target.crashed_at);
+  }
+}
+
 void ChaosCluster::run_chaos(Time duration) {
   traffic_on_ = true;
   for (NodeId id : ids_) start_traffic(id);
@@ -446,6 +551,7 @@ metrics::Snapshot ChaosCluster::metrics_snapshot() const {
     merged.merge(stack->locks->metrics().snapshot());
     merged.merge(stack->vips->metrics().snapshot());
   }
+  merged.merge(harness_metrics_.snapshot());
   return merged;
 }
 
@@ -459,6 +565,7 @@ std::size_t ChaosCluster::reservoir_samples() const {
     total += stack->locks->metrics().reservoir_samples();
     total += stack->vips->metrics().reservoir_samples();
   }
+  total += harness_metrics_.reservoir_samples();
   return total;
 }
 
@@ -604,11 +711,17 @@ void ChaosCluster::check_final_batch(const std::vector<NodeId>& live) {
   for (NodeId id : live) {
     auto got = batch_of(id);
     if (got != ref) {
+      std::string detail;
+      for (auto& [origin, payload] : got) {
+        if (!detail.empty()) detail += " ";
+        detail += payload;
+      }
       violation("final batch: node " + std::to_string(id) +
                 " delivered a different sequence than node " +
                 std::to_string(live.front()) + " (" +
                 std::to_string(got.size()) + " vs " +
-                std::to_string(ref.size()) + " messages)");
+                std::to_string(ref.size()) + " messages; got: [" + detail +
+                "])");
     }
   }
   // Completeness + exactly-once against the expected set.
@@ -771,25 +884,40 @@ void ChaosCluster::check_vip_coverage(const std::vector<NodeId>& live) {
 void ChaosCluster::heal_and_check(Time converge_timeout) {
   engine_->stop_and_heal();
   // Everybody is back up; wait (with traffic still flowing) until the merged
-  // group converges to the full live set.
+  // group converges to the full live set — and STAYS converged. A removal
+  // decided during the fault window (e.g. a token pass failed across a
+  // partition that healed an instant later) can land a few milliseconds
+  // after stop_and_heal; sampling a momentarily-converged group would then
+  // run the post-heal checks against a ring that is about to lose a member.
+  // Requiring a continuous stability window lets any such in-flight
+  // removal land, the victim re-join, and the group settle before we judge.
   std::vector<NodeId> live = ids_;
   std::vector<NodeId> want = live;
   std::sort(want.begin(), want.end());
-  Time deadline = net_.now() + converge_timeout;
-  while (net_.now() < deadline) {
-    bool conv = true;
+  auto converged = [&] {
     for (NodeId id : live) {
       const auto& s = *stacks_.at(id)->session;
       std::vector<NodeId> got = s.view().members;
       std::sort(got.begin(), got.end());
-      if (!s.started() || got != want) {
-        conv = false;
-        break;
-      }
+      if (!s.started() || got != want) return false;
     }
-    if (conv) break;
-    net_.loop().run_for(millis(10));
-  }
+    return true;
+  };
+  constexpr Time kStableWindow = millis(300);
+  auto wait_stable = [&] {
+    Time deadline = net_.now() + converge_timeout;
+    Time stable_since = -1;
+    while (net_.now() < deadline) {
+      if (converged()) {
+        if (stable_since < 0) stable_since = net_.now();
+        if (net_.now() - stable_since >= kStableWindow) return;
+      } else {
+        stable_since = -1;
+      }
+      net_.loop().run_for(millis(10));
+    }
+  };
+  wait_stable();
   check_membership(live);
   // Quiesce: stop the traffic generators and drain in-flight messages.
   traffic_on_ = false;
@@ -800,6 +928,9 @@ void ChaosCluster::heal_and_check(Time converge_timeout) {
     net_.loop().run_for(session_cfg_.token_hold / 2 + micros(500));
   }
   check_chaos_deliveries();
+  // Re-verify stability before the delivery batch: the quiesce and token
+  // sampling above give a late-landing removal one more chance to fire.
+  wait_stable();
   check_final_batch(live);
   check_lock_service(live);
   check_map_convergence(live);
@@ -809,16 +940,19 @@ void ChaosCluster::heal_and_check(Time converge_timeout) {
 // --- run_chaos_round -------------------------------------------------------
 
 ChaosRoundResult run_chaos_round(std::uint64_t seed, Time chaos_duration,
-                                 std::size_t n_nodes) {
+                                 std::size_t n_nodes, ChaosProfile profile) {
   ChaosConfig ccfg;
   ccfg.seed = seed;
   net::SimNetConfig ncfg;
   ncfg.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  ncfg.default_drop = profile.base_loss;
+  session::SessionConfig scfg;
+  scfg.transport.adaptive = profile.adaptive;
   std::vector<NodeId> ids;
   for (std::size_t i = 1; i <= n_nodes; ++i) {
     ids.push_back(static_cast<NodeId>(i));
   }
-  ChaosCluster cluster(ids, ccfg, {}, ncfg);
+  ChaosCluster cluster(ids, ccfg, scfg, ncfg);
   if (cluster.bootstrap()) {
     cluster.run_chaos(chaos_duration);
     cluster.heal_and_check();
@@ -830,6 +964,8 @@ ChaosRoundResult run_chaos_round(std::uint64_t seed, Time chaos_duration,
   res.classes = cluster.engine().classes_seen();
   res.metrics = cluster.metrics_snapshot();
   res.reservoir_samples = cluster.reservoir_samples();
+  res.false_removals = cluster.false_removals();
+  res.true_removals = cluster.true_removals();
   if (!res.violations.empty()) res.report = cluster.failure_report();
   return res;
 }

@@ -47,6 +47,9 @@ enum class FaultClass : std::uint8_t {
   kDuplicateBurst,    ///< one node pair duplicates packets
   kCorruptBurst,      ///< one node pair flips payload bits in flight
   kReorderWindow,     ///< one node pair stops preserving FIFO order
+  kRttInflate,        ///< sustained multi-x latency inflation on a node pair
+  kAsymLoss,          ///< heavy one-direction-only packet loss on a pair
+  kLinkFlap,          ///< link toggles up/down on a short period, then heals
   kCount,             ///< number of fault classes (not a fault)
 };
 
@@ -63,7 +66,7 @@ struct ChaosConfig {
   /// Relative weight per fault class, indexed by FaultClass. Zero disables
   /// the class.
   double weights[static_cast<std::size_t>(FaultClass::kCount)] = {
-      1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+      1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
 };
 
 /// One injected fault, recorded for the replayable schedule.
@@ -123,6 +126,9 @@ class ChaosEngine {
   void crash(NodeId id, Time duration);
   void restart(NodeId id);
   void add_revert(Time after, std::function<void()> fn);
+  /// One phase of a link-flap fault: toggles the link and schedules the
+  /// next phase until `until` (or stop_and_heal) restores the link.
+  void flap_link(NodeId a, NodeId b, bool down, Time period, Time until);
 
   net::SimNetwork& net_;
   std::vector<NodeId> ids_;
@@ -172,8 +178,14 @@ class ChaosCluster {
   session::SessionNode& session(NodeId id) { return *stacks_.at(id)->session; }
 
   /// Cluster-wide merge of every layer's registry on every node (transport,
-  /// session, mux, map, locks, VIPs). Deterministic for a given seed.
+  /// session, mux, map, locks, VIPs) plus the harness's failure-detection
+  /// oracle instruments. Deterministic for a given seed.
   metrics::Snapshot metrics_snapshot() const;
+  /// Failure-detection oracle: removals of a node whose process was alive
+  /// at removal time (the false-alarm cost of §2.2's aggressive detector).
+  std::uint64_t false_removals() const { return false_removals_.value(); }
+  /// Removals of genuinely crashed nodes.
+  std::uint64_t true_removals() const { return true_removals_.value(); }
   /// Samples currently held across all histogram reservoirs, cluster-wide —
   /// the memory-flatness measure for long soaks.
   std::size_t reservoir_samples() const;
@@ -188,6 +200,7 @@ class ChaosCluster {
 
   void start_traffic(NodeId id);
   void record_delivery(NodeId receiver, NodeId origin, const Slice& payload);
+  void on_removal_observed(NodeId remover, NodeId removed);
   void check_token_uniqueness(const char* when);
   void check_membership(const std::vector<NodeId>& live);
   void check_chaos_deliveries();
@@ -219,11 +232,23 @@ class ChaosCluster {
     net::TimerId traffic_timer = 0;
     Rng traffic_rng{0};
     std::vector<Delivered> log;
+    Time crashed_at = -1;  ///< virtual time of the current crash, -1 if up
+    Time restarted_at = -1;  ///< virtual time of the last chaos restart
+    bool detection_recorded = false;  ///< latency sampled for this crash
   };
   std::map<NodeId, std::unique_ptr<Stack>> stacks_;
   std::vector<NodeId> ids_;
   bool traffic_on_ = false;
   std::vector<std::string> violations_;
+
+  /// Harness-owned oracle instruments: removal outcomes judged against
+  /// ground truth (was the removed node's process actually alive?) and the
+  /// crash-to-first-removal detection latency.
+  metrics::Registry harness_metrics_;
+  Counter& false_removals_ = harness_metrics_.counter("session.false_removals");
+  Counter& true_removals_ = harness_metrics_.counter("session.true_removals");
+  Histogram& detection_latency_ =
+      harness_metrics_.histogram("session.detection_latency_ns");
 };
 
 /// One full chaos round: bootstrap → chaos + traffic → heal → invariant
@@ -240,10 +265,23 @@ struct ChaosRoundResult {
   /// Full diagnostic artifact (ring dump + metrics table); non-empty only
   /// when the round had violations.
   std::string report;
+  /// Oracle outcomes (also present in `metrics` under session.*).
+  std::uint64_t false_removals = 0;
+  std::uint64_t true_removals = 0;
+};
+
+/// Environment profile for a chaos round, layered under the fault schedule:
+/// a uniform base packet-loss rate on every link and the choice between the
+/// paper's fixed-RTO detector and the adaptive one (RTT estimation, backoff
+/// with jitter, health steering, probation).
+struct ChaosProfile {
+  double base_loss = 0.0;
+  bool adaptive = false;
 };
 
 ChaosRoundResult run_chaos_round(std::uint64_t seed,
                                  Time chaos_duration = millis(2000),
-                                 std::size_t n_nodes = 5);
+                                 std::size_t n_nodes = 5,
+                                 ChaosProfile profile = {});
 
 }  // namespace raincore::testing

@@ -1,0 +1,57 @@
+#include "transport/rtt_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace raincore::transport {
+
+namespace {
+constexpr double kAlpha = 1.0 / 8.0;  // SRTT gain (RFC 6298)
+constexpr double kBeta = 1.0 / 4.0;   // RTTVAR gain
+}  // namespace
+
+void RttEstimator::sample(Time rtt) {
+  const double r = static_cast<double>(std::max<Time>(rtt, 0));
+  if (samples_ == 0) {
+    srtt_ = r;
+    rttvar_ = r / 2.0;
+  } else {
+    rttvar_ = (1.0 - kBeta) * rttvar_ + kBeta * std::abs(srtt_ - r);
+    srtt_ = (1.0 - kAlpha) * srtt_ + kAlpha * r;
+  }
+  ++samples_;
+}
+
+Time RttEstimator::rto(const RtoBounds& bounds) const {
+  const Time raw = samples_ == 0
+                       ? bounds.fallback
+                       : static_cast<Time>(srtt_ + 4.0 * rttvar_);
+  return std::clamp(raw, bounds.min_rto, bounds.max_rto);
+}
+
+Time PeerRttTable::rto(NodeId peer, std::uint8_t iface,
+                       const RtoBounds& bounds) const {
+  const RttEstimator* e = find(peer, iface);
+  if (e == nullptr) {
+    return std::clamp(bounds.fallback, bounds.min_rto, bounds.max_rto);
+  }
+  return e->rto(bounds);
+}
+
+Time PeerRttTable::max_rto(NodeId peer, std::uint8_t n_ifaces,
+                           const RtoBounds& bounds) const {
+  Time worst = 0;
+  for (std::uint8_t i = 0; i < n_ifaces; ++i) {
+    worst = std::max(worst, rto(peer, i, bounds));
+  }
+  return worst;
+}
+
+void PeerRttTable::forget(NodeId peer) {
+  auto it = links_.lower_bound({peer, 0});
+  while (it != links_.end() && it->first.first == peer) {
+    it = links_.erase(it);
+  }
+}
+
+}  // namespace raincore::transport

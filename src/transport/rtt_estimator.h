@@ -1,0 +1,87 @@
+// Per-link round-trip-time estimation for the adaptive failure detector.
+//
+// The paper's transport (§2.1) retries on a fixed interval, which makes the
+// session layer's failure-on-delivery detector (§2.2) a hard-coded 150 ms
+// budget regardless of how the link actually behaves. This module replaces
+// that constant with the classic Jacobson/Karels estimator, fed from the
+// ack latencies the transport already measures:
+//
+//   first sample:  SRTT = R,           RTTVAR = R / 2
+//   after:         RTTVAR = (1 - beta) * RTTVAR + beta * |SRTT - R|
+//                  SRTT   = (1 - alpha) * SRTT + alpha * R
+//   RTO = clamp(SRTT + 4 * RTTVAR, min_rto, max_rto)
+//
+// with alpha = 1/8, beta = 1/4 (RFC 6298 constants). Samples are taken per
+// (peer, interface) so redundant links with different path characteristics
+// keep independent estimates, and Karn's algorithm applies upstream: the
+// transport never feeds a sample from a retransmitted transfer (the ack is
+// ambiguous about which copy it answers).
+//
+// Everything is plain deterministic arithmetic — identical sample sequences
+// produce identical estimates, preserving seeded-run replayability.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/types.h"
+
+namespace raincore::transport {
+
+/// Clamping bounds and the pre-sample fallback for rto().
+struct RtoBounds {
+  Time fallback = millis(50);  ///< used until the first RTT sample lands
+  Time min_rto = millis(5);
+  Time max_rto = millis(400);
+};
+
+/// Jacobson/Karels SRTT + RTTVAR for a single (peer, interface) link.
+class RttEstimator {
+ public:
+  /// Feeds one clean ack-latency sample (never from a retransmission).
+  void sample(Time rtt);
+
+  bool has_sample() const { return samples_ > 0; }
+  std::uint64_t samples() const { return samples_; }
+  Time srtt() const { return static_cast<Time>(srtt_); }
+  Time rttvar() const { return static_cast<Time>(rttvar_); }
+
+  /// SRTT + 4*RTTVAR clamped into [min_rto, max_rto]; bounds.fallback
+  /// (clamped the same way) before any sample has been taken.
+  Time rto(const RtoBounds& bounds) const;
+
+ private:
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+/// Estimator table keyed by (peer, interface), pruned with the rest of the
+/// per-peer transport state on membership removal.
+class PeerRttTable {
+ public:
+  RttEstimator& at(NodeId peer, std::uint8_t iface) {
+    return links_[{peer, iface}];
+  }
+  const RttEstimator* find(NodeId peer, std::uint8_t iface) const {
+    auto it = links_.find({peer, iface});
+    return it != links_.end() ? &it->second : nullptr;
+  }
+
+  /// RTO for one link; bounds.fallback when the link has no samples yet.
+  Time rto(NodeId peer, std::uint8_t iface, const RtoBounds& bounds) const;
+
+  /// Worst-case (largest) RTO across a peer's first `n_ifaces` links —
+  /// the conservative base for failure_detection_bound().
+  Time max_rto(NodeId peer, std::uint8_t n_ifaces,
+               const RtoBounds& bounds) const;
+
+  void forget(NodeId peer);
+  std::size_t tracked() const { return links_.size(); }
+
+ private:
+  std::map<std::pair<NodeId, std::uint8_t>, RttEstimator> links_;
+};
+
+}  // namespace raincore::transport

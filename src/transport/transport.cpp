@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <numeric>
 
 #include "common/log.h"
 
@@ -9,7 +11,7 @@ namespace raincore::transport {
 
 namespace {
 constexpr const char* kMod = "transport";
-constexpr std::size_t kDataHeader = 9;   // type u8 + seq u64
+constexpr std::size_t kDataHeader = 13;  // type u8 + epoch u32 + seq u64
 constexpr std::size_t kChecksumLen = 4;  // trailing FNV-1a u32
 
 /// FNV-1a over the frame body. Every frame carries this as a trailing u32:
@@ -45,7 +47,11 @@ Slice seal_frame(ByteWriter&& w) {
 }  // namespace
 
 ReliableTransport::ReliableTransport(net::NodeEnv& env, TransportConfig cfg)
-    : env_(env), cfg_(cfg) {
+    : env_(env),
+      cfg_(cfg),
+      jitter_rng_(0x9e3779b97f4a7c15ULL ^
+                  (static_cast<std::uint64_t>(env.node()) * 0xff51afd7ed558ccdULL)) {
+  health_gauge_.set(1.0);
   env_.set_receiver([this](net::Datagram&& d) { on_datagram(std::move(d)); });
 }
 
@@ -67,11 +73,32 @@ std::uint8_t ReliableTransport::peer_iface_count(NodeId peer) const {
 }
 
 Time ReliableTransport::failure_detection_bound(NodeId peer) const {
+  const std::uint8_t n_addrs = peer_iface_count(peer);
   int rounds = cfg_.attempts_per_address;
-  if (cfg_.strategy == SendStrategy::kSequential) {
-    rounds *= peer_iface_count(peer);
+  if (cfg_.strategy == SendStrategy::kSequential) rounds *= n_addrs;
+  if (!cfg_.adaptive) return cfg_.rto * rounds;
+  // Live bound: the worst current RTO across the peer's links walked
+  // through the full backoff schedule, each attempt padded by the maximum
+  // jitter it could draw (the draw is strictly below rto * jitter, so +1 ns
+  // covers truncation).
+  const RtoBounds b = rto_bounds();
+  const Time base = rtt_.max_rto(peer, n_addrs, b);
+  Time bound = 0;
+  double mult = 1.0;
+  for (int k = 0; k < rounds; ++k) {
+    const Time rto =
+        std::clamp(static_cast<Time>(static_cast<double>(base) * mult),
+                   b.min_rto, b.max_rto);
+    bound += rto + static_cast<Time>(static_cast<double>(rto) * cfg_.rto_jitter) + 1;
+    mult *= cfg_.rto_backoff;
   }
-  return cfg_.rto * rounds;
+  return bound;
+}
+
+Time ReliableTransport::since_heard(NodeId peer) const {
+  auto it = last_heard_.find(peer);
+  if (it == last_heard_.end()) return std::numeric_limits<Time>::max();
+  return env_.now() - it->second;
 }
 
 void ReliableTransport::set_enabled(bool enabled) {
@@ -85,16 +112,38 @@ void ReliableTransport::set_enabled(bool enabled) {
   }
 }
 
+void ReliableTransport::forget_peer(NodeId peer) {
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->second.dst == peer) {
+      if (it->second.timer) env_.cancel(it->second.timer);
+      ack_index_.erase({peer, it->second.wire_seq});
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  send_state_.erase(peer);
+  recv_state_.erase(peer);
+  peer_ifaces_.erase(peer);
+  last_heard_.erase(peer);
+  rtt_.forget(peer);
+  health_.forget(peer);
+  refresh_health_gauge();
+}
+
 TransferId ReliableTransport::send(NodeId dst, Slice payload,
                                    DeliveredFn delivered, FailedFn failed) {
   if (!enabled_) return 0;
   TransferId id = next_transfer_id_++;
   sends_.inc();
+  PeerSend& ps = send_state_[dst];
+  if (ps.epoch == 0) ps.epoch = ++epoch_counter_;
   InFlight f;
   f.dst = dst;
-  f.wire_seq = ++next_seq_to_[dst];
+  f.epoch = ps.epoch;
+  f.wire_seq = ++ps.next_seq;
   f.started = env_.now();
-  f.frame = build_data_frame(std::move(payload), f.wire_seq);
+  f.frame = build_data_frame(std::move(payload), f.epoch, f.wire_seq);
   f.delivered = std::move(delivered);
   f.failed = std::move(failed);
   ack_index_[{dst, f.wire_seq}] = id;
@@ -103,13 +152,15 @@ TransferId ReliableTransport::send(NodeId dst, Slice payload,
   return id;
 }
 
-Slice ReliableTransport::build_data_frame(Slice&& payload, std::uint64_t seq) {
+Slice ReliableTransport::build_data_frame(Slice&& payload, std::uint32_t epoch,
+                                          std::uint64_t seq) {
   // Fast path: the payload was encoded with wire slack (FrameBuilder) and
   // nobody else holds its storage — header and checksum land in place, so
   // the session's encode buffer IS the wire frame.
   if (auto f = payload.expand(kDataHeader, kChecksumLen)) {
     f->head[0] = static_cast<std::uint8_t>(WireType::kData);
-    put_le64(f->head + 1, seq);
+    put_le32(f->head + 1, epoch);
+    put_le64(f->head + 5, seq);
     std::size_t body = f->frame.size() - kChecksumLen;
     put_le32(f->tail, frame_checksum(f->frame.data(), body));
     frames_inplace_.inc();
@@ -121,6 +172,7 @@ Slice ReliableTransport::build_data_frame(Slice&& payload, std::uint64_t seq) {
   wire_stats().bytes_copied.inc(payload.size());
   ByteWriter w(0, kChecksumLen, kDataHeader + payload.size());
   w.u8(static_cast<std::uint8_t>(WireType::kData));
+  w.u32(epoch);
   w.u64(seq);
   w.raw(payload.data(), payload.size());
   return seal_frame(std::move(w));
@@ -167,40 +219,123 @@ void ReliableTransport::transmit(const InFlight& f, std::uint8_t to_iface) {
   env_.send(net::Address{f.dst, to_iface}, f.frame, from);
 }
 
+void ReliableTransport::refresh_health_gauge() {
+  if (!cfg_.adaptive) return;
+  double worst = 1.0;
+  for (auto& [peer, n] : peer_ifaces_) {
+    for (std::uint8_t i = 0; i < n; ++i) {
+      worst = std::min(worst, health_.score(peer, i));
+    }
+  }
+  health_gauge_.set(worst);
+}
+
+Time ReliableTransport::attempt_rto(const InFlight& f, int backoff_step) {
+  if (!cfg_.adaptive) return cfg_.rto;
+  const RtoBounds b = rto_bounds();
+  // Single-link attempts pace on that link's estimate; multi-link rounds
+  // (parallel, or adaptive escalated) pace on the slowest link so a slow
+  // path is not retried before its ack could possibly arrive.
+  const Time base = f.last_tx.size() == 1
+                        ? rtt_.rto(f.dst, f.last_tx.front(), b)
+                        : rtt_.max_rto(f.dst, peer_iface_count(f.dst), b);
+  double scaled = static_cast<double>(base);
+  for (int k = 0; k < backoff_step; ++k) scaled *= cfg_.rto_backoff;
+  const Time rto =
+      std::clamp(static_cast<Time>(scaled), b.min_rto, b.max_rto);
+  rto_gauge_.set(static_cast<double>(rto));
+  const Time jitter = static_cast<Time>(
+      static_cast<double>(rto) * cfg_.rto_jitter * jitter_rng_.next_double());
+  return rto + jitter;
+}
+
 void ReliableTransport::attempt(TransferId id) {
   auto it = inflight_.find(id);
   if (it == inflight_.end()) return;
   InFlight& f = it->second;
   const std::uint8_t n_addrs = peer_iface_count(f.dst);
+  f.last_tx.clear();
 
-  if (cfg_.strategy == SendStrategy::kSequential) {
-    if (f.attempts_done >= cfg_.attempts_per_address) {
-      f.attempts_done = 0;
-      ++f.addr_index;
+  switch (cfg_.strategy) {
+    case SendStrategy::kSequential: {
+      if (f.addr_order.empty()) {
+        if (cfg_.adaptive) {
+          f.addr_order = health_.ranked(f.dst, n_addrs);
+        } else {
+          f.addr_order.resize(n_addrs);
+          std::iota(f.addr_order.begin(), f.addr_order.end(), std::uint8_t{0});
+        }
+      }
+      if (f.attempts_done >= cfg_.attempts_per_address) {
+        f.attempts_done = 0;
+        ++f.addr_index;
+      }
+      if (f.addr_index >= n_addrs) {
+        finish(id, /*ok=*/false);
+        return;
+      }
+      const std::uint8_t addr = f.addr_order[f.addr_index];
+      transmit(f, addr);
+      f.last_tx.push_back(addr);
+      ++f.attempts_done;
+      break;
     }
-    if (f.addr_index >= n_addrs) {
-      finish(id, /*ok=*/false);
-      return;
+    case SendStrategy::kParallel: {
+      if (f.rounds_done >= cfg_.attempts_per_address) {
+        finish(id, /*ok=*/false);
+        return;
+      }
+      for (std::uint8_t a = 0; a < n_addrs; ++a) {
+        transmit(f, a);
+        f.last_tx.push_back(a);
+      }
+      ++f.rounds_done;
+      break;
     }
-    transmit(f, f.addr_index);
-    ++f.attempts_done;
-  } else {
-    if (f.rounds_done >= cfg_.attempts_per_address) {
-      finish(id, /*ok=*/false);
-      return;
+    case SendStrategy::kAdaptive: {
+      if (f.rounds_done >= cfg_.attempts_per_address) {
+        finish(id, /*ok=*/false);
+        return;
+      }
+      const std::uint8_t best = health_.best_iface(f.dst, n_addrs);
+      if (health_.score(f.dst, best) < cfg_.health_degraded_below) {
+        // Degraded even on the best link: escalate to every link at once.
+        for (std::uint8_t a = 0; a < n_addrs; ++a) {
+          transmit(f, a);
+          f.last_tx.push_back(a);
+        }
+      } else {
+        transmit(f, best);
+        f.last_tx.push_back(best);
+      }
+      ++f.rounds_done;
+      break;
     }
-    for (std::uint8_t a = 0; a < n_addrs; ++a) transmit(f, a);
-    ++f.rounds_done;
   }
 
-  f.timer = env_.schedule(cfg_.rto, [this, id] {
+  const int backoff_step = f.total_attempts;
+  ++f.total_attempts;
+  f.timer = env_.schedule(attempt_rto(f, backoff_step), [this, id] {
     task_switches_.inc();  // retransmission timer wakes the GC stack
     retries_.inc();
-    attempt(id);
+    on_attempt_timeout(id);
   });
 }
 
-void ReliableTransport::finish(TransferId id, bool ok) {
+void ReliableTransport::on_attempt_timeout(TransferId id) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;
+  InFlight& f = it->second;
+  f.timer = 0;
+  f.retransmitted = true;  // Karn: any later ack is ambiguous for RTT
+  if (cfg_.adaptive && !f.last_tx.empty()) {
+    for (std::uint8_t a : f.last_tx) health_.on_timeout(f.dst, a);
+    refresh_health_gauge();
+  }
+  attempt(id);
+}
+
+void ReliableTransport::finish(TransferId id, bool ok, std::uint8_t ack_iface) {
   auto it = inflight_.find(id);
   if (it == inflight_.end()) return;
   InFlight f = std::move(it->second);
@@ -209,7 +344,18 @@ void ReliableTransport::finish(TransferId id, bool ok) {
   inflight_.erase(it);
   if (ok) {
     delivered_.inc();
-    ack_latency_.record_time(env_.now() - f.started);
+    const Time latency = env_.now() - f.started;
+    ack_latency_.record_time(latency);
+    if (cfg_.adaptive) {
+      health_.on_success(f.dst, ack_iface);
+      refresh_health_gauge();
+      if (!f.retransmitted) {
+        // Karn's algorithm: only unambiguous (never-retransmitted) acks
+        // feed the estimator.
+        rtt_.at(f.dst, ack_iface).sample(latency);
+        rtt_samples_.inc();
+      }
+    }
     if (f.delivered) f.delivered(id, f.dst);
   } else {
     fod_.inc();
@@ -237,19 +383,36 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
     checksum_drops_.inc();
     return;
   }
+  last_heard_[d.src.node] = env_.now();
   ByteReader r(d.payload.data(), body);
   auto type = static_cast<WireType>(r.u8());
   switch (type) {
     case WireType::kData: {
+      std::uint32_t epoch = r.u32();
       std::uint64_t seq = r.u64();
       if (!r.ok() || body < kDataHeader) return;
+      PeerRecv& pr = recv_state_[d.src.node];
+      if (epoch < pr.epoch) {
+        // Retransmission from a sender context we have already superseded
+        // (the peer was forgotten and re-contacted): not acked — that
+        // transfer's bookkeeping no longer exists at the sender either.
+        stale_epoch_drops_.inc();
+        return;
+      }
+      if (epoch > pr.epoch) {
+        // The sender restarted its sequence space toward us; the old dedup
+        // window would swallow its fresh seqs as "duplicates". Adopt.
+        pr.epoch = epoch;
+        pr.watermark = 0;
+        pr.above.clear();
+      }
       // Always acknowledge, even duplicates: the original ack may be lost.
       ByteWriter ack(0, kChecksumLen, kDataHeader);
       ack.u8(static_cast<std::uint8_t>(WireType::kAck));
+      ack.u32(epoch);
       ack.u64(seq);
       send_frame(d.src, std::move(ack), d.dst.iface);
 
-      PeerRecv& pr = recv_state_[d.src.node];
       if (seq <= pr.watermark || pr.above.count(seq) > 0) {
         dup_drops_.inc();
         return;
@@ -281,10 +444,21 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
       break;
     }
     case WireType::kAck: {
+      std::uint32_t epoch = r.u32();
       std::uint64_t seq = r.u64();
       if (!r.ok()) return;
+      auto st = send_state_.find(d.src.node);
+      if (st == send_state_.end() || st->second.epoch != epoch) {
+        // Ack for a transfer from before forget_peer — nothing to resolve.
+        stale_epoch_drops_.inc();
+        return;
+      }
       auto it = ack_index_.find({d.src.node, seq});
-      if (it != ack_index_.end()) finish(it->second, /*ok=*/true);
+      // The ack's source interface is the peer-side interface our frame
+      // arrived on (interfaces pair i<->i), i.e. the link that delivered.
+      if (it != ack_index_.end()) {
+        finish(it->second, /*ok=*/true, d.src.iface);
+      }
       break;
     }
     case WireType::kRaw: {

@@ -12,6 +12,13 @@
 //  3. Failure-on-delivery notification: when every sending effort fails the
 //     upper layer is told — this is the Session Service's local-view
 //     failure detector.
+//
+// On top of the paper's fixed-interval retry schedule the transport offers
+// an adaptive mode (TransportConfig::adaptive): per-link Jacobson/Karels
+// RTT estimation drives a clamped dynamic RTO with exponential backoff and
+// deterministic seeded jitter, and an EWMA link-health score steers
+// multi-address sending toward links that are actually delivering. The
+// fixed schedule stays bit-for-bit identical when adaptive mode is off.
 #pragma once
 
 #include <cstdint>
@@ -19,17 +26,22 @@
 #include <map>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "common/buffer.h"
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "net/network.h"
+#include "transport/link_health.h"
+#include "transport/rtt_estimator.h"
 
 namespace raincore::transport {
 
 enum class SendStrategy : std::uint8_t {
   kSequential,  ///< exhaust address 0, then address 1, ...
   kParallel,    ///< every attempt round sends on all address pairs at once
+  kAdaptive,    ///< healthiest single address; all addresses once degraded
 };
 
 struct TransportConfig {
@@ -45,6 +57,27 @@ struct TransportConfig {
   /// out-of-order sequence numbers cannot grow receiver memory past this;
   /// overflow advances the watermark over the oldest gap.
   std::size_t max_recv_tracked = 4096;
+
+  // --- Adaptive failure detection ------------------------------------------
+  /// Master switch. Off (the default) reproduces the paper's fixed-interval
+  /// schedule exactly: every attempt waits `rto`, no jitter, no health
+  /// steering, and failure_detection_bound() is the closed-form constant.
+  bool adaptive = false;
+  /// Dynamic RTO clamp (Jacobson/Karels SRTT + 4*RTTVAR, `rto` until the
+  /// first sample).
+  Time min_rto = millis(5);
+  Time max_rto = millis(400);
+  /// Per-attempt RTO multiplier (exponential backoff across retries of one
+  /// transfer).
+  double rto_backoff = 2.0;
+  /// Deterministic jitter: each attempt waits rto + uniform[0, rto*jitter),
+  /// drawn from a node-seeded stream, so synchronized retry storms decohere
+  /// without breaking seeded-run replayability.
+  double rto_jitter = 0.1;
+  /// kAdaptive escalation threshold: while the best link's health score is
+  /// at or above this, send on that link alone; below it, send on all links
+  /// (kParallel behaviour) until the link recovers.
+  double health_degraded_below = 0.6;
 };
 
 /// Identifies one in-flight transfer at the sender.
@@ -96,6 +129,18 @@ class ReliableTransport {
   /// Abandons an in-flight transfer without a failure notification.
   void cancel(TransferId id);
 
+  /// Drops every piece of per-peer state — send epoch/sequence, receive
+  /// dedup window, interface count, RTT estimates, health scores, liveness
+  /// stamp — and silently abandons in-flight transfers to the peer (no
+  /// failure notifications: the caller is the one declaring the peer gone).
+  /// The session layer calls this on membership removal so departed peers
+  /// stop costing memory. Re-contacting the peer later starts a fresh send
+  /// epoch; the receive side keys its dedup window by that epoch, so a
+  /// restarted sequence space cannot be mistaken for stale duplicates (the
+  /// re-delivery edge noted at the session's per-origin watermarks guards
+  /// the message layer above this).
+  void forget_peer(NodeId peer);
+
   /// Crash-stop support: a disabled transport neither sends, acknowledges,
   /// nor delivers — to its peers it is indistinguishable from a dead node.
   void set_enabled(bool enabled);
@@ -107,12 +152,30 @@ class ReliableTransport {
   const TransportConfig& config() const { return cfg_; }
 
   /// Upper bound on how long a transfer can stay unresolved before either
-  /// the delivered or the failure-on-delivery notification fires.
+  /// the delivered or the failure-on-delivery notification fires. In
+  /// adaptive mode this is live per-peer state: the worst current RTO
+  /// across the peer's links, summed over the backed-off attempt schedule
+  /// with maximal jitter. A dead peer produces no new samples, so the bound
+  /// computed when the peer stops answering holds for transfers started
+  /// after that point.
   Time failure_detection_bound(NodeId peer) const;
+
+  /// Time since the last integrity-checked frame (data, ack or raw) from
+  /// this peer arrived; Time max if the peer was never heard (or has been
+  /// forgotten). The session layer's probation step uses this to separate
+  /// "degraded link" from "dead node".
+  Time since_heard(NodeId peer) const;
 
   /// Size of the receiver-side duplicate-suppression set for a peer
   /// (bounded by TransportConfig::max_recv_tracked).
   std::size_t recv_tracked(NodeId peer) const;
+
+  /// Per-link adaptive state, for tests and introspection.
+  const PeerRttTable& rtt() const { return rtt_; }
+  const LinkHealth& link_health() const { return health_; }
+  /// Number of peers with sender-side sequence/epoch state (bounded by
+  /// forget_peer pruning).
+  std::size_t send_peers_tracked() const { return send_state_.size(); }
 
   /// Frames whose integrity checksum failed verification (corrupted in
   /// flight, or forged without a valid checksum) — dropped before parsing.
@@ -134,12 +197,20 @@ class ReliableTransport {
 
   struct InFlight {
     NodeId dst = kInvalidNode;
+    std::uint32_t epoch = 0;     // sender epoch the frame is stamped with
     std::uint64_t wire_seq = 0;  // per-destination sequence number
     Time started = 0;            // send() time, for ack-latency measurement
     Slice frame;                 // framed once; shared by every (re)send
     int attempts_done = 0;   // attempts on the current address (sequential)
-    int rounds_done = 0;     // attempt rounds (parallel)
+    int rounds_done = 0;     // attempt rounds (parallel/adaptive)
+    int total_attempts = 0;  // all attempts so far (backoff exponent)
+    bool retransmitted = false;  // Karn: acks no longer yield RTT samples
     std::uint8_t addr_index = 0;
+    /// Sequential-mode address walk order (health-ranked when adaptive,
+    /// identity otherwise). Fixed at first attempt so the walk is coherent.
+    std::vector<std::uint8_t> addr_order;
+    /// Interfaces the latest attempt used (health attribution on timeout).
+    std::vector<std::uint8_t> last_tx;
     net::TimerId timer = 0;
     DeliveredFn delivered;
     FailedFn failed;
@@ -152,11 +223,23 @@ class ReliableTransport {
                   std::uint8_t from_iface);
   /// Frames a payload for a DATA transfer: in place via the payload's own
   /// slack when possible, through one re-copy otherwise.
-  Slice build_data_frame(Slice&& payload, std::uint64_t seq);
+  Slice build_data_frame(Slice&& payload, std::uint32_t epoch,
+                         std::uint64_t seq);
   void attempt(TransferId id);
+  void on_attempt_timeout(TransferId id);
+  /// Timeout for the attempt just transmitted: cfg_.rto in fixed mode;
+  /// estimator RTO × backoff^step, clamped, plus a jitter draw in adaptive
+  /// mode.
+  Time attempt_rto(const InFlight& f, int backoff_step);
   void transmit(const InFlight& f, std::uint8_t to_iface);
   std::uint8_t peer_iface_count(NodeId peer) const;
-  void finish(TransferId id, bool ok);
+  RtoBounds rto_bounds() const {
+    return RtoBounds{cfg_.rto, cfg_.min_rto, cfg_.max_rto};
+  }
+  /// Publishes the worst health score across tracked links to the
+  /// transport.link_health gauge.
+  void refresh_health_gauge();
+  void finish(TransferId id, bool ok, std::uint8_t ack_iface = 0);
 
   net::NodeEnv& env_;
   TransportConfig cfg_;
@@ -164,20 +247,41 @@ class ReliableTransport {
   bool enabled_ = true;
 
   std::uint64_t next_transfer_id_ = 1;
-  std::unordered_map<NodeId, std::uint64_t> next_seq_to_;
+  /// Sender-side per-peer stream state. The epoch is stamped into every
+  /// DATA frame and echoed by acks: after forget_peer, a re-contacted peer
+  /// gets a strictly larger epoch, which tells the receiver to discard its
+  /// old dedup window instead of swallowing the restarted sequence space.
+  struct PeerSend {
+    std::uint32_t epoch = 0;
+    std::uint64_t next_seq = 0;
+  };
+  std::unordered_map<NodeId, PeerSend> send_state_;
+  std::uint32_t epoch_counter_ = 0;
   std::map<TransferId, InFlight> inflight_;
   /// (peer, wire_seq) -> transfer, for resolving acknowledgements.
   std::map<std::pair<NodeId, std::uint64_t>, TransferId> ack_index_;
 
   /// Receiver-side exact duplicate suppression per source node: everything
   /// at or below `watermark` has been delivered; `above` holds delivered
-  /// seqs past the watermark (bounded by in-flight reordering).
+  /// seqs past the watermark (bounded by in-flight reordering). The whole
+  /// window belongs to one sender epoch: frames from an older epoch are
+  /// dropped (their sender context is gone), a newer epoch resets it.
   struct PeerRecv {
+    std::uint32_t epoch = 0;
     std::uint64_t watermark = 0;
     std::set<std::uint64_t> above;
   };
   std::unordered_map<NodeId, PeerRecv> recv_state_;
   std::unordered_map<NodeId, std::uint8_t> peer_ifaces_;
+  /// Last time an integrity-checked frame from each peer arrived.
+  std::unordered_map<NodeId, Time> last_heard_;
+
+  PeerRttTable rtt_;
+  LinkHealth health_;
+  /// Jitter stream, seeded from the node id alone: independent of the
+  /// simulation's fault/traffic randomness, identical across identically
+  /// seeded runs.
+  Rng jitter_rng_;
 
   metrics::Registry metrics_;
   Counter& task_switches_ = metrics_.counter("transport.task_switches");
@@ -188,10 +292,20 @@ class ReliableTransport {
   Counter& delivered_ = metrics_.counter("transport.delivered");
   Counter& fod_ = metrics_.counter("transport.fod");
   Counter& dup_drops_ = metrics_.counter("transport.recv.duplicates");
+  /// Frames carrying a sender epoch older than the receiver's current
+  /// window for that peer (stale retransmissions from before a
+  /// forget_peer) — dropped unacknowledged.
+  Counter& stale_epoch_drops_ = metrics_.counter("transport.recv.stale_epoch");
+  /// Clean (Karn-filtered) ack-latency samples fed to the RTT estimator.
+  Counter& rtt_samples_ = metrics_.counter("transport.rtt_samples");
   /// Encode-once accounting: transfers framed in the payload's own slack
   /// vs. transfers that needed the one-copy fallback.
   Counter& frames_inplace_ = metrics_.counter("transport.frames_inplace");
   Counter& frame_copies_ = metrics_.counter("transport.frame_copies");
+  /// Most recent clamped RTO scheduled for any attempt (ns).
+  Gauge& rto_gauge_ = metrics_.gauge("transport.rto_current_ns");
+  /// Worst EWMA health score across this node's tracked links.
+  Gauge& health_gauge_ = metrics_.gauge("transport.link_health");
   Histogram& ack_latency_ = metrics_.histogram("transport.ack_latency_ns");
 };
 

@@ -67,6 +67,47 @@ TEST(ChaosDeterminism, SameSeedSameMetricsSnapshot) {
   }
 }
 
+TEST(ChaosDeterminism, AdaptiveProfileIsSeedReplayable) {
+  // The adaptive detector adds RTT estimation, exponential backoff and
+  // jitter to the timing path — all seeded. Identical seeds under an
+  // identical lossy profile must still reproduce the schedule, the oracle
+  // outcomes and the full metric snapshot bit-for-bit.
+  ChaosProfile profile;
+  profile.base_loss = 0.05;
+  profile.adaptive = true;
+  ChaosRoundResult a = run_chaos_round(19, millis(1500), 5, profile);
+  ChaosRoundResult b = run_chaos_round(19, millis(1500), 5, profile);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.false_removals, b.false_removals);
+  EXPECT_EQ(a.true_removals, b.true_removals);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+TEST(ChaosMetrics, AdaptiveInstrumentsAppearInMergedSnapshot) {
+  // The failure-detection instruments must flow through the merged
+  // raincore.bench.v1 snapshot: oracle counters from the harness, RTT/RTO/
+  // health from every node's transport, probation from every session.
+  ChaosProfile profile;
+  profile.base_loss = 0.03;
+  profile.adaptive = true;
+  ChaosRoundResult res = run_chaos_round(21, millis(1500), 5, profile);
+  const auto& c = res.metrics.counters;
+  EXPECT_TRUE(c.count("session.false_removals"));
+  EXPECT_TRUE(c.count("session.true_removals"));
+  EXPECT_TRUE(c.count("session.probation_retries"));
+  EXPECT_TRUE(c.count("session.probation_saves"));
+  ASSERT_TRUE(c.count("transport.rtt_samples"));
+  EXPECT_GT(c.at("transport.rtt_samples"), 0u);
+  EXPECT_TRUE(c.count("transport.recv.stale_epoch"));
+  EXPECT_TRUE(res.metrics.gauges.count("transport.rto_current_ns"));
+  EXPECT_TRUE(res.metrics.gauges.count("transport.link_health"));
+  EXPECT_TRUE(res.metrics.histograms.count("session.detection_latency_ns"));
+  // Oracle counters mirror the result fields.
+  EXPECT_EQ(c.at("session.false_removals"), res.false_removals);
+  EXPECT_EQ(c.at("session.true_removals"), res.true_removals);
+}
+
 TEST(ChaosMetrics, ReservoirOccupancyIsBoundedAcrossRoundLengths) {
   // Histogram memory must be flat: quadrupling the soak length cannot grow
   // reservoir occupancy beyond the fixed per-instrument capacities.

@@ -321,6 +321,59 @@ TEST(SessionFailureMetrics, RemovalCountMatchesInjectedCrashesAndFodFired) {
       << "the removal must have been detected via failure-on-delivery";
 }
 
+TEST(SessionFailureMetrics, ProbationSavesDegradedPeerFromFalseRemoval) {
+  // A short total blackout toward one live node makes a token pass fail.
+  // With the adaptive detector the sender puts the successor on probation —
+  // the peer was heard from within the probation window, so it looks
+  // degraded rather than dead — and retries the pass instead of removing
+  // it. After the blackout lifts, the retried pass lands: membership never
+  // shrinks and a probation save is recorded.
+  session::SessionConfig cfg;
+  cfg.transport.adaptive = true;
+  cfg.probation_passes = 2;
+  TestCluster c({1, 2, 3, 4}, cfg);
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4}, seconds(10)));
+  c.run(millis(200));  // prime the RTT estimators ring-wide
+
+  auto total = [&](auto&& get) {
+    std::uint64_t s = 0;
+    for (NodeId id : c.ids()) s += get(c.node(id));
+    return s;
+  };
+  auto removals = [](session::SessionNode& n) {
+    return n.stats().removals.value();
+  };
+  auto saves = [](session::SessionNode& n) {
+    return n.stats().probation_saves.value();
+  };
+  ASSERT_EQ(total(removals), 0u);
+
+  // Blackout longer than one failure-detection bound (so a pass failure
+  // definitely fires) but well inside the probation window (2x the bound).
+  // The bound that matters is the ring predecessor's — it is the node whose
+  // pass to 3 fails, and the only one with live RTT samples for that link.
+  const auto ring = c.node(3).view().members;
+  NodeId pred = kInvalidNode;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    if (ring[(i + 1) % ring.size()] == 3) pred = ring[i];
+  }
+  ASSERT_NE(pred, kInvalidNode);
+  const Time fdb = c.node(pred).transport().failure_detection_bound(3);
+  for (NodeId other : std::vector<NodeId>{1, 2, 4}) {
+    c.net().set_link_up(other, 3, false);
+  }
+  c.run(fdb + fdb / 2);
+  for (NodeId other : std::vector<NodeId>{1, 2, 4}) {
+    c.net().set_link_up(other, 3, true);
+  }
+  c.run(seconds(1));
+
+  EXPECT_GE(total(saves), 1u) << "no probation retry rescued the pass";
+  EXPECT_EQ(total(removals), 0u) << "live node removed despite probation";
+  ASSERT_TRUE(c.run_until_converged({1, 2, 3, 4}, seconds(5)));
+}
+
 TEST(SessionFailureMetrics, DenialCounterCountsRefused911s) {
   // A healthy member refuses token-recovery requests carrying an older
   // token copy; each refusal increments "session.911.denials" exactly once.

@@ -1,8 +1,14 @@
 // Raincore Transport Service: atomic ack'd delivery, retransmission,
-// duplicate suppression, failure-on-delivery, multi-address strategies.
+// duplicate suppression, failure-on-delivery, multi-address strategies,
+// adaptive failure detection (RTT estimation, backoff with jitter,
+// link-health steering, per-peer state pruning).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "net/sim_network.h"
+#include "transport/link_health.h"
+#include "transport/rtt_estimator.h"
 #include "transport/transport.h"
 
 namespace raincore {
@@ -315,6 +321,214 @@ TEST(TransportTest, ParallelStrategyDoesNotDuplicateDeliveries) {
   }
   net.loop().run_for(seconds(1));
   EXPECT_EQ(p.received.size(), 20u);
+}
+
+TEST(RttEstimatorTest, JacobsonKarelsMathAndClamping) {
+  transport::RtoBounds b;  // fallback 50 ms, clamp [5 ms, 400 ms]
+  transport::RttEstimator e;
+  EXPECT_FALSE(e.has_sample());
+  EXPECT_EQ(e.rto(b), millis(50));  // fallback until the first sample
+
+  e.sample(millis(10));  // SRTT = R, RTTVAR = R/2
+  EXPECT_EQ(e.srtt(), millis(10));
+  EXPECT_EQ(e.rttvar(), millis(5));
+  EXPECT_EQ(e.rto(b), millis(30));  // 10 + 4*5
+
+  e.sample(millis(20));  // RTTVAR = 3/4*5 + 1/4*|10-20|, SRTT = 7/8*10 + 1/8*20
+  EXPECT_EQ(e.srtt(), micros(11250));
+  EXPECT_EQ(e.rttvar(), micros(6250));
+  EXPECT_EQ(e.rto(b), micros(36250));
+
+  transport::RttEstimator fast;  // a very fast link clamps up to min_rto
+  fast.sample(micros(100));
+  EXPECT_EQ(fast.rto(b), millis(5));
+
+  transport::RttEstimator slow;  // a very slow link clamps down to max_rto
+  slow.sample(millis(500));
+  EXPECT_EQ(slow.rto(b), millis(400));
+}
+
+TEST(LinkHealthTest, EwmaScoresRankingAndTies) {
+  transport::LinkHealth h;
+  EXPECT_DOUBLE_EQ(h.score(2, 0), 1.0);  // unknown links are optimistic
+  EXPECT_EQ(h.best_iface(2, 2), 0u);     // tie breaks to the lowest index
+  h.on_timeout(2, 0);
+  EXPECT_DOUBLE_EQ(h.score(2, 0), 0.875);
+  EXPECT_EQ(h.best_iface(2, 2), 1u);
+  EXPECT_EQ(h.ranked(2, 2), (std::vector<std::uint8_t>{1, 0}));
+  for (int i = 0; i < 30; ++i) h.on_success(2, 0);
+  EXPECT_GT(h.score(2, 0), 0.95);  // recovers after sustained successes
+  h.forget(2);
+  EXPECT_EQ(h.tracked(), 0u);
+}
+
+TEST(TransportTest, AdaptiveScheduleIsSeedReplayable) {
+  // Two identical seeded runs with the adaptive detector (dynamic RTO +
+  // backoff + jitter) must produce identical delivery times and identical
+  // metric snapshots: all randomness comes from seeded streams.
+  auto run = [] {
+    SimNetConfig ncfg;
+    ncfg.seed = 77;
+    ncfg.default_drop = 0.3;
+    SimNetwork net(ncfg);
+    TransportConfig tcfg;
+    tcfg.adaptive = true;
+    tcfg.attempts_per_address = 10;
+    Pair p(net, tcfg);
+    std::vector<Time> delivered_at;
+    for (int i = 0; i < 10; ++i) {
+      p.t1.send(2, Bytes{static_cast<std::uint8_t>(i)},
+                [&](transport::TransferId, NodeId) {
+                  delivered_at.push_back(net.now());
+                });
+    }
+    net.loop().run_for(seconds(2));
+    return std::make_pair(delivered_at, p.t1.metrics().snapshot());
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(TransportTest, AdaptiveFailureBoundIsTrueUpperBound) {
+  // Prime the estimator with clean samples, kill the peer, then check the
+  // live bound actually covers the maximally backed-off attempt schedule.
+  SimNetwork net;
+  TransportConfig tcfg;
+  tcfg.adaptive = true;
+  tcfg.rto = millis(10);
+  tcfg.attempts_per_address = 4;
+  Pair p(net, tcfg, 2);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    p.t1.send(2, Bytes{1}, [&](transport::TransferId, NodeId) { ++done; });
+  }
+  net.loop().run_for(millis(200));
+  ASSERT_EQ(done, 5);
+  EXPECT_GT(p.t1.metrics().snapshot().counters.at("transport.rtt_samples"), 0u);
+
+  net.set_node_up(2, false);
+  const Time bound = p.t1.failure_detection_bound(2);
+  bool failed = false;
+  const Time start = net.now();
+  Time failed_at = 0;
+  p.t1.send(2, Bytes{2}, {}, [&](transport::TransferId, NodeId) {
+    failed = true;
+    failed_at = net.now();
+  });
+  net.loop().run_for(seconds(30));
+  ASSERT_TRUE(failed);
+  EXPECT_LE(failed_at - start, bound);
+  // The estimator-driven schedule starts near the measured RTT, so the
+  // failure fires far sooner than the worst-case clamp would suggest.
+  EXPECT_LT(failed_at - start, seconds(5));
+}
+
+TEST(TransportTest, ForgetPeerPrunesStateAndResyncsEpoch) {
+  SimNetwork net;
+  TransportConfig tcfg;
+  tcfg.adaptive = true;
+  Pair p(net, tcfg);
+  for (int i = 0; i < 5; ++i) p.t1.send(2, Bytes{static_cast<std::uint8_t>(i)});
+  net.loop().run_for(millis(100));
+  ASSERT_EQ(p.received.size(), 5u);
+  EXPECT_EQ(p.t1.send_peers_tracked(), 1u);
+  EXPECT_GT(p.t1.rtt().tracked(), 0u);
+  EXPECT_LT(p.t1.since_heard(2), millis(100));
+
+  p.t1.forget_peer(2);
+  EXPECT_EQ(p.t1.send_peers_tracked(), 0u);
+  EXPECT_EQ(p.t1.rtt().tracked(), 0u);
+  EXPECT_EQ(p.t1.link_health().tracked(), 0u);
+  EXPECT_EQ(p.t1.since_heard(2), std::numeric_limits<Time>::max());
+
+  // Re-contact restarts the sequence space under a fresh epoch: the
+  // receiver's old dedup window must not swallow the restarted stream.
+  int delivered = 0;
+  for (int i = 0; i < 5; ++i) {
+    p.t1.send(2, Bytes{static_cast<std::uint8_t>(10 + i)},
+              [&](transport::TransferId, NodeId) { ++delivered; });
+  }
+  net.loop().run_for(millis(100));
+  EXPECT_EQ(delivered, 5);
+  EXPECT_EQ(p.received.size(), 10u);  // exactly once across the forget
+}
+
+TEST(TransportTest, ForgetPeerSilentlyAbandonsInFlight) {
+  SimNetwork net;
+  TransportConfig tcfg;
+  tcfg.rto = millis(10);
+  tcfg.attempts_per_address = 3;
+  Pair p(net, tcfg);
+  net.set_node_up(2, false);
+  bool notified = false;
+  p.t1.send(2, Bytes{1},
+            [&](transport::TransferId, NodeId) { notified = true; },
+            [&](transport::TransferId, NodeId) { notified = true; });
+  net.loop().run_for(millis(5));
+  p.t1.forget_peer(2);
+  EXPECT_EQ(p.t1.in_flight(), 0u);
+  net.loop().run_for(seconds(1));
+  EXPECT_FALSE(notified) << "forgetting a peer is not a transfer failure";
+}
+
+TEST(TransportTest, SequentialStartsAtHealthiestAddressWhenAdaptive) {
+  SimNetwork net;
+  TransportConfig tcfg;
+  tcfg.adaptive = true;
+  tcfg.rto = millis(10);
+  tcfg.attempts_per_address = 2;
+  Pair p(net, tcfg, 2);
+  net.set_link_up(net::Address{1, 0}, net::Address{2, 0}, false);
+  // The first transfer walks addresses in index order (no health data yet),
+  // burning the attempt budget on the dead primary before failing over —
+  // and feeding the health table while doing so.
+  bool d1 = false;
+  p.t1.send(2, Bytes{1}, [&](transport::TransferId, NodeId) { d1 = true; });
+  net.loop().run_for(seconds(1));
+  ASSERT_TRUE(d1);
+  EXPECT_LT(p.t1.link_health().score(2, 0), 1.0);
+  EXPECT_EQ(p.t1.link_health().best_iface(2, 2), 1u);
+  // The next transfer starts at the healthy address: delivery is immediate,
+  // no RTO spent probing the dead primary.
+  bool d2 = false;
+  const Time start = net.now();
+  Time at = 0;
+  p.t1.send(2, Bytes{2}, [&](transport::TransferId, NodeId) {
+    d2 = true;
+    at = net.now();
+  });
+  net.loop().run_for(seconds(1));
+  ASSERT_TRUE(d2);
+  EXPECT_LT(at - start, millis(5));
+}
+
+TEST(TransportTest, AdaptiveStrategyEscalatesToAllLinksWhenDegraded) {
+  SimNetwork net;
+  TransportConfig tcfg;
+  tcfg.adaptive = true;
+  tcfg.strategy = SendStrategy::kAdaptive;
+  tcfg.rto = millis(10);
+  tcfg.attempts_per_address = 8;
+  Pair p(net, tcfg, 2);
+  // Healthy cluster: single-link delivery works.
+  bool d1 = false;
+  p.t1.send(2, Bytes{1}, [&](transport::TransferId, NodeId) { d1 = true; });
+  net.loop().run_for(millis(50));
+  ASSERT_TRUE(d1);
+  // Cut the preferred link. Timeouts degrade its score below the
+  // escalation threshold, after which attempts fan out to every link and
+  // the survivor delivers all transfers.
+  net.set_link_up(net::Address{1, 0}, net::Address{2, 0}, false);
+  int done = 0;
+  for (int i = 0; i < 6; ++i) {
+    p.t1.send(2, Bytes{static_cast<std::uint8_t>(i)},
+              [&](transport::TransferId, NodeId) { ++done; });
+  }
+  net.loop().run_for(seconds(10));
+  EXPECT_EQ(done, 6);
+  EXPECT_LT(p.t1.link_health().score(2, 0), tcfg.health_degraded_below);
 }
 
 TEST(TransportTest, MalformedDatagramIsIgnored) {
