@@ -84,10 +84,10 @@ Result run_hier(std::size_t n, std::size_t ring_size, Time hold) {
     if (ok && leaders == cfg.rings.size()) break;
   }
 
+  // Both rings share one transport per node — count it once.
   std::map<NodeId, std::uint64_t> ts_base;
   for (NodeId id : h.all_ids()) {
-    ts_base[id] = h.node(id).local_session().transport().task_switches().value() +
-                  h.node(id).global_session().transport().task_switches().value();
+    ts_base[id] = h.node(id).mux().transport().task_switches().value();
   }
   Time t0 = net.now();
 
@@ -108,9 +108,7 @@ Result run_hier(std::size_t n, std::size_t ring_size, Time hold) {
   double ts_sum = 0;
   for (NodeId id : h.all_ids()) {
     ts_sum += static_cast<double>(
-        h.node(id).local_session().transport().task_switches().value() +
-        h.node(id).global_session().transport().task_switches().value() -
-        ts_base[id]);
+        h.node(id).mux().transport().task_switches().value() - ts_base[id]);
   }
   Result r;
   r.p50_ms = latency.percentile(0.5) / 1e6;

@@ -35,6 +35,7 @@ run "$BUILD/bench/bench_latency" "--json=$TMP/bench_latency.json"
 run "$BUILD/bench/bench_network_overhead" \
     "--json=$TMP/bench_network_overhead.json"
 run "$BUILD/bench/bench_chaos" 3 1500 5 1 "--json=$TMP/bench_chaos.json"
+run "$BUILD/bench/bench_shard" "--json=$TMP/bench_shard.json"
 
 # Assemble: {"schema": "raincore.bench.suite.v1", "runs": {name: doc, ...}}
 {

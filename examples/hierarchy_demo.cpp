@@ -44,7 +44,6 @@ int main() {
 
   std::printf("== killing ring 0's leader (node 1) ==\n");
   net.set_node_up(1, false);
-  net.set_node_up(cfg.global_offset + 1, false);
   h.node(1).stop();
   net.loop().run_for(seconds(8));
   for (NodeId id : h.all_ids()) {

@@ -36,7 +36,8 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "== configure + build (ASAN) in $BUILD"
 cmake -B "$BUILD" -S "$ROOT" -DRAINCORE_ASAN=ON
-cmake --build "$BUILD" -j"$JOBS" --target bench_chaos wire_perf_test
+cmake --build "$BUILD" -j"$JOBS" --target bench_chaos wire_perf_test \
+    shard_test bench_shard bench_json_check
 
 echo "== chaos sweep: $ROUNDS rounds x ${MS}ms, $NODES nodes, seeds $SEED.."
 "$BUILD/bench/bench_chaos" "$ROUNDS" "$MS" "$NODES" "$SEED"
@@ -49,5 +50,9 @@ echo "== lossy-link soak: $SOAK_ROUNDS rounds x ${SOAK_MS}ms at ${SOAK_LOSS} los
 
 echo "== perf label under ASAN (allocation/copy budgets, encode-once)"
 ctest --test-dir "$BUILD" -L perf --output-on-failure
+
+echo "== shard label under ASAN (multi-ring runtime, sharded data plane," \
+     "25-seed multi-ring chaos sweep, bench_shard 2.5x scaling gate)"
+ctest --test-dir "$BUILD" -L shard --output-on-failure
 
 echo "== ci_check OK"

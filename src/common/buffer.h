@@ -23,9 +23,10 @@ using Bytes = std::vector<std::uint8_t>;
 
 /// Wire slack reserved by FrameBuilder around every session payload
 /// (sk_buff-style): enough headroom for the transport data header
-/// [type u8][epoch u32][seq u64] to be prepended in place and enough
-/// tailroom for the trailing FNV-1a u32 checksum to be appended in place.
-inline constexpr std::size_t kWireHeadroom = 13;
+/// [type u8][group u16][epoch u32][seq u64] to be prepended in place and
+/// enough tailroom for the trailing FNV-1a u32 checksum to be appended in
+/// place.
+inline constexpr std::size_t kWireHeadroom = 15;
 inline constexpr std::size_t kWireTailroom = 4;
 
 /// Process-wide cost accounting for the wire path: every layer that

@@ -32,22 +32,28 @@ std::string fmt(double v) {
 }  // namespace
 
 Counter& Registry::counter(const std::string& name) {
-  return counters_[name];
+  return counters_[prefix_ + name];
 }
 
-Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+Gauge& Registry::gauge(const std::string& name) {
+  return gauges_[prefix_ + name];
+}
 
 Histogram& Registry::histogram(const std::string& name, std::size_t capacity) {
-  auto it = histograms_.find(name);
+  std::string full = prefix_ + name;
+  auto it = histograms_.find(full);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(name, Histogram(capacity, name_seed(name))).first;
+    // Seed from the full (prefixed) name: two instances of one component
+    // keep independent, order-insensitive reservoirs.
+    it = histograms_.emplace(full, Histogram(capacity, name_seed(full))).first;
   }
   return it->second;
 }
 
 bool Registry::has(const std::string& name) const {
-  return counters_.count(name) || gauges_.count(name) ||
-         histograms_.count(name);
+  std::string full = prefix_ + name;
+  return counters_.count(full) || gauges_.count(full) ||
+         histograms_.count(full);
 }
 
 std::size_t Registry::reservoir_samples() const {

@@ -76,11 +76,19 @@ struct Snapshot {
 /// Single-loop registry of named instruments. References returned by
 /// counter()/gauge()/histogram() stay valid for the registry's lifetime
 /// (node-based map), so components bind them once at construction.
+///
+/// A registry may carry an instance prefix ("ring3.") prepended to every
+/// registered name, so two instances of the same component on one node
+/// (e.g. two session rings sharing a transport) keep distinct instruments
+/// when their snapshots are merged.
 class Registry {
  public:
   Registry() = default;
+  explicit Registry(std::string prefix) : prefix_(std::move(prefix)) {}
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
+
+  const std::string& prefix() const { return prefix_; }
 
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
@@ -101,6 +109,7 @@ class Registry {
   void reset();
 
  private:
+  std::string prefix_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

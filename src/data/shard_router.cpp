@@ -1,0 +1,161 @@
+#include "data/shard_router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace raincore::data {
+
+// ---------------------------------------------------------------------------
+// ShardRouter
+
+std::uint64_t ShardRouter::hash64(std::string_view data) {
+  // FNV-1a, 64-bit, plus a splitmix64 finalizer: raw FNV of similar short
+  // strings clusters in the high bits, which is exactly where ring-position
+  // ordering lives. The composite is a frozen contract of the key→shard
+  // mapping — every node must compute it identically.
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+ShardRouter::ShardRouter(std::size_t shards, std::size_t points_per_shard)
+    : shards_(shards) {
+  assert(shards > 0);
+  ring_.reserve(shards * points_per_shard);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t v = 0; v < points_per_shard; ++v) {
+      const std::string label =
+          "shard-" + std::to_string(s) + "#" + std::to_string(v);
+      ring_.emplace_back(hash64(label), static_cast<std::uint32_t>(s));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t ShardRouter::shard_of(std::string_view key) const {
+  if (shards_ == 1) return 0;
+  const std::uint64_t h = hash64(key);
+  // First virtual point at or after the key's position, wrapping at the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, std::uint32_t{0}));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedDataPlane
+
+ShardedDataPlane::ShardedDataPlane(session::SessionMux& mux,
+                                   std::size_t shards,
+                                   session::SessionConfig ring_cfg,
+                                   transport::MuxGroup base_group)
+    : mux_(mux), router_(shards) {
+  rings_.reserve(shards);
+  channels_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    session::SessionConfig cfg = ring_cfg;
+    cfg.metrics_prefix = "shard" + std::to_string(s) + ".";
+    auto group = static_cast<transport::MuxGroup>(base_group + s);
+    session::SessionNode& ring = mux_.create_ring(group, std::move(cfg));
+    rings_.push_back(&ring);
+    channels_.push_back(std::make_unique<ChannelMux>(ring));
+  }
+}
+
+void ShardedDataPlane::found_all() {
+  for (auto* ring : rings_) ring->found();
+}
+
+bool ShardedDataPlane::all_converged(std::size_t n) const {
+  for (auto* ring : rings_) {
+    if (ring->view().members.size() != n) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedMap
+
+ShardedMap::ShardedMap(ShardedDataPlane& plane, Channel channel)
+    : plane_(plane) {
+  shards_.reserve(plane_.shard_count());
+  for (std::size_t s = 0; s < plane_.shard_count(); ++s) {
+    shards_.push_back(
+        std::make_unique<ReplicatedMap>(plane_.channels(s), channel));
+  }
+}
+
+void ShardedMap::put(const std::string& key, const std::string& value) {
+  shards_[plane_.router().shard_of(key)]->put(key, value);
+}
+
+void ShardedMap::erase(const std::string& key) {
+  shards_[plane_.router().shard_of(key)]->erase(key);
+}
+
+std::optional<std::string> ShardedMap::get(const std::string& key) const {
+  return shards_[plane_.router().shard_of(key)]->get(key);
+}
+
+bool ShardedMap::contains(const std::string& key) const {
+  return shards_[plane_.router().shard_of(key)]->contains(key);
+}
+
+std::size_t ShardedMap::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->size();
+  return n;
+}
+
+bool ShardedMap::synced() const {
+  for (const auto& s : shards_) {
+    if (!s->synced()) return false;
+  }
+  return true;
+}
+
+void ShardedMap::set_change_handler(ReplicatedMap::ChangeFn fn) {
+  for (auto& s : shards_) s->set_change_handler(fn);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedLockManager
+
+ShardedLockManager::ShardedLockManager(ShardedDataPlane& plane,
+                                       Channel channel)
+    : plane_(plane) {
+  shards_.reserve(plane_.shard_count());
+  for (std::size_t s = 0; s < plane_.shard_count(); ++s) {
+    shards_.push_back(
+        std::make_unique<LockManager>(plane_.channels(s), channel));
+  }
+}
+
+void ShardedLockManager::acquire(const std::string& name,
+                                 LockManager::GrantFn on_granted) {
+  shards_[plane_.router().shard_of(name)]->acquire(name, std::move(on_granted));
+}
+
+void ShardedLockManager::release(const std::string& name) {
+  shards_[plane_.router().shard_of(name)]->release(name);
+}
+
+bool ShardedLockManager::held_by_me(const std::string& name) const {
+  return shards_[plane_.router().shard_of(name)]->held_by_me(name);
+}
+
+std::optional<NodeId> ShardedLockManager::owner(const std::string& name) const {
+  return shards_[plane_.router().shard_of(name)]->owner(name);
+}
+
+std::size_t ShardedLockManager::waiters(const std::string& name) const {
+  return shards_[plane_.router().shard_of(name)]->waiters(name);
+}
+
+}  // namespace raincore::data

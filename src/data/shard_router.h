@@ -1,0 +1,129 @@
+// Sharded data plane: consistent-hash routing of keys, locks and channels
+// across K Raincore rings riding one shared transport (session/session_mux.h).
+//
+// One ring serialises all agreed traffic through a single circulating token,
+// so a node's data throughput is capped by one token's carrying capacity no
+// matter how fast the links are. Sharding runs K independent tokens over the
+// same member set — each key/lock deterministically owned by exactly one
+// shard — so aggregate throughput scales with K while every per-shard
+// guarantee (agreed total order, FIFO, view synchrony) is preserved for the
+// keys that land on that shard. Cross-shard total order is deliberately not
+// promised; that is the classical sharding trade.
+//
+// The ShardRouter is a plain consistent-hash ring (FNV-1a points, ~dozens of
+// virtual points per shard) so shard counts can differ between deployments
+// without remapping every key, and so the assignment is a pure function of
+// the key — every node routes identically with no coordination.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "data/channel_mux.h"
+#include "data/lock_manager.h"
+#include "data/replicated_map.h"
+#include "session/session_mux.h"
+
+namespace raincore::data {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t shards, std::size_t points_per_shard = 128);
+
+  /// Deterministic shard for a key — identical on every node, no state.
+  std::size_t shard_of(std::string_view key) const;
+  std::size_t shard_count() const { return shards_; }
+
+  static std::uint64_t hash64(std::string_view data);
+
+ private:
+  std::size_t shards_;
+  /// Sorted virtual points: (hash position, shard index).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+/// Per-node bundle of K shard rings on one SessionMux: creates rings on
+/// groups base..base+K-1 (metrics prefixes "shard<k>.") and wraps each in a
+/// ChannelMux for the data services. The mux must outlive the plane.
+class ShardedDataPlane {
+ public:
+  ShardedDataPlane(session::SessionMux& mux, std::size_t shards,
+                   session::SessionConfig ring_cfg,
+                   transport::MuxGroup base_group = 0);
+
+  std::size_t shard_count() const { return router_.shard_count(); }
+  const ShardRouter& router() const { return router_; }
+  session::SessionNode& ring(std::size_t shard) { return *rings_.at(shard); }
+  ChannelMux& channels(std::size_t shard) { return *channels_.at(shard); }
+
+  /// Founds every shard ring (each discovers peers independently).
+  void found_all();
+  /// True when every shard ring's view has exactly n members.
+  bool all_converged(std::size_t n) const;
+
+ private:
+  session::SessionMux& mux_;
+  ShardRouter router_;
+  std::vector<session::SessionNode*> rings_;
+  std::vector<std::unique_ptr<ChannelMux>> channels_;
+};
+
+/// Replicated map partitioned across the plane's shards: put/erase/get route
+/// by key through the ShardRouter; each partition is a full ReplicatedMap on
+/// its own ring, so mutations of keys on different shards ride different
+/// tokens concurrently.
+class ShardedMap {
+ public:
+  ShardedMap(ShardedDataPlane& plane, Channel channel);
+
+  void put(const std::string& key, const std::string& value);
+  void erase(const std::string& key);
+  std::optional<std::string> get(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Sum of all partition sizes (local, no coordination).
+  std::size_t size() const;
+  /// True once every partition replica is synced.
+  bool synced() const;
+
+  /// Fires for mutations on any shard (partition order within a shard,
+  /// no order promise across shards).
+  void set_change_handler(ReplicatedMap::ChangeFn fn);
+
+  ReplicatedMap& shard(std::size_t i) { return *shards_.at(i); }
+  std::size_t shard_of(const std::string& key) const {
+    return plane_.router().shard_of(key);
+  }
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  ShardedDataPlane& plane_;
+  std::vector<std::unique_ptr<ReplicatedMap>> shards_;
+};
+
+/// Lock manager partitioned across the plane's shards by lock name. Each
+/// partition is a full LockManager on its own ring: acquisitions of locks on
+/// different shards don't contend for the same token.
+class ShardedLockManager {
+ public:
+  ShardedLockManager(ShardedDataPlane& plane, Channel channel);
+
+  void acquire(const std::string& name, LockManager::GrantFn on_granted = {});
+  void release(const std::string& name);
+  bool held_by_me(const std::string& name) const;
+  std::optional<NodeId> owner(const std::string& name) const;
+  std::size_t waiters(const std::string& name) const;
+
+  LockManager& shard(std::size_t i) { return *shards_.at(i); }
+  std::size_t shard_of(const std::string& name) const {
+    return plane_.router().shard_of(name);
+  }
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  ShardedDataPlane& plane_;
+  std::vector<std::unique_ptr<LockManager>> shards_;
+};
+
+}  // namespace raincore::data

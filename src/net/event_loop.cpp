@@ -6,6 +6,7 @@ TimerId EventLoop::schedule_at(Time when, EventFn fn) {
   if (when < now()) when = now();
   TimerId id = next_id_++;
   queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
   return id;
 }
 
@@ -18,6 +19,7 @@ bool EventLoop::step() {
     }
     Event ev{top.when, top.seq, top.id, std::move(const_cast<Event&>(top).fn)};
     queue_.pop();
+    live_.erase(ev.id);
     clock_.advance_to(ev.when);
     ev.fn();
     return true;
@@ -35,6 +37,7 @@ void EventLoop::run_until(Time deadline) {
     if (top.when > deadline) break;
     Event ev{top.when, top.seq, top.id, std::move(const_cast<Event&>(top).fn)};
     queue_.pop();
+    live_.erase(ev.id);
     clock_.advance_to(ev.when);
     ev.fn();
   }

@@ -36,8 +36,11 @@ class EventLoop {
   /// Schedules fn at an absolute instant (clamped to now()).
   TimerId schedule_at(Time when, EventFn fn);
 
-  /// Cancels a pending event; no-op if it already ran or was cancelled.
-  void cancel(TimerId id) { cancelled_.insert(id); }
+  /// Cancels a pending event; no-op if it already ran, was cancelled, or
+  /// never existed (stale ids must not poison the pending() accounting).
+  void cancel(TimerId id) {
+    if (live_.erase(id) > 0) cancelled_.insert(id);
+  }
 
   /// Runs events until the queue is empty or the virtual clock would pass
   /// `deadline`. The clock is left at min(deadline, last event time).
@@ -50,7 +53,7 @@ class EventLoop {
   bool step();
 
   bool idle() const;
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::size_t pending() const { return live_.size(); }
 
  private:
   struct Event {
@@ -68,6 +71,7 @@ class EventLoop {
 
   ManualClock clock_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TimerId> live_;  // scheduled, not yet run or cancelled
   std::unordered_set<TimerId> cancelled_;
   std::uint64_t next_seq_ = 0;
   TimerId next_id_ = 1;

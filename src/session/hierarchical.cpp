@@ -13,29 +13,32 @@ constexpr const char* kMod = "hierarchy";
 SessionConfig local_config(const HierarchyConfig& cfg, int ring) {
   SessionConfig s = cfg.session;
   s.eligible = cfg.rings.at(static_cast<std::size_t>(ring));
+  s.metrics_prefix = "local.";
   return s;
 }
 
 SessionConfig global_config(const HierarchyConfig& cfg) {
   SessionConfig s = cfg.session;
   s.eligible.clear();
+  // The global ring runs over the same transport endpoints as the local
+  // rings — its eligible set is the real node ids, demuxed by group.
   for (const auto& ring : cfg.rings) {
-    for (NodeId n : ring) s.eligible.push_back(cfg.global_offset + n);
+    for (NodeId n : ring) s.eligible.push_back(n);
   }
+  s.metrics_prefix = "global.";
   return s;
 }
 }  // namespace
 
-HierarchicalNode::HierarchicalNode(net::NodeEnv& local_env,
-                                   net::NodeEnv& global_env,
-                                   HierarchyConfig cfg)
+HierarchicalNode::HierarchicalNode(net::NodeEnv& env, HierarchyConfig cfg)
     : cfg_(std::move(cfg)),
-      my_ring_(cfg_.ring_of(local_env.node())),
-      env_(local_env),
-      local_(local_env, local_config(cfg_, my_ring_)),
-      global_(global_env, global_config(cfg_)) {
+      my_ring_(cfg_.ring_of(env.node())),
+      env_(env),
+      mux_(env, cfg_.session.transport),
+      local_(mux_.create_ring(kLocalGroup, local_config(cfg_, my_ring_))),
+      global_(mux_.create_ring(kGlobalGroup, global_config(cfg_))) {
   assert(my_ring_ >= 0 && "node is not in any configured ring");
-  incarnation_ = static_cast<std::uint32_t>(local_env.rng().next_u64());
+  incarnation_ = static_cast<std::uint32_t>(env_.rng().next_u64());
 
   local_.set_deliver_handler(
       [this](NodeId, const Slice& payload, Ordering) { on_local_deliver(payload); });
@@ -47,7 +50,8 @@ HierarchicalNode::HierarchicalNode(net::NodeEnv& local_env,
 void HierarchicalNode::start() {
   assert(!started_);
   started_ = true;
-  incarnation_ = static_cast<std::uint32_t>(local_.transport().env().rng().next_u64());
+  incarnation_ = static_cast<std::uint32_t>(env_.rng().next_u64());
+  mux_.set_enabled(true);
   // Every node founds a singleton; BODYODOR discovery merges the ring.
   local_.found();
 }
@@ -55,8 +59,10 @@ void HierarchicalNode::start() {
 void HierarchicalNode::stop() {
   started_ = false;
   if (grace_timer_) env_.cancel(grace_timer_), grace_timer_ = 0;
-  if (global_.started()) global_.stop();
-  local_.stop();
+  // Crash-stop the whole node: both rings AND the shared transport. A
+  // stopped ring over a still-enabled transport would keep acking frames,
+  // so peers' token passes would succeed and they would never remove us.
+  mux_.set_enabled(false);
   leader_ = false;
 }
 
@@ -171,10 +177,8 @@ HierarchyHarness::HierarchyHarness(net::SimNetwork& net, HierarchyConfig cfg)
     : cfg_(std::move(cfg)) {
   for (const auto& ring : cfg_.rings) {
     for (NodeId n : ring) {
-      auto& local_env = net.add_node(n);
-      auto& global_env = net.add_node(cfg_.global_offset + n);
-      nodes_[n] =
-          std::make_unique<HierarchicalNode>(local_env, global_env, cfg_);
+      auto& env = net.add_node(n);
+      nodes_[n] = std::make_unique<HierarchicalNode>(env, cfg_);
     }
   }
 }

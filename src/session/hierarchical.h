@@ -4,10 +4,13 @@
 //
 // Nodes are statically partitioned into local token rings. The lowest-id
 // live member of each ring is its *leader* and additionally participates in
-// a global ring (a second Raincore session in a disjoint logical id space —
-// on real deployments, a second UDP port on the same machine). Multicasts
-// travel: local ring → leader → global ring → other leaders → their local
-// rings. Leadership fails over automatically with local membership.
+// a global ring. Both rings are groups on one shared-transport SessionMux:
+// one endpoint (one UDP port on real deployments), one failure detector,
+// one set of per-peer RTT/health state — the global ring is demuxed by the
+// wire header's group id instead of running a second stack in a disjoint
+// logical id space. Multicasts travel: local ring → leader → global ring →
+// other leaders → their local rings. Leadership fails over automatically
+// with local membership.
 //
 // Ordering: FIFO per origin across the whole hierarchy, agreed (total)
 // order within each ring's deliveries of its local traffic. Global total
@@ -21,7 +24,7 @@
 #include <set>
 
 #include "net/sim_network.h"
-#include "session/session_node.h"
+#include "session/session_mux.h"
 
 namespace raincore::session {
 
@@ -30,8 +33,6 @@ struct HierarchyConfig {
   std::vector<std::vector<NodeId>> rings;
   /// Session parameters used for both the local and the global ring.
   SessionConfig session;
-  /// Logical id offset for the global ring's id space.
-  NodeId global_offset = 1u << 20;
   /// Leadership must be held this long before the node joins the global
   /// ring. During bootstrap every node transiently leads its own singleton
   /// ring; without the grace period all of them would found global
@@ -50,14 +51,16 @@ struct HierarchyConfig {
 
 class HierarchicalNode {
  public:
+  /// Demux groups of the two rings on the shared transport.
+  static constexpr transport::MuxGroup kLocalGroup = 0;
+  static constexpr transport::MuxGroup kGlobalGroup = 1;
+
   /// Payload slices alias the local ring's token frame (zero-copy).
   using DeliverFn = std::function<void(NodeId origin, const Slice& payload)>;
 
-  /// `local_env` carries the local ring's traffic; `global_env` (a second
-  /// logical endpoint of the same machine) carries the global ring's and is
-  /// only active while this node is its ring's leader.
-  HierarchicalNode(net::NodeEnv& local_env, net::NodeEnv& global_env,
-                   HierarchyConfig cfg);
+  /// One endpoint per node: both the local and the (leader-only) global
+  /// ring ride `env` through a shared-transport SessionMux.
+  HierarchicalNode(net::NodeEnv& env, HierarchyConfig cfg);
   ~HierarchicalNode() { stop(); }  // cancels the grace timer's `this` capture
 
   /// Starts the local session (founding or joining its ring peers).
@@ -78,6 +81,8 @@ class HierarchicalNode {
   const View& global_view() const { return global_.view(); }
   SessionNode& local_session() { return local_; }
   SessionNode& global_session() { return global_; }
+  /// The shared runtime both rings ride (one transport, one detector).
+  SessionMux& mux() { return mux_; }
 
   /// Named views into the hierarchy registry ("hier.*" instruments).
   struct Stats {
@@ -113,8 +118,9 @@ class HierarchicalNode {
   HierarchyConfig cfg_;
   int my_ring_;
   net::NodeEnv& env_;
-  SessionNode local_;
-  SessionNode global_;
+  SessionMux mux_;
+  SessionNode& local_;   ///< mux ring on kLocalGroup
+  SessionNode& global_;  ///< mux ring on kGlobalGroup (active while leading)
   bool leader_ = false;
   bool started_ = false;
   net::TimerId grace_timer_ = 0;

@@ -1,0 +1,76 @@
+#include "session/session_mux.h"
+
+#include <cassert>
+#include <string>
+
+#include "common/log.h"
+
+namespace raincore::session {
+
+namespace {
+constexpr const char* kMod = "mux";
+}  // namespace
+
+SessionMux::SessionMux(net::NodeEnv& env, transport::TransportConfig tcfg)
+    : env_(env), transport_(env, tcfg) {
+  // One detection, N membership updates: every failure-on-delivery the
+  // shared transport observes — whichever ring's transfer surfaced it —
+  // becomes a suspicion stamp on every ring that knows the peer. Each ring
+  // then double-checks freshness and global silence before removing.
+  transport_.set_failure_observer([this](NodeId peer) {
+    for (auto& [g, node] : rings_) node->note_peer_suspect(peer);
+  });
+}
+
+SessionMux::~SessionMux() {
+  // Rings unregister their group handlers in their destructors; drop them
+  // before the transport member goes away beneath them.
+  rings_.clear();
+}
+
+SessionNode& SessionMux::create_ring(transport::MuxGroup group,
+                                     SessionConfig cfg) {
+  assert(rings_.find(group) == rings_.end() && "group already has a ring");
+  if (cfg.metrics_prefix.empty()) {
+    cfg.metrics_prefix = "ring" + std::to_string(group) + ".";
+  }
+  auto node = std::make_unique<SessionNode>(transport_, group, std::move(cfg));
+  SessionNode& ref = *node;
+  rings_.emplace(group, std::move(node));
+  RC_INFO(kMod, "node %u: ring created on group %u (%zu rings share transport)",
+          transport_.node(), static_cast<unsigned>(group), rings_.size());
+  return ref;
+}
+
+void SessionMux::destroy_ring(transport::MuxGroup group) {
+  rings_.erase(group);
+}
+
+SessionNode* SessionMux::ring(transport::MuxGroup group) {
+  auto it = rings_.find(group);
+  return it != rings_.end() ? it->second.get() : nullptr;
+}
+
+const SessionNode* SessionMux::ring(transport::MuxGroup group) const {
+  auto it = rings_.find(group);
+  return it != rings_.end() ? it->second.get() : nullptr;
+}
+
+void SessionMux::set_enabled(bool enabled) {
+  if (!enabled) {
+    for (auto& [g, node] : rings_) node->stop();
+    transport_.set_enabled(false);
+  } else {
+    transport_.set_enabled(true);
+    // Rings stay stopped: the harness decides how each one comes back
+    // (found as a new incarnation, or join via contacts).
+  }
+}
+
+metrics::Snapshot SessionMux::metrics_snapshot() const {
+  metrics::Snapshot s = transport_.metrics().snapshot();
+  for (const auto& [g, node] : rings_) s.merge(node->metrics().snapshot());
+  return s;
+}
+
+}  // namespace raincore::session

@@ -1,0 +1,71 @@
+// Multi-session runtime: N Raincore rings over one shared transport.
+//
+// A SessionMux owns a single ReliableTransport on a single NodeEnv — one
+// UDP port, one per-peer dedup window, one set of RTT/link-health/failure-
+// detection state — and any number of SessionNode rings riding it, each on
+// its own wire demux group. Inbound frames route to their ring by the
+// group id in the transport header; failure-on-delivery events observed by
+// any ring fan out to every ring the peer belongs to (one detection, N
+// membership updates), via SessionNode::note_peer_suspect.
+//
+// This is the substrate for both the hierarchical ring (the leader's
+// global ring is just another group on the same stack — no second UDP
+// port, no second detector) and the sharded data plane (K rings scale
+// aggregate multicast throughput; see data/shard_router.h).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "session/session_node.h"
+
+namespace raincore::session {
+
+class SessionMux {
+ public:
+  explicit SessionMux(net::NodeEnv& env, transport::TransportConfig tcfg = {});
+  SessionMux(const SessionMux&) = delete;
+  SessionMux& operator=(const SessionMux&) = delete;
+  ~SessionMux();
+
+  /// Creates the ring for `group` (one per group id). When the config has
+  /// no metrics prefix, "ring<group>." is applied so N rings on this node
+  /// register distinct "session.*" instruments. The ring is owned by the
+  /// mux and valid for the mux's lifetime.
+  SessionNode& create_ring(transport::MuxGroup group, SessionConfig cfg = {});
+
+  /// Destroys a ring and unregisters its demux group.
+  void destroy_ring(transport::MuxGroup group);
+
+  SessionNode* ring(transport::MuxGroup group);
+  const SessionNode* ring(transport::MuxGroup group) const;
+  std::size_t ring_count() const { return rings_.size(); }
+
+  /// Applies fn to every ring, in ascending group order.
+  template <typename Fn>
+  void for_each_ring(Fn&& fn) {
+    for (auto& [g, node] : rings_) fn(g, *node);
+  }
+
+  /// Node-level crash-stop: stops every ring and disables the shared
+  /// transport (to peers this node is dead); enable restores the transport
+  /// so rings can be re-found as fresh incarnations.
+  void set_enabled(bool enabled);
+  bool enabled() const { return transport_.enabled(); }
+
+  transport::ReliableTransport& transport() { return transport_; }
+  const transport::ReliableTransport& transport() const { return transport_; }
+  net::NodeEnv& env() { return env_; }
+  NodeId node() const { return transport_.node(); }
+
+  /// Merged snapshot of the shared transport and every ring's (prefixed)
+  /// session instruments — the whole node's runtime in one document.
+  metrics::Snapshot metrics_snapshot() const;
+
+ private:
+  net::NodeEnv& env_;
+  transport::ReliableTransport transport_;
+  std::map<transport::MuxGroup, std::unique_ptr<SessionNode>> rings_;
+};
+
+}  // namespace raincore::session

@@ -1,3 +1,9 @@
+// SessionNode node-level plumbing: construction and transport binding
+// (owned stack or shared SessionMux transport), lifecycle (found / join /
+// leave / stop), public group-communication services, message dispatch and
+// protocol timers. The ring protocol engine itself — token handling, 911
+// recovery, discovery/merge, suspicion processing — lives in
+// session_ring.cpp.
 #include "session/session_node.h"
 
 #include <cassert>
@@ -8,12 +14,6 @@ namespace raincore::session {
 
 namespace {
 constexpr const char* kMod = "session";
-constexpr std::size_t kMaxLineagesTracked = 64;
-/// Delivery watermarks retained per origin across its crash-restarts. Old
-/// incarnations must stay suppressible for as long as token regeneration
-/// can resurrect their messages; a handful is plenty — an incarnation's
-/// messages retire within one or two token rounds of their last attach.
-constexpr std::size_t kMaxIncarnationsPerOrigin = 8;
 }  // namespace
 
 Histogram& SessionNode::dwell_hist(State s) {
@@ -38,14 +38,40 @@ void SessionNode::set_state(State s, const char* why) {
 }
 
 SessionNode::SessionNode(net::NodeEnv& env, SessionConfig cfg)
-    : env_(env), cfg_(std::move(cfg)), transport_(env, cfg.transport) {
+    : env_(env),
+      cfg_(std::move(cfg)),
+      owned_transport_(
+          std::make_unique<transport::ReliableTransport>(env, cfg_.transport)),
+      transport_(*owned_transport_) {
   incarnation_ = static_cast<std::uint32_t>(env_.rng().next_u64());
   eligible_.insert(cfg_.eligible.begin(), cfg_.eligible.end());
-  transport_.set_message_handler(
-      [this](NodeId src, Slice payload) { on_transport_message(src, std::move(payload)); });
+  transport_.set_group_handler(group_, [this](NodeId src, Slice payload) {
+    on_transport_message(src, std::move(payload));
+  });
 }
 
-SessionNode::~SessionNode() { stop(); }
+SessionNode::SessionNode(transport::ReliableTransport& shared,
+                         transport::MuxGroup group, SessionConfig cfg)
+    : env_(shared.env()),
+      cfg_(std::move(cfg)),
+      transport_(shared),
+      group_(group) {
+  // The shared stack's configuration is authoritative (one detector, one
+  // retry schedule); mirror it so introspection through config() agrees.
+  cfg_.transport = transport_.config();
+  incarnation_ = static_cast<std::uint32_t>(env_.rng().next_u64());
+  eligible_.insert(cfg_.eligible.begin(), cfg_.eligible.end());
+  transport_.set_group_handler(group_, [this](NodeId src, Slice payload) {
+    on_transport_message(src, std::move(payload));
+  });
+}
+
+SessionNode::~SessionNode() {
+  stop();
+  // A shared transport outlives this ring: drop the handler so no frame
+  // routes into a destroyed object.
+  if (!owns_transport()) transport_.set_group_handler(group_, nullptr);
+}
 
 // --- Lifecycle ---------------------------------------------------------------
 
@@ -76,6 +102,7 @@ void SessionNode::reset_protocol_state() {
   next_safe_seq_ = 0;
   probation_peer_ = kInvalidNode;
   probation_left_ = 0;
+  suspects_.clear();
   last_token_rx_ = -1;
   state_since_ = env_.now();
   incarnation_ = static_cast<std::uint32_t>(env_.rng().next_u64());
@@ -86,7 +113,9 @@ void SessionNode::found() {
   reset_protocol_state();
   started_ = true;
   leaving_ = false;
-  transport_.set_enabled(true);
+  // A shared transport's enablement is node-level state owned by the
+  // SessionMux; only a node that owns its stack toggles it.
+  if (owns_transport()) transport_.set_enabled(true);
   Token t;
   t.lineage = env_.rng().next_u64();
   t.seq = 1;
@@ -104,7 +133,7 @@ void SessionNode::join(std::vector<NodeId> contacts) {
   reset_protocol_state();
   started_ = true;
   leaving_ = false;
-  transport_.set_enabled(true);
+  if (owns_transport()) transport_.set_enabled(true);
   set_state(State::kHungry, "join");
   join_contacts_ = std::move(contacts);
   join_contact_idx_ = 0;
@@ -118,7 +147,7 @@ void SessionNode::send_join_request() {
   // retried round-robin across contacts until a token arrives.
   NodeId contact = join_contacts_[join_contact_idx_++ % join_contacts_.size()];
   Msg911 m{id(), 0, last_copy_.seq};
-  transport_.send(contact, encode_911(m));
+  transport_.send_on(group_, contact, encode_911(m));
   join_timer_ = env_.schedule(cfg_.join_retry, [this] {
     join_timer_ = 0;
     send_join_request();
@@ -141,7 +170,7 @@ void SessionNode::complete_leave() {
     token_.remove(id());
     token_.view_id++;
     token_.seq++;
-    transport_.send(succ, encode_token_msg(token_));
+    transport_.send_on(group_, succ, encode_token_msg(token_));
   }
   stop();
 }
@@ -156,7 +185,9 @@ void SessionNode::stop() {
   if (bodyodor_timer_) env_.cancel(bodyodor_timer_), bodyodor_timer_ = 0;
   if (starving_timer_) env_.cancel(starving_timer_), starving_timer_ = 0;
   if (join_timer_) env_.cancel(join_timer_), join_timer_ = 0;
-  transport_.set_enabled(false);
+  // Crash-stopping one ring must not silence its siblings on a shared
+  // transport; SessionMux::set_enabled covers whole-node crash-stop.
+  if (owns_transport()) transport_.set_enabled(false);
 }
 
 void SessionNode::set_eligible(std::vector<NodeId> eligible) {
@@ -182,7 +213,7 @@ void SessionNode::submit_open(NodeId member, Slice payload) {
   FrameBuilder w(payload.size() + 1);
   w.u8(static_cast<std::uint8_t>(SessionMsgType::kOpenSubmit));
   w.raw(payload.data(), payload.size());
-  transport_.send(member, w.finish());
+  transport_.send_on(group_, member, w.finish());
 }
 
 void SessionNode::run_exclusive(std::function<void()> fn) {
@@ -234,621 +265,6 @@ void SessionNode::on_transport_message(NodeId src, Slice payload) {
   }
 }
 
-// --- Token handling ----------------------------------------------------------
-
-void SessionNode::note_lineage(std::uint64_t lineage, TokenSeq seq) {
-  TokenSeq& s = seen_lineage_[lineage];
-  if (seq > s) s = seq;
-  while (seen_lineage_.size() > kMaxLineagesTracked) {
-    // Evict the entry that is not our current lineage with the lowest key;
-    // stale groups stop sending quickly so precision loss is harmless.
-    auto it = seen_lineage_.begin();
-    if (it->first == last_copy_.lineage) ++it;
-    if (it == seen_lineage_.end()) break;
-    seen_lineage_.erase(it);
-  }
-}
-
-bool SessionNode::is_stale(const Token& t) const {
-  auto it = seen_lineage_.find(t.lineage);
-  return it != seen_lineage_.end() && t.seq <= it->second;
-}
-
-void SessionNode::handle_token(Token&& t) {
-  stats_.tokens_received.inc();
-
-  // A TBM token addressed to us is a merge invitation: hold it until our
-  // own group's token arrives (§2.4). It belongs to a foreign lineage, so
-  // the staleness check below must not apply.
-  if (t.tbm && t.merge_target == id()) {
-    RC_INFO(kMod, "node %u holds TBM token of group %u (lineage %llx)", id(),
-            t.group_id(), static_cast<unsigned long long>(t.lineage));
-    pending_foreign_.push_back(std::move(t));
-    if (state_ == State::kIdle || !last_copy_.has(id())) {
-      // We have no group of our own (fresh joiner invited via discovery):
-      // adopt the foreign token directly.
-      Token adopted = std::move(pending_foreign_.back());
-      pending_foreign_.pop_back();
-      adopted.tbm = false;
-      adopted.merge_target = kInvalidNode;
-      adopted.seq++;
-      begin_eating(std::move(adopted));
-    }
-    return;
-  }
-
-  if (is_stale(t)) {
-    stats_.stale_tokens_dropped.inc();
-    RC_DEBUG(kMod, "node %u dropped stale token seq=%llu", id(),
-             static_cast<unsigned long long>(t.seq));
-    return;
-  }
-
-  if (!t.has(id())) {
-    // A token whose membership excludes us (e.g. we were falsely removed
-    // while it was in flight). Do not adopt; the 911 path re-joins us.
-    stats_.stale_tokens_dropped.inc();
-    return;
-  }
-
-  // Live token accepted: abandon any starving/join activity.
-  if (active_911_ != 0) active_911_ = 0;
-  if (starving_timer_) env_.cancel(starving_timer_), starving_timer_ = 0;
-  if (join_timer_) env_.cancel(join_timer_), join_timer_ = 0;
-  join_contacts_.clear();
-  disarm_hungry_timer();
-
-  if (last_token_rx_ >= 0) {
-    stats_.roundtrip.record_time(env_.now() - last_token_rx_);
-  }
-  last_token_rx_ = env_.now();
-
-  begin_eating(std::move(t));
-}
-
-void SessionNode::begin_eating(Token&& t) {
-  if (hold_timer_) env_.cancel(hold_timer_), hold_timer_ = 0;
-  starving_rounds_ = 0;
-  // The token is here: whatever pass was struggling has resolved, so any
-  // successor on probation gets a fresh budget for its next incident.
-  probation_peer_ = kInvalidNode;
-  probation_left_ = 0;
-  set_state(State::kEating, "begin_eating");
-  token_ = std::move(t);
-  eating_cycle();
-}
-
-void SessionNode::eating_cycle() {
-  // 1. Fold in any held foreign (TBM) tokens — the merge proper (§2.4).
-  if (!pending_foreign_.empty()) {
-    token_ = merge_tokens(std::move(token_));
-  }
-
-  note_lineage(token_.lineage, token_.seq);
-  last_copy_ = token_;
-  adopt_view_from(token_);
-
-  // 2. Attach our own pending multicasts (§2.2: messages ride the token);
-  //    they are then delivered through the same in-list-order pass as every
-  //    other message, so the global delivery order is exactly attach order.
-  attach_pending(token_);
-
-  // 3. Deliver / age / retire piggybacked messages (§2.6).
-  process_attached(token_);
-
-  // 4. Admit joiners and issue at most one merge invitation (§2.3, §2.4).
-  process_joins(token_);
-
-  // 5. Mutual exclusion service (§2.7): we are the unique EATING node.
-  while (!exclusive_queue_.empty() && state_ == State::kEating) {
-    auto fn = std::move(exclusive_queue_.front());
-    exclusive_queue_.pop_front();
-    fn();
-  }
-
-  if (leaving_) {
-    complete_leave();
-    return;
-  }
-
-  last_copy_ = token_;
-  arm_hold_timer();
-}
-
-void SessionNode::process_attached(Token& t) {
-  // Delivery is strictly in list (= attach) order: an unqualified safe
-  // message *blocks* everything attached after it, so all members deliver
-  // the mixed agreed/safe stream in one identical total order (the same
-  // holdback discipline as Totem's safe delivery).
-  std::vector<AttachedMessage> kept;
-  kept.reserve(t.msgs.size());
-  bool blocked = false;
-  bool safe_pending_earlier = false;  // an earlier-listed safe msg survives
-  for (AttachedMessage& m : t.msgs) {
-    const std::uint32_t attach_ring = std::max<std::uint32_t>(1, m.ring_at_attach);
-    if (!blocked) {
-      const std::uint32_t retire_at = m.safe ? 2 * attach_ring : attach_ring;
-      // Retire only when every node has had the chance to deliver: an
-      // agreed message must additionally wait out any earlier-listed safe
-      // message it may be held back behind at other nodes.
-      if (m.hops >= retire_at && (m.safe || !safe_pending_earlier)) {
-        continue;  // full round(s) complete everywhere: retire
-      }
-
-      OriginState& os = origin_watermarks(m.origin, m.incarnation);
-      if (!m.safe) {
-        if (m.seq > os.agreed) {
-          os.agreed = m.seq;
-          deliver(m);
-        }
-      } else if (m.hops >= attach_ring) {
-        // Second sighting: the token completed a full round since attach,
-        // so every member has received the message (§2.6 safe ordering).
-        if (m.seq > os.safe) {
-          os.safe = m.seq;
-          deliver(m);
-        }
-      } else {
-        // Safe message not yet confirmed: hold back everything after it.
-        blocked = true;
-      }
-    }
-    if (m.safe) safe_pending_earlier = true;
-    m.hops++;
-    kept.push_back(std::move(m));
-  }
-  t.msgs = std::move(kept);
-}
-
-SessionNode::OriginState& SessionNode::origin_watermarks(
-    NodeId origin, std::uint32_t incarnation) {
-  const auto key = std::make_pair(origin, incarnation);
-  auto it = origin_state_.find(key);
-  if (it != origin_state_.end()) return it->second;
-  OriginState& fresh = origin_state_[key];
-  fresh.stamp = ++origin_stamp_;
-  // Bounded retention: evict this origin's oldest-seen incarnations (never
-  // the one just added — it carries the newest stamp).
-  const auto lo_key = std::make_pair(origin, std::uint32_t{0});
-  for (;;) {
-    auto lo = origin_state_.lower_bound(lo_key);
-    auto oldest = origin_state_.end();
-    std::size_t count = 0;
-    for (auto i = lo; i != origin_state_.end() && i->first.first == origin;
-         ++i) {
-      ++count;
-      if (oldest == origin_state_.end() ||
-          i->second.stamp < oldest->second.stamp) {
-        oldest = i;
-      }
-    }
-    if (count <= kMaxIncarnationsPerOrigin) break;
-    origin_state_.erase(oldest);
-  }
-  return origin_state_[key];
-}
-
-void SessionNode::attach_pending(Token& t) {
-  std::size_t attached = 0;
-  while (!pending_out_.empty() && attached < cfg_.max_msgs_per_visit) {
-    AttachedMessage m = std::move(pending_out_.front());
-    pending_out_.pop_front();
-    m.hops = 0;  // our own visit is counted by the delivery pass
-    m.ring_at_attach = static_cast<std::uint16_t>(t.ring.size());
-    t.msgs.push_back(std::move(m));
-    ++attached;
-  }
-}
-
-void SessionNode::process_joins(Token& t) {
-  bool changed = false;
-  for (NodeId j : pending_joins_) {
-    if (j == id() || t.has(j)) continue;
-    if (auto it = readmit_after_.find(j);
-        it != readmit_after_.end() && env_.now() < it->second) {
-      // We removed this peer after a failed pass: let a member with a
-      // working link admit it instead (the joiner keeps retrying).
-      continue;
-    }
-    t.insert_after(id(), j);
-    t.view_id++;
-    changed = true;
-    stats_.joins_processed.inc();
-    RC_INFO(kMod, "node %u admitted joiner %u", id(), j);
-  }
-  pending_joins_.clear();
-
-  // One merge invitation at a time, and never while we ourselves hold a
-  // foreign token or the token is already flagged.
-  if (!t.tbm && pending_foreign_.empty()) {
-    while (!pending_merge_invites_.empty()) {
-      NodeId target = pending_merge_invites_.front();
-      pending_merge_invites_.pop_front();
-      if (t.has(target)) continue;
-      if (auto it = readmit_after_.find(target);
-          it != readmit_after_.end() && env_.now() < it->second) {
-        continue;
-      }
-      t.insert_after(id(), target);  // target becomes our direct successor
-      t.view_id++;
-      t.tbm = true;
-      t.merge_target = target;
-      changed = true;
-      RC_INFO(kMod, "node %u invites %u to merge (TBM)", id(), target);
-      break;
-    }
-  }
-
-  if (changed) adopt_view_from(t);
-}
-
-Token SessionNode::merge_tokens(Token own) {
-  Token merged = std::move(own);
-  for (const Token& foreign : pending_foreign_) {
-    Token f = foreign;
-    // Splice our ring into the foreign ring right after ourselves,
-    // preserving our ring order starting at our successor.
-    NodeId insert_after = id();
-    if (!f.has(id())) f.ring.push_back(id());
-    auto pos = std::find(merged.ring.begin(), merged.ring.end(), id());
-    std::size_t start = pos == merged.ring.end()
-                            ? 0
-                            : static_cast<std::size_t>(pos - merged.ring.begin()) + 1;
-    for (std::size_t k = 0; k < merged.ring.size(); ++k) {
-      NodeId n = merged.ring[(start + k) % merged.ring.size()];
-      if (n == id() || f.has(n)) continue;
-      f.insert_after(insert_after, n);
-      insert_after = n;
-    }
-    // Concatenate the multicast messages of the two tokens (§2.4).
-    f.msgs.insert(f.msgs.end(), merged.msgs.begin(), merged.msgs.end());
-    f.seq = std::max(f.seq, merged.seq) + 1;
-    f.view_id = std::max(f.view_id, merged.view_id) + 1;
-    f.tbm = false;
-    f.merge_target = kInvalidNode;
-    merged = std::move(f);
-  }
-  merged.lineage = env_.rng().next_u64();
-  pending_foreign_.clear();
-  stats_.merges.inc();
-  RC_INFO(kMod, "node %u merged groups: ring size now %zu (lineage %llx)", id(),
-          merged.ring.size(), static_cast<unsigned long long>(merged.lineage));
-  return merged;
-}
-
-void SessionNode::pass_token() {
-  if (!started_ || state_ != State::kEating) return;
-  token_.seq++;
-  send_token_to_successor();
-}
-
-void SessionNode::send_token_to_successor() {
-  NodeId succ = token_.successor_of(id());
-  if (succ == id()) {
-    // Singleton group: the token "circulates" by re-entering the eating
-    // cycle each hold interval; seq keeps advancing.
-    set_state(State::kEating, "singleton");
-    eating_cycle();
-    return;
-  }
-
-  note_lineage(token_.lineage, token_.seq);
-  last_copy_ = token_;  // local copy reflects the token as sent (§2.3)
-  const TokenSeq sent_seq = token_.seq;
-  const std::uint64_t sent_lineage = token_.lineage;
-  // Encode-once per hop: this is the only serialization of the token for
-  // this pass. The transport frames it in place (the FrameBuilder slack)
-  // and every retransmission — and both interfaces under kParallel —
-  // shares that one buffer. A pass failure re-encodes only because the
-  // membership changed (the failed successor is removed).
-  Slice payload = encode_token_msg(token_);
-
-  set_state(State::kHungry, "passed");
-  arm_hungry_timer();
-  stats_.tokens_passed.inc();
-
-  transport_.send(
-      succ, std::move(payload), /*delivered=*/{},
-      /*failed=*/[this, succ, sent_seq, sent_lineage](transport::TransferId, NodeId) {
-        if (!started_) return;
-        // Ignore the notification if the world moved on while the transport
-        // was retrying (we accepted a newer token or regenerated).
-        if (state_ != State::kHungry || last_copy_.lineage != sent_lineage ||
-            last_copy_.seq != sent_seq) {
-          return;
-        }
-        on_pass_failure(succ);
-      });
-}
-
-void SessionNode::on_pass_failure(NodeId failed) {
-  // Probation (adaptive failure detection): a pass failure on a link whose
-  // peer was heard from within the recent past is more likely loss than
-  // death. Burn a bounded extra attempt budget before the paper's
-  // aggressive removal — this is what turns 5% packet loss from a steady
-  // stream of false removals into retries.
-  if (cfg_.transport.adaptive && cfg_.probation_passes > 0) {
-    if (probation_peer_ != failed) {
-      probation_peer_ = failed;
-      probation_left_ = cfg_.probation_passes;
-    }
-    const Time window = 2 * transport_.failure_detection_bound(failed);
-    if (probation_left_ > 0 && transport_.since_heard(failed) <= window) {
-      --probation_left_;
-      stats_.probation_retries.inc();
-      RC_INFO(kMod,
-              "node %u: pass to %u failed but peer is recently alive; "
-              "probation retry (%d left)",
-              id(), failed, probation_left_);
-      resend_pass_under_probation(failed);
-      return;
-    }
-  }
-  probation_peer_ = kInvalidNode;
-
-  // Aggressive failure detection (§2.2): the failure-on-delivery
-  // notification immediately removes the unreachable successor from the
-  // membership; the token continues to the next healthy node.
-  RC_INFO(kMod, "node %u: pass to %u failed; removing it from membership", id(),
-          failed);
-  stats_.removals.inc();
-  if (on_removal_) on_removal_(failed);
-  readmit_after_[failed] = env_.now() + cfg_.readmit_backoff;
-  Token t = last_copy_;
-  t.remove(failed);
-  if (t.merge_target == failed) {
-    t.tbm = false;
-    t.merge_target = kInvalidNode;
-  }
-  t.view_id++;
-  t.seq++;
-  set_state(State::kEating, "pass_failure");
-  disarm_hungry_timer();
-  token_ = std::move(t);
-  adopt_view_from(token_);
-  send_token_to_successor();
-}
-
-void SessionNode::resend_pass_under_probation(NodeId succ) {
-  const TokenSeq sent_seq = last_copy_.seq;
-  const std::uint64_t sent_lineage = last_copy_.lineage;
-  // Extend the starvation clock over the extra budget so the probation
-  // attempt cannot itself push us into a spurious 911.
-  arm_hungry_timer();
-  transport_.send(
-      succ, encode_token_msg(last_copy_),
-      /*delivered=*/[this](transport::TransferId, NodeId peer) {
-        if (!started_) return;
-        // The extra attempt got through: one false removal avoided.
-        stats_.probation_saves.inc();
-        if (probation_peer_ == peer) probation_peer_ = kInvalidNode;
-      },
-      /*failed=*/[this, succ, sent_seq, sent_lineage](transport::TransferId,
-                                                      NodeId) {
-        if (!started_) return;
-        if (state_ != State::kHungry || last_copy_.lineage != sent_lineage ||
-            last_copy_.seq != sent_seq) {
-          return;
-        }
-        on_pass_failure(succ);
-      });
-}
-
-void SessionNode::adopt_view_from(const Token& t) {
-  View v;
-  v.view_id = t.view_id;
-  v.group_id = t.group_id();
-  v.members = t.ring;
-  if (v == view_) return;
-  const std::size_t old_size = view_.members.size();
-  // Membership removal is the transport's cue to prune per-peer state
-  // (sequence/epoch, dedup window, RTT/health estimates). A departed peer
-  // that later rejoins starts a fresh send epoch, so its restarted
-  // sequence space cannot collide with the forgotten dedup window.
-  std::vector<NodeId> departed;
-  for (NodeId m : view_.members) {
-    if (m != id() && !v.has(m)) departed.push_back(m);
-  }
-  view_ = std::move(v);
-  for (NodeId m : departed) transport_.forget_peer(m);
-  stats_.view_changes.inc();
-  ring_size_.set(static_cast<double>(view_.members.size()));
-  if (on_view_) on_view_(view_);
-
-  // Quorum decider (§2.4 split-brain prevention strategy 1): "if N is the
-  // maximum size of the group, when the size of the group is N/2 or less,
-  // every node in the group shuts down itself." Applies only when the
-  // group *shrinks* — a forming group legitimately passes through small
-  // sizes on its way up.
-  if (cfg_.quorum_of > 0 && started_ && view_.members.size() < old_size &&
-      view_.members.size() * 2 <= cfg_.quorum_of) {
-    RC_WARN(kMod, "node %u: below quorum (%zu of %zu); shutting down", id(),
-            view_.members.size(), cfg_.quorum_of);
-    stop();
-    if (on_quorum_shutdown_) on_quorum_shutdown_();
-  }
-}
-
-// --- 911 token recovery and join (§2.3) --------------------------------------
-
-void SessionNode::enter_starving() {
-  if (!started_ || state_ == State::kEating) return;
-  set_state(State::kStarving, "starving");
-  stats_.starvations.inc();
-  RC_INFO(kMod, "node %u STARVING (last copy seq %llu)", id(),
-          static_cast<unsigned long long>(last_copy_.seq));
-  start_911_round();
-}
-
-void SessionNode::start_911_round() {
-  if (!started_ || state_ != State::kStarving) return;
-  // Merge-wedge escape: we are the target of a merge, parked with the
-  // inviter group's live token, and our own group's token is not coming
-  // back (round after round of denials — the copies of our old lineage are
-  // scattered across crisscrossed views and arbitration can cycle). The
-  // parked token is exclusively ours, so adopt it: the inviter group
-  // recovers through it immediately, and our old group regenerates without
-  // us and re-merges through discovery.
-  if (!pending_foreign_.empty() && starving_rounds_ >= 3) {
-    Token adopted = std::move(pending_foreign_.front());
-    pending_foreign_.erase(pending_foreign_.begin());
-    adopted.tbm = false;
-    adopted.merge_target = kInvalidNode;
-    adopted.seq++;
-    RC_INFO(kMod,
-            "node %u adopts parked TBM token (lineage %llx) after %d starving "
-            "rounds",
-            id(), static_cast<unsigned long long>(adopted.lineage),
-            starving_rounds_);
-    begin_eating(std::move(adopted));
-    return;
-  }
-  ++starving_rounds_;
-  rounds_911_.inc();
-  round_dead_.clear();
-  awaiting_grant_.clear();
-  for (NodeId n : last_copy_.ring) {
-    if (n != id()) awaiting_grant_.insert(n);
-  }
-  if (awaiting_grant_.empty()) {
-    regenerate_token();
-    return;
-  }
-  active_911_ = next_911_id_++;
-  Msg911 m{id(), active_911_, last_copy_.seq};
-  const std::uint64_t round = active_911_;
-  for (NodeId n : awaiting_grant_) {
-    transport_.send(
-        n, encode_911(m), /*delivered=*/{},
-        /*failed=*/[this, n, round](transport::TransferId, NodeId) {
-          if (!started_ || active_911_ != round) return;
-          // Peer unreachable: it cannot deny, and it will not be part of
-          // the regenerated membership.
-          round_dead_.insert(n);
-          awaiting_grant_.erase(n);
-          finish_911_round_if_complete();
-        });
-  }
-  // Round watchdog: abandon and retry if replies stall (e.g. lost by a
-  // crash that the transport has not yet classified).
-  if (starving_timer_) env_.cancel(starving_timer_);
-  starving_timer_ = env_.schedule(effective_starving_retry(), [this, round] {
-    starving_timer_ = 0;
-    if (!started_ || state_ != State::kStarving) return;
-    if (active_911_ == round) active_911_ = 0;
-    start_911_round();
-  });
-}
-
-void SessionNode::finish_911_round_if_complete() {
-  if (active_911_ == 0 || !awaiting_grant_.empty()) return;
-  active_911_ = 0;
-  if (starving_timer_) env_.cancel(starving_timer_), starving_timer_ = 0;
-  regenerate_token();
-}
-
-void SessionNode::regenerate_token() {
-  // Unanimous grant: we hold the most recent local copy, so we resurrect
-  // the token from it — including any piggybacked messages, which is what
-  // makes the multicast atomic across token loss (§2.6).
-  Token t = last_copy_;
-  for (NodeId dead : round_dead_) {
-    if (t.remove(dead)) {
-      t.view_id++;
-      if (on_removal_) on_removal_(dead);
-    }
-  }
-  round_dead_.clear();
-  t.seq = last_copy_.seq + 1;
-  t.tbm = false;
-  t.merge_target = kInvalidNode;
-  if (!t.has(id())) {
-    t.ring.push_back(id());
-    t.view_id++;
-  }
-  stats_.regenerations.inc();
-  RC_INFO(kMod, "node %u regenerated token at seq %llu (ring %zu)", id(),
-          static_cast<unsigned long long>(t.seq), t.ring.size());
-  begin_eating(std::move(t));
-}
-
-void SessionNode::handle_911(const Msg911& m) {
-  // Join unification (§2.3): a 911 from a non-member is a join request.
-  if (!view_.has(m.requester)) {
-    pending_joins_.insert(m.requester);
-  }
-
-  // A parked TBM token only vouches for its own lineage: deny recovery to
-  // members of the parked ring (their token is alive, right here), but a
-  // requester from *our* group is recovering a different lineage — blanket
-  // denial would wedge our group's 911 forever while we wait for its token.
-  bool holds_requesters_token = false;
-  for (const Token& f : pending_foreign_) {
-    if (f.has(m.requester)) {
-      holds_requesters_token = true;
-      break;
-    }
-  }
-
-  bool grant;
-  if (state_ == State::kEating || holds_requesters_token) {
-    grant = false;  // the token is right here — nothing to regenerate
-  } else if (last_copy_.seq > m.last_copy_seq) {
-    grant = false;  // we hold a more recent copy (§2.3 arbitration)
-  } else if (last_copy_.seq == m.last_copy_seq && id() < m.requester) {
-    grant = false;  // deterministic tie-break
-  } else {
-    grant = true;
-  }
-  if (!grant) stats_.denials_sent.inc();
-
-  // Join requests (request_id 0) need no reply; the joiner just retries
-  // until the token arrives.
-  if (m.request_id == 0) return;
-
-  Msg911Reply reply{id(), m.request_id, grant, last_copy_.seq};
-  transport_.send(m.requester, encode_911_reply(reply));
-}
-
-void SessionNode::handle_911_reply(const Msg911Reply& m) {
-  if (active_911_ == 0 || m.request_id != active_911_) return;
-  if (!m.granted) {
-    // Someone holds a newer copy (or the token itself): our round is over;
-    // stay STARVING and let the watchdog retry if no token shows up.
-    RC_DEBUG(kMod, "node %u: 911 denied by %u (copy seq %llu)", id(),
-             m.responder, static_cast<unsigned long long>(m.responder_copy_seq));
-    active_911_ = 0;
-    awaiting_grant_.clear();
-    return;
-  }
-  awaiting_grant_.erase(m.responder);
-  finish_911_round_if_complete();
-}
-
-// --- Discovery and merge (§2.4) -----------------------------------------------
-
-void SessionNode::send_bodyodors() {
-  if (!started_ || view_.members.empty()) return;
-  MsgBodyOdor m{id(), view_.group_id};
-  for (NodeId e : eligible_) {
-    if (e == id() || view_.has(e)) continue;
-    transport_.send_unreliable(e, encode_bodyodor(m));
-  }
-}
-
-void SessionNode::handle_bodyodor(const MsgBodyOdor& m) {
-  if (eligible_.count(m.sender) == 0) return;
-  if (view_.has(m.sender)) return;
-  if (view_.members.empty()) return;  // not in a group ourselves
-  // Merge tie-break (§2.4): only a lower group ID is invited, which makes
-  // the merge graph acyclic and therefore deadlock-free.
-  if (m.group_id >= view_.group_id) return;
-  for (NodeId queued : pending_merge_invites_) {
-    if (queued == m.sender) return;
-  }
-  pending_merge_invites_.push_back(m.sender);
-}
-
 // --- Timers ------------------------------------------------------------------
 
 void SessionNode::arm_hungry_timer() {
@@ -870,7 +286,7 @@ Time SessionNode::max_member_detection_bound() const {
 }
 
 Time SessionNode::effective_hungry_timeout() const {
-  if (!cfg_.transport.adaptive) return cfg_.hungry_timeout;
+  if (!transport_.config().adaptive) return cfg_.hungry_timeout;
   // Derived from live transport state instead of an independent constant:
   // the token must survive one hold per member, a few full
   // failure-detection chains along the way (a removal re-sends the token),
@@ -885,7 +301,7 @@ Time SessionNode::effective_hungry_timeout() const {
 }
 
 Time SessionNode::effective_starving_retry() const {
-  if (!cfg_.transport.adaptive) return cfg_.starving_retry;
+  if (!transport_.config().adaptive) return cfg_.starving_retry;
   // A 911 round needs every reachable member's reply and every dead
   // member's failure-on-delivery before it can complete; retrying before
   // the detection bound elapses would abandon rounds that were about to

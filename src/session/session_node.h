@@ -20,6 +20,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -82,6 +83,10 @@ struct SessionConfig {
   /// shrinks to N/2 or fewer members. 0 disables (strategy 2: sub-groups
   /// stay functional and merge later — the Raincore default).
   std::size_t quorum_of = 0;
+  /// Prepended to every instrument name this ring registers ("ring3.") so
+  /// N rings on one node keep distinct "session.*" instruments when their
+  /// snapshots merge. Empty = classic unprefixed names.
+  std::string metrics_prefix;
   transport::TransportConfig transport;
 };
 
@@ -102,7 +107,16 @@ class SessionNode {
   /// whether the removed node's process was actually alive.
   using RemovalFn = std::function<void(NodeId)>;
 
+  /// Classic single-session node: owns a full transport stack on `env`
+  /// (demux group 0).
   SessionNode(net::NodeEnv& env, SessionConfig cfg = {});
+  /// Shared-transport ring: rides `shared` on demux group `group`. The
+  /// transport — and with it the UDP port, dedup windows and all per-peer
+  /// RTT/health/failure-detection state — belongs to the caller (normally
+  /// a SessionMux); this ring only registers its group handler and never
+  /// toggles the transport's enablement.
+  SessionNode(transport::ReliableTransport& shared, transport::MuxGroup group,
+              SessionConfig cfg = {});
   SessionNode(const SessionNode&) = delete;
   SessionNode& operator=(const SessionNode&) = delete;
   ~SessionNode();
@@ -164,6 +178,15 @@ class SessionNode {
   void set_removal_handler(RemovalFn fn) { on_removal_ = std::move(fn); }
   void set_eligible(std::vector<NodeId> eligible);
 
+  /// Shared-detector fan-out: another ring on this node observed a
+  /// failure-on-delivery to `peer`. The suspicion is stamped and acted on
+  /// conservatively — only while this ring holds the token, only while the
+  /// stamp is fresh, and only if the peer has been globally silent (no
+  /// frame on the shared transport) for at least its failure-detection
+  /// bound. One detection thus yields N membership updates without N
+  /// independent detectors racing each other into false removals.
+  void note_peer_suspect(NodeId peer);
+
   // --- Introspection ---------------------------------------------------------
 
   NodeId id() const { return env_.node(); }
@@ -176,6 +199,10 @@ class SessionNode {
   bool holds_token() const { return state_ == State::kEating; }
   std::size_t pending_out() const { return pending_out_.size(); }
   transport::ReliableTransport& transport() { return transport_; }
+  /// Demux group this ring's frames are stamped with (0 for classic nodes).
+  transport::MuxGroup mux_group() const { return group_; }
+  /// True when this node owns its transport stack (classic constructor).
+  bool owns_transport() const { return owned_transport_ != nullptr; }
   const SessionConfig& config() const { return cfg_; }
 
   /// Debug/test introspection: TBM tokens held while awaiting our own.
@@ -239,6 +266,10 @@ class SessionNode {
   void note_lineage(std::uint64_t lineage, TokenSeq seq);
   bool is_stale(const Token& t) const;
   void complete_leave();
+  /// Acts on fanned-out suspicions while EATING: removes members whose
+  /// suspicion stamp is fresh and who are globally silent on the shared
+  /// transport; drops everything else.
+  void process_suspects();
 
   // 911 machinery.
   void enter_starving();
@@ -262,7 +293,6 @@ class SessionNode {
   Time effective_hungry_timeout() const;
   Time effective_starving_retry() const;
 
-  void fire_view_change();
   void deliver(const AttachedMessage& m);
   void reset_protocol_state();
   /// Single state-transition point: records dwell time in the state being
@@ -272,7 +302,10 @@ class SessionNode {
 
   net::NodeEnv& env_;
   SessionConfig cfg_;
-  transport::ReliableTransport transport_;
+  /// Owned in classic mode; null when riding a SessionMux's transport.
+  std::unique_ptr<transport::ReliableTransport> owned_transport_;
+  transport::ReliableTransport& transport_;
+  transport::MuxGroup group_ = 0;
 
   bool started_ = false;
   bool leaving_ = false;
@@ -315,6 +348,10 @@ class SessionNode {
   NodeId probation_peer_ = kInvalidNode;
   int probation_left_ = 0;
 
+  /// Suspicion stamps fanned out by the shared detector (note_peer_suspect),
+  /// acted on at the next token possession.
+  std::map<NodeId, Time> suspects_;
+
   // Join / merge state.
   std::set<NodeId> pending_joins_;         ///< plain 911 joiners
   std::map<NodeId, Time> readmit_after_;   ///< per-peer re-admit cooldown
@@ -345,7 +382,7 @@ class SessionNode {
   QuorumShutdownFn on_quorum_shutdown_;
   RemovalFn on_removal_;
 
-  metrics::Registry metrics_;
+  metrics::Registry metrics_{cfg_.metrics_prefix};
   Stats stats_{metrics_};
   Histogram& dwell_idle_ = metrics_.histogram("session.state.idle_dwell_ns");
   Histogram& dwell_hungry_ =
@@ -355,6 +392,9 @@ class SessionNode {
   Histogram& dwell_starving_ =
       metrics_.histogram("session.state.starving_dwell_ns");
   Counter& rounds_911_ = metrics_.counter("session.911.rounds");
+  /// Members removed on a fanned-out suspicion from another ring's
+  /// detection (vs. this ring's own failed pass).
+  Counter& suspect_removals_ = metrics_.counter("session.suspect_removals");
   Gauge& ring_size_ = metrics_.gauge("session.ring.size");
   Time state_since_ = 0;
 };

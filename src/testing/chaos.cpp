@@ -970,4 +970,414 @@ ChaosRoundResult run_chaos_round(std::uint64_t seed, Time chaos_duration,
   return res;
 }
 
+// --- MultiRingChaosCluster -------------------------------------------------
+
+MultiRingChaosCluster::MultiRingChaosCluster(std::vector<NodeId> ids,
+                                             std::size_t n_rings,
+                                             ChaosConfig chaos_cfg,
+                                             session::SessionConfig session_cfg,
+                                             net::SimNetConfig net_cfg)
+    : net_(net_cfg),
+      n_rings_(n_rings),
+      session_cfg_(std::move(session_cfg)),
+      chaos_cfg_(chaos_cfg),
+      ids_(std::move(ids)) {
+  if (session_cfg_.eligible.empty()) session_cfg_.eligible = ids_;
+  Rng setup_rng(chaos_cfg_.seed ^ 0x7f4a7c15u);
+  for (NodeId id : ids_) {
+    auto& env = net_.add_node(id);
+    auto st = std::make_unique<Stack>();
+    st->mux =
+        std::make_unique<session::SessionMux>(env, session_cfg_.transport);
+    st->counters.assign(n_rings_, 0);
+    st->logs.resize(n_rings_);
+    st->traffic_rng = setup_rng.fork();
+    for (std::size_t r = 0; r < n_rings_; ++r) {
+      auto& ring = st->mux->create_ring(
+          static_cast<transport::MuxGroup>(r), session_cfg_);
+      st->rings.push_back(&ring);
+      Stack* stp = st.get();
+      ring.set_deliver_handler(
+          [stp, r](NodeId origin, const Slice& payload, session::Ordering) {
+            stp->logs[r].push_back(
+                {stp->epoch, origin,
+                 std::string(payload.begin(), payload.end())});
+          });
+    }
+    stacks_.emplace(id, std::move(st));
+  }
+  engine_ = std::make_unique<ChaosEngine>(net_, ids_, chaos_cfg_);
+  engine_->set_crash_hook([this](NodeId id) {
+    // Node-level crash: every ring AND the shared transport go down — a
+    // stopped ring over a live transport would keep acking token passes.
+    stacks_.at(id)->mux->set_enabled(false);
+  });
+  engine_->set_restart_hook([this](NodeId id) {
+    Stack& st = *stacks_.at(id);
+    ++st.epoch;
+    std::fill(st.counters.begin(), st.counters.end(), 0);
+    st.mux->set_enabled(true);
+    for (auto* ring : st.rings) ring->found();
+  });
+}
+
+MultiRingChaosCluster::~MultiRingChaosCluster() {
+  traffic_on_ = false;
+  for (auto& [id, st] : stacks_) {
+    if (st->traffic_timer) net_.loop().cancel(st->traffic_timer);
+  }
+}
+
+bool MultiRingChaosCluster::bootstrap(Time timeout) {
+  for (auto& [id, st] : stacks_) {
+    for (auto* ring : st->rings) ring->found();
+  }
+  std::vector<NodeId> want = ids_;
+  std::sort(want.begin(), want.end());
+  Time deadline = net_.now() + timeout;
+  while (net_.now() < deadline) {
+    bool conv = true;
+    for (auto& [id, st] : stacks_) {
+      for (auto* ring : st->rings) {
+        std::vector<NodeId> got = ring->view().members;
+        std::sort(got.begin(), got.end());
+        if (!ring->started() || got != want) {
+          conv = false;
+          break;
+        }
+      }
+      if (!conv) break;
+    }
+    if (conv) return true;
+    net_.loop().run_for(millis(10));
+  }
+  violation("bootstrap: not every ring converged");
+  return false;
+}
+
+void MultiRingChaosCluster::start_traffic(NodeId id) {
+  Stack& st = *stacks_.at(id);
+  Time gap =
+      millis(8) + static_cast<Time>(st.traffic_rng.next_below(millis(8)));
+  st.traffic_timer = net_.loop().schedule(gap, [this, id] {
+    Stack& st = *stacks_.at(id);
+    st.traffic_timer = 0;
+    if (!traffic_on_) return;
+    // Round-robin the rings so every shard sees load each epoch.
+    const std::size_t r =
+        static_cast<std::size_t>(st.traffic_rng.next_below(n_rings_));
+    session::SessionNode& ring = *st.rings[r];
+    if (ring.started() && ring.view().has(id)) {
+      std::string payload = "c:" + std::to_string(id) + ":" +
+                            std::to_string(st.epoch) + ":" +
+                            std::to_string(st.counters[r]++);
+      ring.multicast(Bytes(payload.begin(), payload.end()));
+    }
+    start_traffic(id);
+  });
+}
+
+void MultiRingChaosCluster::run_chaos(Time duration) {
+  traffic_on_ = true;
+  for (NodeId id : ids_) start_traffic(id);
+  engine_->start();
+  Time end = net_.now() + duration;
+  while (net_.now() < end) {
+    net_.loop().run_for(millis(10));
+    check_ring_token_uniqueness("during chaos");
+  }
+}
+
+void MultiRingChaosCluster::violation(std::string what) {
+  RC_WARN(kMod, "INVARIANT VIOLATION: %s", what.c_str());
+  violations_.push_back(std::move(what));
+}
+
+std::uint64_t MultiRingChaosCluster::fanout_removals() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, st] : stacks_) {
+    const auto snap = st->mux->metrics_snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      if (name.size() >= sizeof("session.suspect_removals") - 1 &&
+          name.find("session.suspect_removals") != std::string::npos) {
+        total += value;
+      }
+    }
+  }
+  return total;
+}
+
+std::string MultiRingChaosCluster::failure_report() const {
+  std::string out = "=== multi-ring chaos failure report ===\n";
+  out += "violations (" + std::to_string(violations_.size()) + "):\n";
+  for (const std::string& v : violations_) out += "  " + v + "\n";
+  out += engine_->describe_schedule();
+  session::RingIntrospector ri;
+  for (const auto& [id, st] : stacks_) {
+    for (auto* ring : st->rings) ri.watch(*ring);
+  }
+  out += ri.dump();
+  return out;
+}
+
+void MultiRingChaosCluster::check_ring_token_uniqueness(const char* when) {
+  // Same sampling rule as the single-ring harness, applied per ring index:
+  // rings with different groups are independent protocols and may each have
+  // a holder; two holders with identical views WITHIN one ring never.
+  for (std::size_t r = 0; r < n_rings_; ++r) {
+    for (auto it = stacks_.begin(); it != stacks_.end(); ++it) {
+      const auto& a = *it->second->rings[r];
+      if (!a.started() || !a.holds_token()) continue;
+      for (auto jt = std::next(it); jt != stacks_.end(); ++jt) {
+        const auto& b = *jt->second->rings[r];
+        if (!b.started() || !b.holds_token()) continue;
+        if (a.view() == b.view()) {
+          violation("ring " + std::to_string(r) + " token uniqueness (" +
+                    std::string(when) + "): nodes " +
+                    std::to_string(it->first) + " and " +
+                    std::to_string(jt->first) +
+                    " both EATING in identical view at t=" +
+                    std::to_string(to_millis(net_.now())) + "ms");
+        }
+      }
+    }
+  }
+}
+
+void MultiRingChaosCluster::check_ring_memberships(
+    const std::vector<NodeId>& live) {
+  std::vector<NodeId> want = live;
+  std::sort(want.begin(), want.end());
+  for (NodeId id : live) {
+    for (std::size_t r = 0; r < n_rings_; ++r) {
+      const auto& ring = *stacks_.at(id)->rings[r];
+      std::vector<NodeId> got = ring.view().members;
+      std::sort(got.begin(), got.end());
+      if (!ring.started() || got != want) {
+        std::string members;
+        for (NodeId m : got) members += std::to_string(m) + " ";
+        violation("membership: node " + std::to_string(id) + " ring " +
+                  std::to_string(r) +
+                  " did not converge to the live set (has: " + members + ")");
+      }
+    }
+  }
+}
+
+void MultiRingChaosCluster::check_ring_deliveries() {
+  // Per ring, per receiver incarnation, per origin incarnation: strictly
+  // increasing chaos counters (gaps fine, duplicates/reordering never).
+  for (auto& [id, st] : stacks_) {
+    for (std::size_t r = 0; r < n_rings_; ++r) {
+      std::map<std::tuple<std::uint64_t, NodeId, std::uint64_t>,
+               std::pair<bool, std::uint64_t>>
+          last;
+      for (const Delivered& d : st->logs[r]) {
+        if (d.payload.rfind("c:", 0) != 0) continue;
+        NodeId origin = 0;
+        std::uint64_t epoch = 0, counter = 0;
+        if (std::sscanf(d.payload.c_str(), "c:%u:%llu:%llu", &origin,
+                        reinterpret_cast<unsigned long long*>(&epoch),
+                        reinterpret_cast<unsigned long long*>(&counter)) !=
+            3) {
+          violation("delivery: node " + std::to_string(id) + " ring " +
+                    std::to_string(r) + " received unparseable payload '" +
+                    d.payload + "'");
+          continue;
+        }
+        auto key = std::make_tuple(d.recv_epoch, origin, epoch);
+        auto& [seen, prev] = last[key];
+        if (seen && counter <= prev) {
+          violation("delivery: node " + std::to_string(id) + " ring " +
+                    std::to_string(r) + " saw duplicate/out-of-order counter " +
+                    std::to_string(counter) + " after " +
+                    std::to_string(prev) + " from origin " +
+                    std::to_string(origin));
+        }
+        seen = true;
+        prev = counter;
+      }
+    }
+  }
+}
+
+void MultiRingChaosCluster::check_ring_final_batches(
+    const std::vector<NodeId>& live) {
+  // Post-heal agreed order, independently per ring: a fresh batch from
+  // every node on every ring must arrive complete, exactly once, and in an
+  // identical per-ring sequence everywhere.
+  constexpr int kPerNode = 3;
+  std::map<NodeId, std::vector<std::size_t>> mark;
+  for (NodeId id : live) {
+    auto& st = *stacks_.at(id);
+    for (std::size_t r = 0; r < n_rings_; ++r) {
+      mark[id].push_back(st.logs[r].size());
+    }
+  }
+  for (NodeId id : live) {
+    for (std::size_t r = 0; r < n_rings_; ++r) {
+      for (int k = 0; k < kPerNode; ++k) {
+        std::string payload = "f:" + std::to_string(id) + ":" +
+                              std::to_string(r) + ":" + std::to_string(k);
+        stacks_.at(id)->rings[r]->multicast(
+            Bytes(payload.begin(), payload.end()));
+      }
+    }
+  }
+  const std::size_t expect = live.size() * kPerNode;
+  auto batch_of = [&](NodeId id, std::size_t r) {
+    std::vector<std::pair<NodeId, std::string>> out;
+    const auto& log = stacks_.at(id)->logs[r];
+    for (std::size_t i = mark[id][r]; i < log.size(); ++i) {
+      if (log[i].payload.rfind("f:", 0) == 0) {
+        out.emplace_back(log[i].origin, log[i].payload);
+      }
+    }
+    return out;
+  };
+  Time deadline = net_.now() + millis(4000);
+  while (net_.now() < deadline) {
+    bool all = true;
+    for (NodeId id : live) {
+      for (std::size_t r = 0; r < n_rings_ && all; ++r) {
+        if (batch_of(id, r).size() < expect) all = false;
+      }
+      if (!all) break;
+    }
+    if (all) break;
+    net_.loop().run_for(millis(10));
+  }
+  for (std::size_t r = 0; r < n_rings_; ++r) {
+    auto ref = batch_of(live.front(), r);
+    if (ref.size() != expect) {
+      violation("final batch: node " + std::to_string(live.front()) +
+                " ring " + std::to_string(r) + " delivered " +
+                std::to_string(ref.size()) + " of " + std::to_string(expect));
+    }
+    for (NodeId id : live) {
+      if (batch_of(id, r) != ref) {
+        violation("final batch: node " + std::to_string(id) + " ring " +
+                  std::to_string(r) +
+                  " delivered a different agreed sequence than node " +
+                  std::to_string(live.front()));
+      }
+    }
+  }
+}
+
+void MultiRingChaosCluster::check_detector_consistency(
+    const std::vector<NodeId>& live) {
+  // Cross-ring detector consistency: one shared failure detector feeding K
+  // rings must leave them agreeing at quiescence...
+  for (NodeId id : live) {
+    const auto& st = *stacks_.at(id);
+    // Ring order (the token circulation order) legitimately differs per
+    // ring — only the member SET must agree.
+    std::vector<NodeId> ref = st.rings[0]->view().members;
+    std::sort(ref.begin(), ref.end());
+    for (std::size_t r = 1; r < n_rings_; ++r) {
+      std::vector<NodeId> got = st.rings[r]->view().members;
+      std::sort(got.begin(), got.end());
+      if (got != ref) {
+        violation("detector consistency: node " + std::to_string(id) +
+                  " rings 0 and " + std::to_string(r) +
+                  " disagree on membership at quiescence");
+      }
+    }
+    // ...and must exist exactly once per node: the shared transport owns
+    // `transport.*`; a per-ring copy (e.g. "ring1.transport.rtt_samples")
+    // would mean duplicated detection state.
+    const auto snap = st.mux->metrics_snapshot();
+    std::size_t plain = 0, prefixed = 0;
+    for (const auto& [name, value] : snap.counters) {
+      if (name == "transport.rtt_samples") {
+        ++plain;
+      } else if (name.find("transport.rtt_samples") != std::string::npos) {
+        ++prefixed;
+      }
+    }
+    if (plain != 1 || prefixed != 0) {
+      violation("detector state: node " + std::to_string(id) + " has " +
+                std::to_string(plain) + " shared + " +
+                std::to_string(prefixed) +
+                " per-ring transport.rtt_samples instruments (want 1 + 0)");
+    }
+  }
+}
+
+void MultiRingChaosCluster::heal_and_check(Time converge_timeout) {
+  engine_->stop_and_heal();
+  std::vector<NodeId> live = ids_;
+  std::vector<NodeId> want = live;
+  std::sort(want.begin(), want.end());
+  auto converged = [&] {
+    for (NodeId id : live) {
+      for (auto* ring : stacks_.at(id)->rings) {
+        std::vector<NodeId> got = ring->view().members;
+        std::sort(got.begin(), got.end());
+        if (!ring->started() || got != want) return false;
+      }
+    }
+    return true;
+  };
+  // Same continuous-stability rule as the single-ring harness, but EVERY
+  // ring must hold the full view through the window simultaneously.
+  constexpr Time kStableWindow = millis(300);
+  auto wait_stable = [&] {
+    Time deadline = net_.now() + converge_timeout;
+    Time stable_since = -1;
+    while (net_.now() < deadline) {
+      if (converged()) {
+        if (stable_since < 0) stable_since = net_.now();
+        if (net_.now() - stable_since >= kStableWindow) return;
+      } else {
+        stable_since = -1;
+      }
+      net_.loop().run_for(millis(10));
+    }
+  };
+  wait_stable();
+  check_ring_memberships(live);
+  traffic_on_ = false;
+  net_.loop().run_for(millis(300));
+  for (int i = 0; i < 40; ++i) {
+    check_ring_token_uniqueness("quiescent");
+    net_.loop().run_for(session_cfg_.token_hold / 2 + micros(500));
+  }
+  check_ring_deliveries();
+  wait_stable();
+  check_ring_final_batches(live);
+  check_detector_consistency(live);
+}
+
+ChaosRoundResult run_multi_ring_round(std::uint64_t seed, Time chaos_duration,
+                                      std::size_t n_nodes,
+                                      std::size_t n_rings,
+                                      ChaosProfile profile) {
+  ChaosConfig ccfg;
+  ccfg.seed = seed;
+  net::SimNetConfig ncfg;
+  ncfg.seed = seed ^ 0xc2b2ae3d27d4eb4fULL;
+  ncfg.default_drop = profile.base_loss;
+  session::SessionConfig scfg;
+  scfg.transport.adaptive = profile.adaptive;
+  std::vector<NodeId> ids;
+  for (std::size_t i = 1; i <= n_nodes; ++i) {
+    ids.push_back(static_cast<NodeId>(i));
+  }
+  MultiRingChaosCluster cluster(ids, n_rings, ccfg, scfg, ncfg);
+  if (cluster.bootstrap()) {
+    cluster.run_chaos(chaos_duration);
+    cluster.heal_and_check();
+  }
+  ChaosRoundResult res;
+  res.violations = cluster.violations();
+  res.schedule = cluster.engine().describe_schedule();
+  res.faults = cluster.engine().faults_injected();
+  res.classes = cluster.engine().classes_seen();
+  for (NodeId id : ids) res.metrics.merge(cluster.mux(id).metrics_snapshot());
+  if (!res.violations.empty()) res.report = cluster.failure_report();
+  return res;
+}
+
 }  // namespace raincore::testing

@@ -34,6 +34,7 @@
 #include "data/replicated_map.h"
 #include "net/sim_network.h"
 #include "session/introspect.h"
+#include "session/session_mux.h"
 #include "session/session_node.h"
 
 namespace raincore::testing {
@@ -283,5 +284,86 @@ ChaosRoundResult run_chaos_round(std::uint64_t seed,
                                  Time chaos_duration = millis(2000),
                                  std::size_t n_nodes = 5,
                                  ChaosProfile profile = {});
+
+// --- Multi-ring chaos harness ----------------------------------------------
+
+/// N nodes × K independent rings over ONE shared transport per node
+/// (session/session_mux.h). Crashes are node-level: the whole mux goes down
+/// — every ring plus the shared transport — and a restart re-enables the
+/// transport and re-founds every ring as a fresh incarnation.
+///
+/// Checks every per-ring protocol invariant (token uniqueness within a
+/// ring, membership convergence, duplicate-free in-order chaos deliveries,
+/// identical post-heal agreed order) independently per ring, plus the
+/// cross-ring invariants that only exist in the multi-session runtime:
+///   - detector consistency: at quiescence every ring on every node agrees
+///     on the same live membership (one failure detector feeding K rings
+///     must not leave them with divergent opinions);
+///   - single detection state: each node's merged metrics contain exactly
+///     one `transport.rtt_samples` instrument — the shared transport's —
+///     and no per-ring duplicate of any transport.* instrument.
+class MultiRingChaosCluster {
+ public:
+  MultiRingChaosCluster(std::vector<NodeId> ids, std::size_t n_rings,
+                        ChaosConfig chaos_cfg,
+                        session::SessionConfig session_cfg = {},
+                        net::SimNetConfig net_cfg = {});
+  ~MultiRingChaosCluster();
+
+  bool bootstrap(Time timeout = millis(8000));
+  void run_chaos(Time duration);
+  void heal_and_check(Time converge_timeout = millis(15000));
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  ChaosEngine& engine() { return *engine_; }
+  net::SimNetwork& net() { return net_; }
+  session::SessionMux& mux(NodeId id) { return *stacks_.at(id)->mux; }
+  std::size_t ring_count() const { return n_rings_; }
+  /// Suspicion fan-out removals across all nodes/rings (session.suspect_
+  /// removals) — membership updates that cost no extra detection work.
+  std::uint64_t fanout_removals() const;
+  std::string failure_report() const;
+
+ private:
+  struct Delivered {
+    std::uint64_t recv_epoch;
+    NodeId origin;
+    std::string payload;
+  };
+  struct Stack {
+    std::unique_ptr<session::SessionMux> mux;
+    std::vector<session::SessionNode*> rings;
+    std::uint64_t epoch = 0;  ///< incremented on every chaos restart
+    std::vector<std::uint64_t> counters;        ///< per-ring traffic counter
+    std::vector<std::vector<Delivered>> logs;   ///< per-ring delivery log
+    net::TimerId traffic_timer = 0;
+    Rng traffic_rng{0};
+  };
+
+  void start_traffic(NodeId id);
+  void check_ring_token_uniqueness(const char* when);
+  void check_ring_memberships(const std::vector<NodeId>& live);
+  void check_ring_deliveries();
+  void check_ring_final_batches(const std::vector<NodeId>& live);
+  void check_detector_consistency(const std::vector<NodeId>& live);
+  void violation(std::string what);
+
+  net::SimNetwork net_;
+  std::size_t n_rings_;
+  session::SessionConfig session_cfg_;
+  ChaosConfig chaos_cfg_;
+  std::unique_ptr<ChaosEngine> engine_;
+  std::map<NodeId, std::unique_ptr<Stack>> stacks_;
+  std::vector<NodeId> ids_;
+  bool traffic_on_ = false;
+  std::vector<std::string> violations_;
+};
+
+/// One full multi-ring chaos round, fully derived from `seed`.
+ChaosRoundResult run_multi_ring_round(std::uint64_t seed,
+                                      Time chaos_duration = millis(2000),
+                                      std::size_t n_nodes = 4,
+                                      std::size_t n_rings = 3,
+                                      ChaosProfile profile = {});
 
 }  // namespace raincore::testing

@@ -11,7 +11,10 @@ namespace raincore::transport {
 
 namespace {
 constexpr const char* kMod = "transport";
-constexpr std::size_t kDataHeader = 13;  // type u8 + epoch u32 + seq u64
+// type u8 + group u16 + epoch u32 + seq u64
+constexpr std::size_t kDataHeader = 15;
+constexpr std::size_t kRawHeader = 3;    // type u8 + group u16
+constexpr std::size_t kAckLen = 13;      // type u8 + epoch u32 + seq u64
 constexpr std::size_t kChecksumLen = 4;  // trailing FNV-1a u32
 
 /// FNV-1a over the frame body. Every frame carries this as a trailing u32:
@@ -25,6 +28,11 @@ std::uint32_t frame_checksum(const std::uint8_t* data, std::size_t n) {
     h *= 16777619u;
   }
   return h;
+}
+
+void put_le16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
 }
 
 void put_le32(std::uint8_t* p, std::uint32_t v) {
@@ -131,8 +139,26 @@ void ReliableTransport::forget_peer(NodeId peer) {
   refresh_health_gauge();
 }
 
-TransferId ReliableTransport::send(NodeId dst, Slice payload,
-                                   DeliveredFn delivered, FailedFn failed) {
+void ReliableTransport::set_group_handler(MuxGroup group, MessageFn fn) {
+  if (fn) {
+    handlers_[group] = std::move(fn);
+  } else {
+    handlers_.erase(group);
+  }
+}
+
+void ReliableTransport::deliver(MuxGroup group, NodeId src, Slice payload) {
+  auto it = handlers_.find(group);
+  if (it == handlers_.end()) {
+    unknown_group_drops_.inc();
+    return;
+  }
+  it->second(src, std::move(payload));
+}
+
+TransferId ReliableTransport::send_on(MuxGroup group, NodeId dst,
+                                      Slice payload, DeliveredFn delivered,
+                                      FailedFn failed) {
   if (!enabled_) return 0;
   TransferId id = next_transfer_id_++;
   sends_.inc();
@@ -140,10 +166,11 @@ TransferId ReliableTransport::send(NodeId dst, Slice payload,
   if (ps.epoch == 0) ps.epoch = ++epoch_counter_;
   InFlight f;
   f.dst = dst;
+  f.group = group;
   f.epoch = ps.epoch;
   f.wire_seq = ++ps.next_seq;
   f.started = env_.now();
-  f.frame = build_data_frame(std::move(payload), f.epoch, f.wire_seq);
+  f.frame = build_data_frame(std::move(payload), group, f.epoch, f.wire_seq);
   f.delivered = std::move(delivered);
   f.failed = std::move(failed);
   ack_index_[{dst, f.wire_seq}] = id;
@@ -152,15 +179,17 @@ TransferId ReliableTransport::send(NodeId dst, Slice payload,
   return id;
 }
 
-Slice ReliableTransport::build_data_frame(Slice&& payload, std::uint32_t epoch,
+Slice ReliableTransport::build_data_frame(Slice&& payload, MuxGroup group,
+                                          std::uint32_t epoch,
                                           std::uint64_t seq) {
   // Fast path: the payload was encoded with wire slack (FrameBuilder) and
   // nobody else holds its storage — header and checksum land in place, so
   // the session's encode buffer IS the wire frame.
   if (auto f = payload.expand(kDataHeader, kChecksumLen)) {
     f->head[0] = static_cast<std::uint8_t>(WireType::kData);
-    put_le32(f->head + 1, epoch);
-    put_le64(f->head + 5, seq);
+    put_le16(f->head + 1, group);
+    put_le32(f->head + 3, epoch);
+    put_le64(f->head + 7, seq);
     std::size_t body = f->frame.size() - kChecksumLen;
     put_le32(f->tail, frame_checksum(f->frame.data(), body));
     frames_inplace_.inc();
@@ -172,16 +201,19 @@ Slice ReliableTransport::build_data_frame(Slice&& payload, std::uint32_t epoch,
   wire_stats().bytes_copied.inc(payload.size());
   ByteWriter w(0, kChecksumLen, kDataHeader + payload.size());
   w.u8(static_cast<std::uint8_t>(WireType::kData));
+  w.u16(group);
   w.u32(epoch);
   w.u64(seq);
   w.raw(payload.data(), payload.size());
   return seal_frame(std::move(w));
 }
 
-void ReliableTransport::send_unreliable(NodeId dst, Slice payload) {
+void ReliableTransport::send_unreliable_on(MuxGroup group, NodeId dst,
+                                           Slice payload) {
   if (!enabled_) return;
-  if (auto f = payload.expand(1, kChecksumLen)) {
+  if (auto f = payload.expand(kRawHeader, kChecksumLen)) {
     f->head[0] = static_cast<std::uint8_t>(WireType::kRaw);
+    put_le16(f->head + 1, group);
     std::size_t body = f->frame.size() - kChecksumLen;
     put_le32(f->tail, frame_checksum(f->frame.data(), body));
     env_.send(net::Address{dst, 0}, std::move(f->frame), 0);
@@ -189,8 +221,9 @@ void ReliableTransport::send_unreliable(NodeId dst, Slice payload) {
   }
   wire_stats().copies.inc();
   wire_stats().bytes_copied.inc(payload.size());
-  ByteWriter w(0, kChecksumLen, 1 + payload.size());
+  ByteWriter w(0, kChecksumLen, kRawHeader + payload.size());
   w.u8(static_cast<std::uint8_t>(WireType::kRaw));
+  w.u16(group);
   w.raw(payload.data(), payload.size());
   send_frame(net::Address{dst, 0}, std::move(w), 0);
 }
@@ -361,6 +394,9 @@ void ReliableTransport::finish(TransferId id, bool ok, std::uint8_t ack_iface) {
     fod_.inc();
     RC_DEBUG(kMod, "node %u: failure-on-delivery to %u (transfer %llu)",
              env_.node(), f.dst, static_cast<unsigned long long>(id));
+    // Node-level observer first (suspicion stamps for every ring sharing
+    // this detector), then the transfer's own failure notification.
+    if (on_failure_observed_) on_failure_observed_(f.dst);
     if (f.failed) f.failed(id, f.dst);
   }
 }
@@ -388,6 +424,7 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
   auto type = static_cast<WireType>(r.u8());
   switch (type) {
     case WireType::kData: {
+      MuxGroup group = r.u16();
       std::uint32_t epoch = r.u32();
       std::uint64_t seq = r.u64();
       if (!r.ok() || body < kDataHeader) return;
@@ -407,7 +444,9 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
         pr.above.clear();
       }
       // Always acknowledge, even duplicates: the original ack may be lost.
-      ByteWriter ack(0, kChecksumLen, kDataHeader);
+      // Acks carry no group — wire_seq/epoch are per-peer, shared by every
+      // ring on the node, so resolution is group-agnostic.
+      ByteWriter ack(0, kChecksumLen, kAckLen);
       ack.u8(static_cast<std::uint8_t>(WireType::kAck));
       ack.u32(epoch);
       ack.u64(seq);
@@ -436,11 +475,9 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
           ++pr.watermark;
         }
       }
-      if (on_message_) {
-        // Zero-copy delivery: the payload view aliases the datagram.
-        on_message_(d.src.node,
-                    d.payload.subslice(kDataHeader, body - kDataHeader));
-      }
+      // Zero-copy delivery: the payload view aliases the datagram.
+      deliver(group, d.src.node,
+              d.payload.subslice(kDataHeader, body - kDataHeader));
       break;
     }
     case WireType::kAck: {
@@ -462,9 +499,9 @@ void ReliableTransport::on_datagram(net::Datagram&& d) {
       break;
     }
     case WireType::kRaw: {
-      if (on_message_ && body > 1) {
-        on_message_(d.src.node, d.payload.subslice(1, body - 1));
-      }
+      MuxGroup group = r.u16();
+      if (!r.ok() || body <= kRawHeader) return;
+      deliver(group, d.src.node, d.payload.subslice(kRawHeader, body - kRawHeader));
       break;
     }
     default:

@@ -83,6 +83,13 @@ struct TransportConfig {
 /// Identifies one in-flight transfer at the sender.
 using TransferId = std::uint64_t;
 
+/// Session/group demux label carried by every DATA and RAW frame (Appendix
+/// A): N session rings on one node share a single transport — one UDP
+/// port, one dedup window, one set of per-peer RTT/health/failure state —
+/// and inbound payloads route to the handler registered for their group.
+/// Group 0 is the default for single-session nodes.
+using MuxGroup = std::uint16_t;
+
 class ReliableTransport {
  public:
   /// Upper-layer delivery: the payload slice aliases the inbound datagram
@@ -90,14 +97,29 @@ class ReliableTransport {
   using MessageFn = std::function<void(NodeId src, Slice payload)>;
   using DeliveredFn = std::function<void(TransferId, NodeId peer)>;
   using FailedFn = std::function<void(TransferId, NodeId peer)>;
+  /// Node-level failure observer: fires once per failure-on-delivery, in
+  /// addition to the transfer's own FailedFn. The SessionMux uses it to fan
+  /// one detection out to every ring the peer belongs to.
+  using FailureObserverFn = std::function<void(NodeId peer)>;
 
   ReliableTransport(net::NodeEnv& env, TransportConfig cfg = {});
   ReliableTransport(const ReliableTransport&) = delete;
   ReliableTransport& operator=(const ReliableTransport&) = delete;
   ~ReliableTransport();
 
-  /// Installs the upper-layer message handler (one per node).
-  void set_message_handler(MessageFn fn) { on_message_ = std::move(fn); }
+  /// Installs the message handler for the default group 0.
+  void set_message_handler(MessageFn fn) { set_group_handler(0, std::move(fn)); }
+
+  /// Installs (or clears, with an empty fn) the handler for one demux
+  /// group. Inbound DATA/RAW payloads route by the group stamped in their
+  /// wire header; frames for a group with no handler are counted and
+  /// dropped after the transport-level ack/dedup work is done.
+  void set_group_handler(MuxGroup group, MessageFn fn);
+
+  /// Installs the node-level failure-on-delivery observer (one per node).
+  void set_failure_observer(FailureObserverFn fn) {
+    on_failure_observed_ = std::move(fn);
+  }
 
   /// Declares how many physical addresses a peer has (default 1).
   void set_peer_ifaces(NodeId peer, std::uint8_t count);
@@ -112,19 +134,30 @@ class ReliableTransport {
   /// Either way every retransmission and every interface under
   /// SendStrategy::kParallel shares that single frame buffer.
   TransferId send(NodeId dst, Slice payload, DeliveredFn delivered = {},
-                  FailedFn failed = {});
+                  FailedFn failed = {}) {
+    return send_on(0, dst, std::move(payload), std::move(delivered),
+                   std::move(failed));
+  }
   TransferId send(NodeId dst, Bytes payload, DeliveredFn delivered = {},
                   FailedFn failed = {}) {
-    return send(dst, Slice::take(std::move(payload)), std::move(delivered),
-                std::move(failed));
+    return send_on(0, dst, Slice::take(std::move(payload)),
+                   std::move(delivered), std::move(failed));
   }
+  /// send() stamped with an explicit demux group. Sequence numbers, epochs
+  /// and the receiver dedup window stay per-peer (not per-group): the
+  /// reliability substrate is shared, only delivery routing differs.
+  TransferId send_on(MuxGroup group, NodeId dst, Slice payload,
+                     DeliveredFn delivered = {}, FailedFn failed = {});
 
   /// Fire-and-forget datagram bypassing acks/retransmission (used for
   /// low-frequency advisory traffic such as BODYODOR discovery).
-  void send_unreliable(NodeId dst, Slice payload);
-  void send_unreliable(NodeId dst, Bytes payload) {
-    send_unreliable(dst, Slice::take(std::move(payload)));
+  void send_unreliable(NodeId dst, Slice payload) {
+    send_unreliable_on(0, dst, std::move(payload));
   }
+  void send_unreliable(NodeId dst, Bytes payload) {
+    send_unreliable_on(0, dst, Slice::take(std::move(payload)));
+  }
+  void send_unreliable_on(MuxGroup group, NodeId dst, Slice payload);
 
   /// Abandons an in-flight transfer without a failure notification.
   void cancel(TransferId id);
@@ -197,6 +230,7 @@ class ReliableTransport {
 
   struct InFlight {
     NodeId dst = kInvalidNode;
+    MuxGroup group = 0;          // demux group the frame is stamped with
     std::uint32_t epoch = 0;     // sender epoch the frame is stamped with
     std::uint64_t wire_seq = 0;  // per-destination sequence number
     Time started = 0;            // send() time, for ack-latency measurement
@@ -223,8 +257,10 @@ class ReliableTransport {
                   std::uint8_t from_iface);
   /// Frames a payload for a DATA transfer: in place via the payload's own
   /// slack when possible, through one re-copy otherwise.
-  Slice build_data_frame(Slice&& payload, std::uint32_t epoch,
+  Slice build_data_frame(Slice&& payload, MuxGroup group, std::uint32_t epoch,
                          std::uint64_t seq);
+  /// Routes an inbound payload to its group's handler (or counts the drop).
+  void deliver(MuxGroup group, NodeId src, Slice payload);
   void attempt(TransferId id);
   void on_attempt_timeout(TransferId id);
   /// Timeout for the attempt just transmitted: cfg_.rto in fixed mode;
@@ -243,7 +279,10 @@ class ReliableTransport {
 
   net::NodeEnv& env_;
   TransportConfig cfg_;
-  MessageFn on_message_;
+  /// Per-group upper-layer handlers (group 0 = the classic single-session
+  /// handler installed by set_message_handler).
+  std::map<MuxGroup, MessageFn> handlers_;
+  FailureObserverFn on_failure_observed_;
   bool enabled_ = true;
 
   std::uint64_t next_transfer_id_ = 1;
@@ -296,6 +335,10 @@ class ReliableTransport {
   /// window for that peer (stale retransmissions from before a
   /// forget_peer) — dropped unacknowledged.
   Counter& stale_epoch_drops_ = metrics_.counter("transport.recv.stale_epoch");
+  /// Integrity-checked frames whose demux group has no registered handler
+  /// (a ring was destroyed, or a peer runs more rings than we do).
+  Counter& unknown_group_drops_ =
+      metrics_.counter("transport.recv.unknown_group");
   /// Clean (Karn-filtered) ack-latency samples fed to the RTT estimator.
   Counter& rtt_samples_ = metrics_.counter("transport.rtt_samples");
   /// Encode-once accounting: transfers framed in the payload's own slack

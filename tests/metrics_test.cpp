@@ -74,6 +74,49 @@ TEST(MetricsRegistry, ResetClearsValuesButKeepsInstruments) {
   EXPECT_EQ(reg.instrument_count(), 3u);
 }
 
+TEST(MetricsRegistry, PrefixNamespacesInstrumentsPerInstance) {
+  // The multi-session runtime gives every ring its own Registry with a
+  // name prefix ("ring0.", "shard2.", ...) so instruments from K rings on
+  // one node never collide when the node merges snapshots for export.
+  Registry plain;
+  Registry r0("ring0.");
+  Registry r1("ring1.");
+
+  Counter& c0 = r0.counter("session.token.received");
+  Counter& c1 = r1.counter("session.token.received");
+  EXPECT_NE(&c0, &c1);
+  c0.inc(3);
+  c1.inc(8);
+  EXPECT_EQ(r0.counter("session.token.received").value(), 3u);
+  EXPECT_EQ(r1.counter("session.token.received").value(), 8u);
+
+  // Lookups speak the local (unprefixed) name, like counter() does;
+  // snapshots export the full prefixed name.
+  EXPECT_TRUE(r0.has("session.token.received"));
+  EXPECT_FALSE(r0.has("ring1.session.token.received"));
+  Snapshot s = plain.snapshot();
+  s.merge(r0.snapshot());
+  s.merge(r1.snapshot());
+  EXPECT_EQ(s.counters.at("ring0.session.token.received"), 3u);
+  EXPECT_EQ(s.counters.at("ring1.session.token.received"), 8u);
+  EXPECT_EQ(s.counters.count("session.token.received"), 0u);
+
+  // Same prefix + same name is still one instrument.
+  EXPECT_EQ(&r0.counter("session.token.received"), &c0);
+}
+
+TEST(MetricsRegistry, PrefixedHistogramSeedsFollowFullName) {
+  // Reservoir seeds derive from the prefixed name, so equal-prefixed
+  // registries replay identically while different prefixes are allowed
+  // to (and here do not need to) diverge.
+  Registry a("ringX."), b("ringX.");
+  for (int i = 0; i < 4000; ++i) {
+    a.histogram("lat", 32).record(i);
+    b.histogram("lat", 32).record(i);
+  }
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
 TEST(MetricsRegistry, ReservoirSamplesIsBoundedBySumOfCapacities) {
   Registry reg;
   Histogram& a = reg.histogram("a", 16);

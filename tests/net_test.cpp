@@ -68,6 +68,42 @@ TEST(EventLoopTest, EventsCanScheduleEvents) {
   EXPECT_EQ(depth, 5);
 }
 
+TEST(EventLoopTest, CancelDoesNotLeakAndPendingStaysExact) {
+  // Regression: cancelled ids used to pile up in a tombstone set forever
+  // (a long-lived loop cancelling periodic timers leaked), and pending()
+  // subtracted that set's size — so cancelling an ALREADY-FIRED id made
+  // pending() underflow its unsigned arithmetic to a huge value, wedging
+  // idle().
+  EventLoop loop;
+  EXPECT_EQ(loop.pending(), 0u);
+  auto fired = loop.schedule(millis(1), [] {});
+  auto live = loop.schedule(millis(50), [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.run_until(millis(10));
+  EXPECT_EQ(loop.pending(), 1u);
+  // Cancelling an id that already ran must be a no-op, not an underflow.
+  loop.cancel(fired);
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_FALSE(loop.idle());
+  loop.cancel(live);
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_TRUE(loop.idle());
+  // Double-cancel is also a no-op.
+  loop.cancel(live);
+  EXPECT_EQ(loop.pending(), 0u);
+
+  // Steady-state churn: schedule+cancel cycles must not grow the loop's
+  // bookkeeping — pending() returns to zero every round and stale ids from
+  // thousands of rounds ago stay inert.
+  for (int i = 0; i < 5000; ++i) {
+    auto id = loop.schedule(millis(5), [] {});
+    loop.cancel(id);
+    EXPECT_EQ(loop.pending(), 0u);
+  }
+  loop.run_until(loop.now() + millis(20));
+  EXPECT_TRUE(loop.idle());
+}
+
 TEST(EventLoopTest, StepExecutesExactlyOne) {
   EventLoop loop;
   int count = 0;

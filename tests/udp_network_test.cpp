@@ -5,7 +5,9 @@
 
 #include <memory>
 
+#include "common/metrics.h"
 #include "net/udp_network.h"
+#include "session/session_mux.h"
 #include "session/session_node.h"
 #include "transport/transport.h"
 
@@ -98,6 +100,62 @@ TEST(UdpNetworkTest, SessionGroupFormsOverUdp) {
   for (NodeId id = 1; id <= 3; ++id) {
     EXPECT_EQ(delivered[id], 1) << "node " << id;
   }
+}
+
+TEST(UdpNetworkTest, TwoSessionsDemuxOverOneBoundPort) {
+  // Multi-session smoke test: each node binds ONE UDP socket and runs two
+  // independent rings (demux groups 0 and 1) through a SessionMux over it.
+  // Both rings must form full views and deliver independently, and the node
+  // must hold exactly one failure-detector state (one unprefixed
+  // "transport.rtt_samples" — not one per ring).
+  net::UdpConfig cfg;
+  cfg.base_port = 46220;
+  net::UdpNetwork net(cfg);
+  session::SessionConfig scfg;
+  scfg.token_hold = millis(5);
+  scfg.eligible = {1, 2, 3};
+
+  std::map<NodeId, std::unique_ptr<session::SessionMux>> muxes;
+  // delivered[node][group]
+  std::map<NodeId, std::map<transport::MuxGroup, int>> delivered;
+  for (NodeId id = 1; id <= 3; ++id) {
+    muxes[id] = std::make_unique<session::SessionMux>(net.add_node(id));
+    for (transport::MuxGroup g : {transport::MuxGroup{0}, transport::MuxGroup{1}}) {
+      auto& ring = muxes[id]->create_ring(g, scfg);
+      ring.set_deliver_handler(
+          [&delivered, id, g](NodeId, const Slice&, session::Ordering) {
+            delivered[id][g]++;
+          });
+    }
+  }
+  for (transport::MuxGroup g : {transport::MuxGroup{0}, transport::MuxGroup{1}}) {
+    muxes[1]->ring(g)->found();
+    muxes[2]->ring(g)->join({1});
+    muxes[3]->ring(g)->join({1});
+  }
+  net.run_for(seconds(2));
+  for (NodeId id = 1; id <= 3; ++id) {
+    EXPECT_EQ(muxes[id]->ring(0)->view().members.size(), 3u) << "node " << id;
+    EXPECT_EQ(muxes[id]->ring(1)->view().members.size(), 3u) << "node " << id;
+  }
+
+  // One multicast per ring: deliveries stay within their group.
+  muxes[2]->ring(0)->multicast(Bytes{1});
+  muxes[3]->ring(1)->multicast(Bytes{2});
+  muxes[3]->ring(1)->multicast(Bytes{3});
+  net.run_for(seconds(1));
+  for (NodeId id = 1; id <= 3; ++id) {
+    EXPECT_EQ(delivered[id][0], 1) << "node " << id;
+    EXPECT_EQ(delivered[id][1], 2) << "node " << id;
+  }
+
+  // Single shared detector: exactly one unprefixed transport.rtt_samples,
+  // with per-ring session instruments under their group prefixes.
+  metrics::Snapshot s = muxes[1]->metrics_snapshot();
+  EXPECT_EQ(s.counters.count("transport.rtt_samples"), 1u);
+  EXPECT_EQ(s.counters.count("ring0.transport.rtt_samples"), 0u);
+  EXPECT_TRUE(s.counters.count("ring0.session.token.received"));
+  EXPECT_TRUE(s.counters.count("ring1.session.token.received"));
 }
 
 }  // namespace
