@@ -1,0 +1,390 @@
+// E11 — durable data plane: WAL overhead and recovery time vs state size.
+//
+// Phase A (overhead): the identical agreed-put workload runs over a
+// 4-node / 2-shard cluster — once with the per-shard WAL journalling every
+// apply (fsync batched), once with durability disabled. Simulated time is
+// free of disk costs by construction, so the WAL tax shows up only in WALL
+// CLOCK: we time the drive loop for both runs and report msgs per real
+// second. Wall clock on a shared machine is noisy at tens-of-ms scales, so
+// each configuration runs `--trials` times (default 5), trials for the
+// two configs interleaved so load bursts hit both sides alike, and each
+// config is represented by its best run — the minimum-interference run is
+// the one that reflects the actual WAL cost.
+// The harness exits non-zero when best-of-N WAL-on throughput falls below
+// 0.7x best-of-N WAL-off (the batched-fsync budget from DESIGN.md §5g).
+//
+// Phase B (recovery): a founding node journals N entries with compaction
+// disabled, tears down, and a fresh stack over the same directory replays
+// the whole log before re-founding. Rows N = 1000 / 5000 / 10000 report
+// wall-clock recovery time and replayed-records throughput; the 10k row is
+// the acceptance floor — recovery must genuinely replay >= 10k WAL records
+// (storage.wal.replayed is cross-checked, not inferred).
+//
+// Flags: --msgs=N     puts per node in phase A (default 2000)
+//        --trials=N   wall-clock trials per phase-A config (default 5)
+//        --entries=N  cap for the largest phase-B row (default 10000)
+//        --wal-dir=D  keep the largest phase-B directory at D for the
+//                     README recovery demo (default: temp dir, removed)
+//        --json=F     raincore.bench.v1 document (adds storage.* metrics)
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/util/bench_json.h"
+#include "bench/util/gc_harness.h"
+#include "data/shard_router.h"
+#include "net/sim_network.h"
+#include "session/session_mux.h"
+
+using namespace raincore;
+using raincore::bench::print_banner;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kShards = 2;
+constexpr data::Channel kChannel = 1;
+// Steady-state group commit: ~1k records per fsync. At the saturated apply
+// rate this is one sync every few tens of milliseconds — the usual group
+// commit horizon — and it is what makes the 0.7x budget meetable at all:
+// the single-threaded simulation serialises every node's fsyncs through
+// one wall clock, so the sim *overstates* the per-cluster WAL tax that a
+// real deployment (parallel disks) would see. The chaos/storm harness
+// deliberately runs the opposite extreme (fsync_every=4, tight acks).
+constexpr std::size_t kFsyncEvery = 1024;
+std::size_t g_fsync_every = kFsyncEvery;
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Stack {
+  std::unique_ptr<session::SessionMux> mux;
+  std::unique_ptr<data::ShardedDataPlane> plane;
+  std::unique_ptr<data::ShardedMap> map;
+};
+
+struct ThroughputResult {
+  double wall_ms = 0;
+  double msgs_per_s = 0;
+  std::uint64_t applied = 0;
+  metrics::Snapshot storage;
+};
+
+/// Phase A: drive msgs_per_node puts per node to full application
+/// everywhere; the returned throughput is messages per WALL second.
+ThroughputResult run_workload(std::size_t msgs_per_node,
+                              const std::string& dir) {
+  net::SimNetwork net;
+  std::vector<NodeId> ids;
+  for (NodeId id = 1; id <= kNodes; ++id) ids.push_back(id);
+  session::SessionConfig scfg;
+  scfg.eligible = ids;
+
+  std::map<NodeId, Stack> stacks;
+  for (NodeId id : ids) {
+    Stack& st = stacks[id];
+    st.mux = std::make_unique<session::SessionMux>(net.add_node(id));
+    storage::StorageConfig cfg;  // empty dir = durability off
+    if (!dir.empty()) {
+      cfg.dir = dir + "/node" + std::to_string(id);
+      cfg.fsync_every = g_fsync_every;
+      cfg.snapshot_every = 4096;
+    }
+    st.plane = std::make_unique<data::ShardedDataPlane>(*st.mux, kShards,
+                                                        scfg, 0, cfg);
+    st.map = std::make_unique<data::ShardedMap>(*st.plane, kChannel);
+    if (!dir.empty() && !st.plane->open_storage()) {
+      std::fprintf(stderr, "FATAL: cannot open stores under %s\n",
+                   cfg.dir.c_str());
+      std::exit(1);
+    }
+    st.plane->found_all();
+  }
+  for (int i = 0; i < 2000; ++i) {
+    net.loop().run_for(millis(10));
+    bool ok = true;
+    for (NodeId id : ids) {
+      if (!stacks[id].plane->all_converged(kNodes)) ok = false;
+    }
+    if (ok) break;
+  }
+
+  // Producers: one put per simulated millisecond per node until each has
+  // proposed its quota; unique keys, so full application is size-checkable.
+  std::map<NodeId, std::uint64_t> sent;
+  std::vector<std::unique_ptr<std::function<void()>>> tickers;
+  for (NodeId id : ids) {
+    auto tick = std::make_unique<std::function<void()>>();
+    std::function<void()>* self = tick.get();
+    *tick = [&, id, self] {
+      if (sent[id] >= msgs_per_node) return;
+      std::uint64_t n = sent[id]++;
+      stacks[id].map->put("n" + std::to_string(id) + ":" + std::to_string(n),
+                          "v" + std::to_string(n));
+      stacks[id].mux->env().schedule(millis(1), *self);
+    };
+    stacks[id].mux->env().schedule(millis(1), *tick);
+    tickers.push_back(std::move(tick));
+  }
+
+  const std::size_t total = kNodes * msgs_per_node;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 100000; ++i) {
+    net.loop().run_for(millis(20));
+    bool done = true;
+    for (NodeId id : ids) {
+      if (stacks[id].map->size() < total) done = false;
+    }
+    if (done) break;
+  }
+  ThroughputResult r;
+  r.wall_ms = wall_ms_since(t0);
+  for (NodeId id : ids) r.applied += stacks[id].map->size();
+  if (!dir.empty()) {
+    for (NodeId id : ids) stacks[id].plane->flush_storage();
+    r.storage = stacks[1].plane->storage_snapshot();
+  }
+  r.msgs_per_s = static_cast<double>(total) / (r.wall_ms / 1e3);
+  if (r.applied != total * kNodes) {
+    std::fprintf(stderr, "FATAL: workload incomplete (%llu of %zu applies)\n",
+                 static_cast<unsigned long long>(r.applied),
+                 total * kNodes);
+    std::exit(1);
+  }
+  return r;
+}
+
+/// Best-of-`trials` for both configs, trials INTERLEAVED (off, on, off,
+/// on, ...): a burst of unrelated machine load then degrades the same
+/// trial window on both sides instead of wiping out one config's entire
+/// block, and each side is represented by its least-disturbed run.
+void best_workloads(std::size_t trials, std::size_t msgs_per_node,
+                    const std::string& on_dir, ThroughputResult& best_off,
+                    ThroughputResult& best_on) {
+  for (std::size_t t = 0; t < trials; ++t) {
+    ThroughputResult off = run_workload(msgs_per_node, "");
+    if (off.msgs_per_s > best_off.msgs_per_s) best_off = std::move(off);
+    fs::remove_all(on_dir);
+    ThroughputResult on = run_workload(msgs_per_node, on_dir);
+    if (on.msgs_per_s > best_on.msgs_per_s) best_on = std::move(on);
+  }
+}
+
+struct RecoveryResult {
+  std::size_t entries = 0;
+  std::uint64_t replayed = 0;
+  double recovery_ms = 0;
+  double entries_per_s = 0;
+};
+
+/// Phase B: journal `entries` puts on a founding single node (compaction
+/// off, so every entry stays in the WAL), tear down, and time a cold
+/// recovery over the same directory.
+RecoveryResult run_recovery(std::size_t entries, const std::string& dir) {
+  fs::remove_all(dir);
+  storage::StorageConfig cfg;
+  cfg.dir = dir;
+  cfg.fsync_every = kFsyncEvery;
+  cfg.snapshot_every = 0;  // never compact: recovery must replay the log
+  session::SessionConfig scfg;
+  scfg.eligible = {1};
+  {
+    net::SimNetwork net;
+    session::SessionMux mux(net.add_node(1));
+    data::ShardedDataPlane plane(mux, kShards, scfg, 0, cfg);
+    data::ShardedMap map(plane, kChannel);
+    if (!plane.open_storage()) {
+      std::fprintf(stderr, "FATAL: cannot open stores under %s\n",
+                   dir.c_str());
+      std::exit(1);
+    }
+    plane.found_all();
+    net.loop().run_for(millis(50));
+    std::size_t written = 0;
+    while (written < entries) {
+      // Propose in token-sized clumps; the singleton ring applies them all.
+      for (std::size_t b = 0; b < 64 && written < entries; ++b, ++written) {
+        map.put("k" + std::to_string(written), "v" + std::to_string(written));
+      }
+      net.loop().run_for(millis(5));
+    }
+    net.loop().run_for(millis(200));
+    if (map.size() != entries) {
+      std::fprintf(stderr, "FATAL: only %zu of %zu entries applied\n",
+                   map.size(), entries);
+      std::exit(1);
+    }
+    plane.flush_storage();
+  }
+
+  // Cold start: a brand-new stack over the same directory.
+  net::SimNetwork net;
+  session::SessionMux mux(net.add_node(1));
+  data::ShardedDataPlane plane(mux, kShards, scfg, 0, cfg);
+  data::ShardedMap map(plane, kChannel);
+  if (!plane.open_storage()) {
+    std::fprintf(stderr, "FATAL: reopen failed under %s\n", dir.c_str());
+    std::exit(1);
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  plane.recover_storage();
+  RecoveryResult r;
+  r.recovery_ms = wall_ms_since(t0);
+  r.entries = entries;
+  plane.found_all();  // founding view adopts the recovered shadow
+  net.loop().run_for(millis(100));
+  const metrics::Snapshot snap = plane.storage_snapshot();
+  for (const auto& [name, v] : snap.counters) {
+    if (name.find("storage.wal.replayed") != std::string::npos) {
+      r.replayed += v;
+    }
+  }
+  r.entries_per_s = static_cast<double>(entries) / (r.recovery_ms / 1e3);
+  if (map.size() != entries) {
+    std::fprintf(stderr, "FATAL: recovery produced %zu of %zu entries\n",
+                 map.size(), entries);
+    std::exit(1);
+  }
+  return r;
+}
+
+std::size_t flag_value(int argc, char** argv, const char* name,
+                       std::size_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoull(argv[i] + prefix.size(), nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+std::string flag_string(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_banner("Raincore bench E11: durable data plane",
+               "per-shard WAL overhead + recovery vs state size (§5g)");
+
+  const std::size_t msgs = flag_value(argc, argv, "msgs", 2000);
+  const std::size_t trials =
+      std::max<std::size_t>(1, flag_value(argc, argv, "trials", 5));
+  g_fsync_every = std::max<std::size_t>(
+      1, flag_value(argc, argv, "fsync", kFsyncEvery));
+  const std::size_t max_entries = flag_value(argc, argv, "entries", 10000);
+  const std::string wal_dir = flag_string(argc, argv, "wal-dir");
+  const fs::path tmp =
+      fs::temp_directory_path() / ("raincore-bench-dur-" +
+                                   std::to_string(::getpid()));
+  fs::remove_all(tmp);
+  fs::create_directories(tmp);
+
+  bench::JsonReport report("durability");
+  report.param("nodes", static_cast<double>(kNodes));
+  report.param("shards", static_cast<double>(kShards));
+  report.param("msgs_per_node", static_cast<double>(msgs));
+  report.param("fsync_every", static_cast<double>(g_fsync_every));
+  report.param("trials", static_cast<double>(trials));
+
+  std::printf("\nPhase A: %zu nodes x %zu puts, %zu shards, fsync batch %zu, "
+              "best of %zu\n",
+              kNodes, msgs, kShards, g_fsync_every, trials);
+  std::printf("%8s | %12s %12s\n", "wal", "wall (ms)", "msgs/s (wall)");
+  std::printf("---------------------------------------\n");
+  ThroughputResult off, on;
+  best_workloads(trials, msgs, (tmp / "phase-a").string(), off, on);
+  std::printf("%8s | %12.1f %12.0f\n", "off", off.wall_ms, off.msgs_per_s);
+  std::printf("%8s | %12.1f %12.0f\n", "on", on.wall_ms, on.msgs_per_s);
+  const double ratio = on.msgs_per_s / off.msgs_per_s;
+  std::printf("\nWAL-on / WAL-off throughput: %.2fx (floor: 0.70x)\n", ratio);
+
+  for (const char* name : {"wal-off", "wal-on"}) {
+    const ThroughputResult& r = std::strcmp(name, "wal-on") == 0 ? on : off;
+    JsonValue row = bench::JsonReport::row(name);
+    row.set("wall_ms", JsonValue::number(r.wall_ms));
+    row.set("throughput_msgs_per_s", JsonValue::number(r.msgs_per_s));
+    report.add(std::move(row));
+  }
+  {
+    JsonValue row = bench::JsonReport::row("wal-overhead");
+    row.set("factor", JsonValue::number(ratio));
+    row.set("passed", JsonValue::boolean(ratio >= 0.7));
+    report.add(std::move(row));
+  }
+
+  std::printf("\nPhase B: cold recovery, compaction off (pure WAL replay)\n");
+  std::printf("%8s | %12s %12s %14s\n", "entries", "replayed",
+              "recover (ms)", "entries/s");
+  std::printf("---------------------------------------------------\n");
+  std::vector<std::size_t> sizes = {1000, 5000, 10000};
+  for (std::size_t& s : sizes) s = std::min(s, max_entries);
+  bool replay_floor_met = false;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const bool largest = i + 1 == sizes.size();
+    const std::string dir = largest && !wal_dir.empty()
+                                ? wal_dir
+                                : (tmp / ("recover-" +
+                                          std::to_string(sizes[i]))).string();
+    RecoveryResult r = run_recovery(sizes[i], dir);
+    std::printf("%8zu | %12llu %12.1f %14.0f\n", r.entries,
+                static_cast<unsigned long long>(r.replayed), r.recovery_ms,
+                r.entries_per_s);
+    if (r.replayed >= 10000) replay_floor_met = true;
+    JsonValue row =
+        bench::JsonReport::row("recover-" + std::to_string(r.entries));
+    row.set("entries", JsonValue::number(static_cast<double>(r.entries)));
+    row.set("wal_records_replayed",
+            JsonValue::number(static_cast<double>(r.replayed)));
+    row.set("recovery_ms", JsonValue::number(r.recovery_ms));
+    row.set("entries_per_s", JsonValue::number(r.entries_per_s));
+    report.add(std::move(row));
+    if (largest && !wal_dir.empty()) {
+      std::printf("\nkept WAL directory for inspection: %s\n",
+                  wal_dir.c_str());
+      std::printf("  (a fresh node over this directory replays the log and\n");
+      std::printf("   re-founds with the full map — see README quick-start)\n");
+    }
+  }
+
+  report.set_metrics(on.storage);  // storage.* instruments travel in-band
+  bench::maybe_write_report(report, bench::json_path_from_args(argc, argv));
+
+  if (ratio < 0.7) {
+    std::fprintf(stderr, "FAIL: WAL overhead %.2fx below the 0.70x floor\n",
+                 ratio);
+    fs::remove_all(tmp);
+    return 1;
+  }
+  if (max_entries >= 10000 && !replay_floor_met) {
+    std::fprintf(stderr,
+                 "FAIL: no recovery row replayed >= 10000 WAL records\n");
+    fs::remove_all(tmp);
+    return 1;
+  }
+  fs::remove_all(tmp);
+  return 0;
+}

@@ -118,6 +118,35 @@ bool check_file(const std::string& path) {
   std::printf("  ok: %s (bench=%s, %zu result rows%s)\n", path.c_str(),
               bench->as_string().c_str(), results->items().size(),
               v.find("metrics") ? ", with metrics snapshot" : "");
+  if (bench->as_string() == "durability") {
+    // The durability document must carry the storage.* instruments in its
+    // metrics snapshot — a WAL-on run that journalled nothing would
+    // otherwise sail through the schema check.
+    const JsonValue* metrics = v.find("metrics");
+    const JsonValue* counters =
+        metrics != nullptr ? metrics->find("counters") : nullptr;
+    bool has_appends = false, has_fsyncs = false;
+    if (counters != nullptr) {
+      for (const auto& [name, val] : counters->members()) {
+        if (name.find("storage.wal.appends") != std::string::npos &&
+            val.as_number() > 0) {
+          has_appends = true;
+        }
+        if (name.find("storage.wal.fsyncs") != std::string::npos &&
+            val.as_number() > 0) {
+          has_fsyncs = true;
+        }
+      }
+    }
+    if (!has_appends || !has_fsyncs) {
+      std::printf("  FAIL: %s: durability document lacks non-zero "
+                  "storage.wal.appends/fsyncs counters\n",
+                  path.c_str());
+      return false;
+    }
+    std::printf("  ok: %s carries non-zero storage.* instruments\n",
+                path.c_str());
+  }
   return true;
 }
 

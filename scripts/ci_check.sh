@@ -9,6 +9,11 @@
 # Usage: scripts/ci_check.sh [asan-build-dir]
 #   asan-build-dir  defaults to <repo>/build-asan (configured on demand)
 #
+# The `durability`-labelled suite then runs under the same ASAN tree:
+# WAL format/torn-tail unit tests plus the restart-storm chaos sweep
+# (seeds 1..25) whose oracle allows ZERO acked-write losses and ZERO
+# phantom resurrections, and the bench_durability WAL-overhead gate.
+#
 # A lossy-link soak follows the clean sweep: the same invariant checkers
 # under 5% uniform base packet loss with the RTT-inflation and link-flap
 # fault classes in the schedule and the adaptive detector on. The soak
@@ -37,7 +42,8 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 echo "== configure + build (ASAN) in $BUILD"
 cmake -B "$BUILD" -S "$ROOT" -DRAINCORE_ASAN=ON
 cmake --build "$BUILD" -j"$JOBS" --target bench_chaos wire_perf_test \
-    shard_test bench_shard bench_json_check
+    shard_test bench_shard bench_json_check storage_test durability_test \
+    bench_durability
 
 echo "== chaos sweep: $ROUNDS rounds x ${MS}ms, $NODES nodes, seeds $SEED.."
 "$BUILD/bench/bench_chaos" "$ROUNDS" "$MS" "$NODES" "$SEED"
@@ -54,5 +60,10 @@ ctest --test-dir "$BUILD" -L perf --output-on-failure
 echo "== shard label under ASAN (multi-ring runtime, sharded data plane," \
      "25-seed multi-ring chaos sweep, bench_shard 2.5x scaling gate)"
 ctest --test-dir "$BUILD" -L shard --output-on-failure
+
+echo "== durability label under ASAN (WAL format/torn-tail tests," \
+     "restart-storm sweep seeds 1..25 with a zero acked-write-loss and" \
+     "zero phantom-resurrection budget, bench_durability 0.7x WAL gate)"
+ctest --test-dir "$BUILD" -L durability --output-on-failure
 
 echo "== ci_check OK"

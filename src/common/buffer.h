@@ -203,6 +203,10 @@ class ByteWriter {
     buf_.insert(buf_.end(), data, data + n);
   }
 
+  /// Discards the body but keeps the allocated capacity (and headroom
+  /// slack), so one writer can encode a stream of records alloc-free.
+  void clear() { buf_.resize(headroom_); }
+
   /// Body size (excludes any slack).
   std::size_t size() const { return buf_.size() - headroom_; }
   const Bytes& view() const {

@@ -19,6 +19,119 @@ LockManager::LockManager(ChannelMux& mux, Channel channel)
   mux_.subscribe_views([this](const session::View& v) { on_view(v); });
 }
 
+void LockManager::bind_store(storage::ShardStore& store, std::uint16_t stream) {
+  store_ = &store;
+  stream_ = stream;
+  storage::ShardStore::Hooks hooks;
+  hooks.begin_recovery = [this] {
+    shadow_locks_.clear();
+    shadow_next_req_ = 0;
+    shadow_valid_ = false;
+  };
+  hooks.snapshot = [this] {
+    ByteWriter w(64);
+    w.u64(next_req_);
+    write_table(w, locks_);
+    return w.take();
+  };
+  hooks.load_snapshot = [this](ByteReader& r) {
+    const std::uint64_t next_req = r.u64();
+    std::map<std::string, LockState> table;
+    if (!read_table(r, table)) return;
+    shadow_next_req_ = std::max(shadow_next_req_, next_req);
+    shadow_locks_ = std::move(table);
+    shadow_valid_ = true;
+  };
+  hooks.replay = [this](ByteReader& r) {
+    const auto op = static_cast<Op>(r.u8());
+    if (op == Op::kEpoch) {
+      std::map<std::string, LockState> table;
+      if (read_table(r, table)) {
+        shadow_locks_ = std::move(table);
+        shadow_valid_ = true;
+      }
+      return;
+    }
+    std::string name = r.str();
+    const NodeId node = r.u32();
+    const std::uint64_t req = op == Op::kAcquire ? r.u64() : 0;
+    if (!r.ok()) return;
+    shadow_valid_ = true;
+    auto& q = shadow_locks_[name].queue;
+    if (op == Op::kAcquire) {
+      if (node == mux_.self()) {
+        shadow_next_req_ = std::max(shadow_next_req_, req + 1);
+      }
+      for (const Waiter& w : q) {
+        if (w.node == node && w.req == req) return;
+      }
+      q.push_back(Waiter{node, req});
+    } else if (op == Op::kRelease) {
+      for (auto w = q.begin(); w != q.end(); ++w) {
+        if (w->node == node) {
+          q.erase(w);
+          break;
+        }
+      }
+      if (q.empty()) shadow_locks_.erase(name);
+    }
+  };
+  store.attach(stream, std::move(hooks));
+}
+
+void LockManager::write_table(
+    ByteWriter& w, const std::map<std::string, LockState>& table) const {
+  w.u32(static_cast<std::uint32_t>(table.size()));
+  for (const auto& [name, state] : table) {
+    w.str(name);
+    w.u32(static_cast<std::uint32_t>(state.queue.size()));
+    for (const Waiter& waiter : state.queue) {
+      w.u32(waiter.node);
+      w.u64(waiter.req);
+    }
+  }
+}
+
+bool LockManager::read_table(ByteReader& r,
+                             std::map<std::string, LockState>& table) const {
+  const std::uint32_t n_locks = r.u32();
+  if (!r.ok() || n_locks > 1'000'000) return false;
+  for (std::uint32_t i = 0; i < n_locks && r.ok(); ++i) {
+    std::string name = r.str();
+    const std::uint32_t n_waiters = r.u32();
+    if (!r.ok() || n_waiters > 1'000'000) return false;
+    LockState& s = table[name];
+    for (std::uint32_t k = 0; k < n_waiters && r.ok(); ++k) {
+      const NodeId node = r.u32();
+      const std::uint64_t req = r.u64();
+      s.queue.push_back(Waiter{node, req});
+    }
+  }
+  return r.ok();
+}
+
+void LockManager::journal_op(Op op, const std::string& name, NodeId node,
+                             std::uint64_t req) {
+  if (store_ == nullptr || !store_->is_open()) return;
+  // Persistent scratch writer: apply-point journalling stays alloc-free.
+  journal_w_.clear();
+  journal_w_.u8(static_cast<std::uint8_t>(op));
+  journal_w_.str(name);
+  journal_w_.u32(node);
+  if (op == Op::kAcquire) journal_w_.u64(req);
+  store_->append(stream_, journal_w_.view());
+}
+
+void LockManager::journal_epoch() {
+  if (store_ == nullptr || !store_->is_open()) return;
+  // The adopted-and-purged table replaces the shadow wholesale at replay,
+  // exactly as apply_epoch replaced the live one.
+  ByteWriter w(64);
+  w.u8(static_cast<std::uint8_t>(Op::kEpoch));
+  write_table(w, locks_);
+  store_->append(stream_, w.take());
+}
+
 void LockManager::on_view(const session::View& v) {
   if (mux_.session().generation() != generation_) {
     // Crash-restart: our lock table is from a previous incarnation.
@@ -32,6 +145,18 @@ void LockManager::on_view(const session::View& v) {
     last_epoch_view_sent_ = 0;
   }
   if (!v.has(mux_.self())) return;
+  if (shadow_valid_ && v.members.size() == 1) {
+    // Founding singleton after a restart: adopt the recovered table (and
+    // request-id counter, so ids are never reused across incarnations).
+    // The epoch we announce for this very view carries the adopted table
+    // and purges entries of nodes that are no longer members.
+    locks_ = std::move(shadow_locks_);
+    next_req_ = std::max(next_req_, shadow_next_req_);
+    shadow_locks_.clear();
+    shadow_valid_ = false;
+    RC_INFO(kMod, "node %u adopted recovered lock table: %zu locks",
+            mux_.self(), locks_.size());
+  }
   // The lowest-id member announces every membership change into the agreed
   // stream so all replicas purge dead nodes at the same point. The epoch
   // carries the sender's full lock table: replicas adopt it wholesale,
@@ -132,12 +257,14 @@ void LockManager::apply_acquire(const std::string& name, NodeId node,
     if (w.node == node && w.req == req) return;  // duplicate
   }
   s.queue.push_back(Waiter{node, req});
+  journal_op(Op::kAcquire, name, node, req);
   maybe_grant(name);
 }
 
 void LockManager::apply_release(const std::string& name, NodeId node) {
   auto it = locks_.find(name);
   if (it == locks_.end()) return;
+  journal_op(Op::kRelease, name, node, 0);
   auto& q = it->second.queue;
   bool was_owner = !q.empty() && q.front().node == node;
   // A release removes the node's *earliest* entry only: the current
@@ -226,6 +353,7 @@ void LockManager::apply_epoch(const std::vector<NodeId>& members,
       if (!present) send_op(Op::kAcquire, name, req);
     }
   }
+  journal_epoch();
   for (const auto& entry : locks_) maybe_grant(entry.first);
 }
 

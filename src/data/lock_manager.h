@@ -15,6 +15,15 @@
 // Requests that an adopted table does not know about are re-asserted by
 // their requester through the agreed stream; ownerships the requester
 // already released are cancelled the same way, so the table self-heals.
+//
+// Durability (DESIGN.md §5g): with a storage::ShardStore bound, every
+// applied acquire/release/epoch journals at the apply point and the table
+// (plus the request-id counter, so a restarted node never reuses ids) is
+// recovered into a shadow on restart. A restarted founding singleton
+// adopts the shadow table; the very next EPOCH then purges entries whose
+// holders are not members — locks are leases scoped to live incarnations,
+// so recovery restores the *table* and the epoch protocol restores the
+// *truth*, with my_outstanding_ re-assertion healing the rest.
 #pragma once
 
 #include <deque>
@@ -25,6 +34,7 @@
 #include <string>
 
 #include "data/channel_mux.h"
+#include "storage/shard_store.h"
 
 namespace raincore::data {
 
@@ -61,6 +71,10 @@ class LockManager {
   metrics::Registry& metrics() { return metrics_; }
   const metrics::Registry& metrics() const { return metrics_; }
 
+  /// Binds a durable store: applies journal under `stream`, and the next
+  /// store.recover() loads the shadow table adopted on a founding restart.
+  void bind_store(storage::ShardStore& store, std::uint16_t stream);
+
  private:
   enum class Op : std::uint8_t {
     kAcquire = 1,
@@ -87,6 +101,15 @@ class LockManager {
                    std::map<std::string, LockState>&& table);
   void maybe_grant(const std::string& name);
   void send_op(Op op, const std::string& name, std::uint64_t req = 0);
+  void write_table(ByteWriter& w,
+                   const std::map<std::string, LockState>& table) const;
+  bool read_table(ByteReader& r, std::map<std::string, LockState>& table) const;
+  /// Reusable scratch buffer for journal_op() (capacity retained across
+  /// records — the apply-point hot path does not allocate).
+  ByteWriter journal_w_;
+  void journal_op(Op op, const std::string& name, NodeId node,
+                  std::uint64_t req);
+  void journal_epoch();
 
   ChannelMux& mux_;
   Channel channel_;
@@ -107,6 +130,12 @@ class LockManager {
   std::map<std::string, std::deque<std::uint64_t>> my_outstanding_;
   /// acquire() timestamps of this node's requests, for the wait histogram.
   std::map<std::pair<std::string, std::uint64_t>, Time> wait_since_;
+  /// Recovered-but-not-yet-adopted table (loaded by store.recover()).
+  std::map<std::string, LockState> shadow_locks_;
+  std::uint64_t shadow_next_req_ = 0;
+  bool shadow_valid_ = false;
+  storage::ShardStore* store_ = nullptr;
+  std::uint16_t stream_ = 0;
   metrics::Registry metrics_;
   Stats stats_{metrics_};
 };

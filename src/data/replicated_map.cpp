@@ -8,7 +8,8 @@ namespace raincore::data {
 
 namespace {
 constexpr const char* kMod = "repmap";
-}
+constexpr std::uint32_t kMaxWireEntries = 10'000'000;
+}  // namespace
 
 ReplicatedMap::ReplicatedMap(ChannelMux& mux, Channel channel)
     : mux_(mux), channel_(channel) {
@@ -19,13 +20,156 @@ ReplicatedMap::ReplicatedMap(ChannelMux& mux, Channel channel)
   mux_.subscribe_views([this](const session::View& v) { on_view(v); });
 }
 
+void ReplicatedMap::bind_store(storage::ShardStore& store,
+                               std::uint16_t stream) {
+  store_ = &store;
+  stream_ = stream;
+  storage::ShardStore::Hooks hooks;
+  hooks.begin_recovery = [this] {
+    shadow_.clear();
+    shadow_tombs_.clear();
+    shadow_clock_ = 0;
+    shadow_valid_ = false;
+  };
+  hooks.snapshot = [this] {
+    ByteWriter w(64);
+    write_state(w);
+    return w.take();
+  };
+  hooks.load_snapshot = [this](ByteReader& r) {
+    std::map<std::string, std::string> data;
+    std::map<std::string, Stamp> stamps;
+    std::map<std::string, Stamp> tombs;
+    std::uint64_t clock = 0;
+    if (!read_state(r, data, stamps, tombs, clock)) return;
+    for (auto& [k, v] : data) shadow_[k] = ShadowEntry{std::move(v), stamps[k]};
+    for (auto& [k, st] : tombs) {
+      auto it = shadow_tombs_.find(k);
+      if (it == shadow_tombs_.end() || it->second < st) shadow_tombs_[k] = st;
+    }
+    shadow_clock_ = std::max(shadow_clock_, clock);
+    shadow_valid_ = true;
+  };
+  hooks.replay = [this](ByteReader& r) {
+    const auto op = static_cast<Op>(r.u8());
+    std::string key = r.str();
+    std::string value = op == Op::kPut ? r.str() : std::string();
+    Stamp st;
+    st.lamport = r.u64();
+    st.origin = r.u32();
+    if (!r.ok()) return;
+    shadow_valid_ = true;
+    shadow_clock_ = std::max(shadow_clock_, st.lamport);
+    if (op == Op::kPut) {
+      shadow_[key] = ShadowEntry{std::move(value), st};
+      shadow_tombs_.erase(key);
+    } else if (op == Op::kErase) {
+      shadow_.erase(key);
+      auto it = shadow_tombs_.find(key);
+      if (it == shadow_tombs_.end() || it->second < st) shadow_tombs_[key] = st;
+    }
+  };
+  store.attach(stream, std::move(hooks));
+}
+
+void ReplicatedMap::journal(Op op, const std::string& key,
+                            const std::string& value, Stamp stamp) {
+  if (store_ == nullptr || !store_->is_open()) return;
+  // journal_w_ is a persistent scratch writer: clear() keeps its capacity,
+  // so steady-state journalling never allocates (this runs on every apply).
+  journal_w_.clear();
+  journal_w_.u8(static_cast<std::uint8_t>(op));
+  journal_w_.str(key);
+  if (op == Op::kPut) journal_w_.str(value);
+  journal_w_.u64(stamp.lamport);
+  journal_w_.u32(stamp.origin);
+  store_->append(stream_, journal_w_.view());
+}
+
+void ReplicatedMap::write_state(ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(data_.size()));
+  for (const auto& [k, v] : data_) {
+    w.str(k);
+    w.str(v);
+    auto it = stamps_.find(k);
+    const Stamp st = it != stamps_.end() ? it->second : Stamp{};
+    w.u64(st.lamport);
+    w.u32(st.origin);
+  }
+  w.u32(static_cast<std::uint32_t>(tombstones_.size()));
+  for (const auto& [k, st] : tombstones_) {
+    w.str(k);
+    w.u64(st.lamport);
+    w.u32(st.origin);
+  }
+  w.u64(std::max(lamport_, send_lamport_));
+}
+
+bool ReplicatedMap::read_state(ByteReader& r,
+                               std::map<std::string, std::string>& data,
+                               std::map<std::string, Stamp>& stamps,
+                               std::map<std::string, Stamp>& tombs,
+                               std::uint64_t& clock) const {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > kMaxWireEntries) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string k = r.str();
+    std::string v = r.str();
+    Stamp st;
+    st.lamport = r.u64();
+    st.origin = r.u32();
+    if (!r.ok()) return false;
+    data[k] = std::move(v);
+    stamps[k] = st;
+  }
+  const std::uint32_t tn = r.u32();
+  if (!r.ok() || tn > kMaxWireEntries) return false;
+  for (std::uint32_t i = 0; i < tn; ++i) {
+    std::string k = r.str();
+    Stamp st;
+    st.lamport = r.u64();
+    st.origin = r.u32();
+    if (!r.ok()) return false;
+    tombs[k] = st;
+  }
+  clock = r.u64();
+  return r.ok();
+}
+
+void ReplicatedMap::adopt_shadow_as_state() {
+  // Founding singleton after a restart: the recovered state IS the group
+  // state. The shadow is copied, not consumed — if this singleton later
+  // merges with the surviving group, reconcile_shadow() still needs it to
+  // re-propose recovered-only keys into whatever table wins the merge.
+  data_.clear();
+  stamps_.clear();
+  for (const auto& [k, e] : shadow_) {
+    data_[k] = e.value;
+    stamps_[k] = e.stamp;
+  }
+  tombstones_ = shadow_tombs_;
+  tombstone_order_.clear();
+  for (const auto& [k, st] : tombstones_) tombstone_order_.push_back(k);
+  lamport_ = std::max(lamport_, shadow_clock_);
+  send_lamport_ = std::max(send_lamport_, lamport_);
+  RC_INFO(kMod, "node %u ch%u adopted recovered state: %zu entries, %zu tombs",
+          mux_.self(), channel_, data_.size(), tombstones_.size());
+  if (on_change_) on_change_("", std::nullopt, mux_.self());
+}
+
 void ReplicatedMap::on_view(const session::View& v) {
   // A new session generation means this node crash-restarted: the replica
   // state belongs to the previous incarnation and must be dropped before
-  // re-syncing as a fresh joiner.
+  // re-syncing as a fresh joiner. The shadow survives the wipe — it was
+  // loaded by store.recover() FOR this incarnation.
   if (mux_.session().generation() != generation_) {
     generation_ = mux_.session().generation();
     data_.clear();
+    stamps_.clear();
+    tombstones_.clear();
+    tombstone_order_.clear();
+    my_writes_.clear();
+    my_writes_order_.clear();
     replay_.clear();
     synced_ = false;
     sync_requested_ = false;
@@ -37,8 +181,10 @@ void ReplicatedMap::on_view(const session::View& v) {
   if (!was_member_) {
     was_member_ = true;
     if (v.members.size() == 1) {
-      // Founding member of a fresh group: nothing to catch up with.
+      // Founding member of a fresh group: nothing to catch up with — except
+      // our own durable past, which becomes the group state outright.
       synced_ = true;
+      if (shadow_valid_) adopt_shadow_as_state();
     } else if (!synced_ && !sync_requested_) {
       // Joiner: ask the group for a snapshot through the agreed stream.
       sync_requested_ = true;
@@ -84,34 +230,39 @@ void ReplicatedMap::on_view(const session::View& v) {
     sync_ops_.inc();
     ByteWriter w(64);
     w.u8(static_cast<std::uint8_t>(Op::kReconcile));
-    w.u32(static_cast<std::uint32_t>(data_.size()));
-    for (const auto& [k, val] : data_) {
-      w.str(k);
-      w.str(val);
-    }
+    write_state(w);
     mux_.send(channel_, w.take());
   }
   prev_members_ = v.members;
 }
 
+ReplicatedMap::Stamp ReplicatedMap::next_send_stamp() {
+  send_lamport_ = std::max(send_lamport_, lamport_) + 1;
+  return Stamp{send_lamport_, mux_.self()};
+}
+
 void ReplicatedMap::put(const std::string& key, const std::string& value) {
   puts_.inc();
-  ByteWriter w(key.size() + value.size() + 24);
+  const Stamp st = next_send_stamp();
+  ByteWriter w(key.size() + value.size() + 32);
   w.u8(static_cast<std::uint8_t>(Op::kPut));
   w.str(key);
   w.str(value);
   // Multicast timestamp: replicas measure their convergence lag against it
   // (the simulator's virtual clock is global, so the delta is exact).
   w.u64(static_cast<std::uint64_t>(mux_.now()));
+  w.u64(st.lamport);
   mux_.send(channel_, w.take());
 }
 
 void ReplicatedMap::erase(const std::string& key) {
   erases_.inc();
-  ByteWriter w(key.size() + 16);
+  const Stamp st = next_send_stamp();
+  ByteWriter w(key.size() + 24);
   w.u8(static_cast<std::uint8_t>(Op::kErase));
   w.str(key);
   w.u64(static_cast<std::uint64_t>(mux_.now()));
+  w.u64(st.lamport);
   mux_.send(channel_, w.take());
 }
 
@@ -121,16 +272,200 @@ std::optional<std::string> ReplicatedMap::get(const std::string& key) const {
   return it->second;
 }
 
+void ReplicatedMap::add_tombstone(const std::string& key, Stamp stamp) {
+  auto it = tombstones_.find(key);
+  if (it != tombstones_.end()) {
+    if (it->second < stamp) it->second = stamp;
+    return;  // already in the eviction order
+  }
+  tombstones_.emplace(key, stamp);
+  tombstone_order_.push_back(key);
+  while (tombstones_.size() > kMaxTombstones && !tombstone_order_.empty()) {
+    const std::string oldest = std::move(tombstone_order_.front());
+    tombstone_order_.pop_front();
+    tombstones_.erase(oldest);  // may be a stale order entry (re-put key)
+  }
+}
+
+void ReplicatedMap::note_own_write(const std::string& key, Stamp stamp,
+                                   std::optional<std::string> value) {
+  auto it = my_writes_.find(key);
+  if (it != my_writes_.end()) {
+    it->second = OwnWrite{stamp, std::move(value)};
+    return;
+  }
+  my_writes_.emplace(key, OwnWrite{stamp, std::move(value)});
+  my_writes_order_.push_back(key);
+  while (my_writes_.size() > kMaxOwnWrites && !my_writes_order_.empty()) {
+    const std::string oldest = std::move(my_writes_order_.front());
+    my_writes_order_.pop_front();
+    my_writes_.erase(oldest);
+  }
+}
+
 void ReplicatedMap::apply_put(const std::string& key, std::string value,
-                              NodeId origin) {
+                              NodeId origin, Stamp stamp) {
   RC_TRACE(kMod, "node %u ch%u put %s=%s (origin %u)", mux_.self(), channel_,
            key.c_str(), value.c_str(), origin);
+  lamport_ = std::max(lamport_, stamp.lamport);
   data_[key] = std::move(value);
+  stamps_[key] = stamp;
+  tombstones_.erase(key);
+  // A live-stream apply supersedes whatever the shadow recovered for the key.
+  shadow_.erase(key);
+  shadow_tombs_.erase(key);
+  if (origin == mux_.self()) note_own_write(key, stamp, data_[key]);
+  journal(Op::kPut, key, data_[key], stamp);
   if (on_change_) on_change_(key, data_[key], origin);
 }
 
-void ReplicatedMap::apply_erase(const std::string& key, NodeId origin) {
-  if (data_.erase(key) > 0 && on_change_) on_change_(key, std::nullopt, origin);
+void ReplicatedMap::apply_erase(const std::string& key, NodeId origin,
+                                Stamp stamp) {
+  lamport_ = std::max(lamport_, stamp.lamport);
+  const bool existed = data_.erase(key) > 0;
+  stamps_.erase(key);
+  add_tombstone(key, stamp);
+  shadow_.erase(key);
+  if (origin == mux_.self()) note_own_write(key, stamp, std::nullopt);
+  journal(Op::kErase, key, std::string(), stamp);
+  if (existed && on_change_) on_change_(key, std::nullopt, origin);
+}
+
+void ReplicatedMap::send_repropose(Op op, const std::string& key,
+                                   const std::string& value, Stamp stamp) {
+  ByteWriter w(key.size() + value.size() + 16);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(key);
+  if (op == Op::kReproposePut) w.str(value);
+  w.u64(stamp.lamport);
+  w.u32(stamp.origin);
+  mux_.send(channel_, w.take());
+}
+
+void ReplicatedMap::apply_repropose_put(const std::string& key,
+                                        std::string value, Stamp stamp) {
+  // LWW guard over replicated state only (every replica must take the same
+  // branch at the same point of the agreed stream): a same-or-newer live
+  // entry or tombstone means this recovered mutation is history — drop it.
+  auto s = stamps_.find(key);
+  if (s != stamps_.end() && !(s->second < stamp)) return;
+  auto t = tombstones_.find(key);
+  if (t != tombstones_.end() && !(t->second < stamp)) return;
+  lamport_ = std::max(lamport_, stamp.lamport);
+  data_[key] = std::move(value);
+  stamps_[key] = stamp;
+  tombstones_.erase(key);
+  // Superseded shadow state (ours may be the very entry just re-proposed).
+  auto sh = shadow_.find(key);
+  if (sh != shadow_.end() && !(stamp < sh->second.stamp)) shadow_.erase(sh);
+  auto sht = shadow_tombs_.find(key);
+  if (sht != shadow_tombs_.end() && !(stamp < sht->second)) {
+    shadow_tombs_.erase(sht);
+  }
+  if (stamp.origin == mux_.self()) note_own_write(key, stamp, data_[key]);
+  journal(Op::kPut, key, data_[key], stamp);
+  if (on_change_) on_change_(key, data_[key], stamp.origin);
+}
+
+void ReplicatedMap::apply_repropose_erase(const std::string& key,
+                                          Stamp stamp) {
+  auto s = stamps_.find(key);
+  if (s != stamps_.end() && !(s->second < stamp)) return;
+  auto t = tombstones_.find(key);
+  if (t != tombstones_.end() && !(t->second < stamp)) return;
+  lamport_ = std::max(lamport_, stamp.lamport);
+  const bool existed = data_.erase(key) > 0;
+  stamps_.erase(key);
+  add_tombstone(key, stamp);
+  auto sh = shadow_.find(key);
+  if (sh != shadow_.end() && !(stamp < sh->second.stamp)) shadow_.erase(sh);
+  auto sht = shadow_tombs_.find(key);
+  if (sht != shadow_tombs_.end() && !(stamp < sht->second)) {
+    shadow_tombs_.erase(sht);
+  }
+  if (stamp.origin == mux_.self()) note_own_write(key, stamp, std::nullopt);
+  journal(Op::kErase, key, std::string(), stamp);
+  if (existed && on_change_) on_change_(key, std::nullopt, stamp.origin);
+}
+
+void ReplicatedMap::reconcile_shadow() {
+  if (!shadow_valid_) return;
+  // NOT consumed: wholesale adoptions can arrive more than once after a
+  // merge (each side of the merge announces its own reconcile/epoch into
+  // the agreed stream), and a later adoption may carry a table that never
+  // saw our recovered keys. The shadow therefore persists for the whole
+  // incarnation and the reconcile re-runs after every adoption — it is
+  // idempotent because live state wins and same-or-newer tombstones win.
+  // Advancing our clocks past every recovered stamp first guarantees that
+  // anything written after recovery outranks the shadow and can never be
+  // clobbered by a re-run.
+  lamport_ = std::max(lamport_, shadow_clock_);
+  send_lamport_ = std::max(send_lamport_, lamport_);
+  std::size_t reproposed = 0;
+  for (const auto& [k, e] : shadow_) {
+    auto s = stamps_.find(k);
+    if (s != stamps_.end() && !(s->second < e.stamp)) {
+      continue;  // live state wins when same-or-newer
+    }
+    // Live absent OR strictly older than what we durably witnessed: after a
+    // cluster-wide restart the surviving group may have recovered from a
+    // staler log than ours, rolling back past a write that was acknowledged
+    // durable here. Re-propose our copy — with its ORIGINAL stamp, so that
+    // if another node concurrently re-proposes an older generation of the
+    // same key, last-writer-wins resolves the race the right way whatever
+    // order the proposals land in.
+    auto t = tombstones_.find(k);
+    if (t != tombstones_.end() && !(t->second < e.stamp)) {
+      continue;  // deleted (same-or-newer) while we were down — stays dead
+    }
+    ++reproposed;
+    reproposed_.inc();
+    send_repropose(Op::kReproposePut, k, e.value, e.stamp);
+  }
+  for (const auto& [k, st] : shadow_tombs_) {
+    auto t = tombstones_.find(k);
+    if (t != tombstones_.end() && !(t->second < st)) {
+      continue;  // the group already remembers a same-or-newer deletion
+    }
+    auto s = stamps_.find(k);
+    if (s != stamps_.end() && !(s->second < st)) {
+      continue;  // a genuinely newer live write outranks our tombstone
+    }
+    // Either the live entry is a resurrection from an older history, or the
+    // group has no memory of this durably-witnessed deletion at all. Propose
+    // the tombstone (original stamp) so a belated re-proposal of the dead
+    // value from a third replica loses the LWW race deterministically.
+    ++reproposed;
+    reproposed_.inc();
+    send_repropose(Op::kReproposeErase, k, std::string(), st);
+  }
+  if (reproposed > 0) {
+    RC_INFO(kMod, "node %u ch%u re-proposed %zu recovered mutations",
+            mux_.self(), channel_, reproposed);
+  }
+}
+
+void ReplicatedMap::reassert_own_writes() {
+  // Mirror of the lock manager's epoch self-heal: a reconcile adoption can
+  // wipe writes this node already saw applied (they were acknowledged). The
+  // ledger holds our latest write per key; anything the adopted table lost
+  // — and no newer stamp supersedes — goes back through the agreed stream.
+  for (const auto& [k, w] : my_writes_) {
+    if (w.value) {
+      auto s = stamps_.find(k);
+      if (s != stamps_.end() && !(s->second < w.stamp)) continue;
+      auto t = tombstones_.find(k);
+      if (t != tombstones_.end() && !(t->second < w.stamp)) continue;
+      reasserted_.inc();
+      put(k, *w.value);
+    } else {
+      auto s = stamps_.find(k);
+      if (s != stamps_.end() && s->second < w.stamp) {
+        reasserted_.inc();
+        erase(k);
+      }
+    }
+  }
 }
 
 void ReplicatedMap::on_message(NodeId origin, const Slice& payload) {
@@ -141,19 +476,25 @@ void ReplicatedMap::on_message(NodeId origin, const Slice& payload) {
       std::string key = r.str();
       std::string value = r.str();
       Time sent_at = static_cast<Time>(r.u64());
+      Stamp st;
+      st.lamport = r.u64();
+      st.origin = origin;
       if (!r.ok()) return;
       convergence_lag_.record_time(mux_.now() - sent_at);
       if (sync_requested_ && !synced_) replay_.emplace_back(origin, payload);
-      apply_put(key, std::move(value), origin);
+      apply_put(key, std::move(value), origin, st);
       break;
     }
     case Op::kErase: {
       std::string key = r.str();
       Time sent_at = static_cast<Time>(r.u64());
+      Stamp st;
+      st.lamport = r.u64();
+      st.origin = origin;
       if (!r.ok()) return;
       convergence_lag_.record_time(mux_.now() - sent_at);
       if (sync_requested_ && !synced_) replay_.emplace_back(origin, payload);
-      apply_erase(key, origin);
+      apply_erase(key, origin, st);
       break;
     }
     case Op::kSyncRequest: {
@@ -169,26 +510,25 @@ void ReplicatedMap::on_message(NodeId origin, const Slice& payload) {
       ByteWriter w(64);
       w.u8(static_cast<std::uint8_t>(Op::kSnapshot));
       w.u32(origin);  // addressee
-      w.u32(static_cast<std::uint32_t>(data_.size()));
-      for (const auto& [k, v] : data_) {
-        w.str(k);
-        w.str(v);
-      }
+      write_state(w);
       mux_.send(channel_, w.take());
       break;
     }
     case Op::kSnapshot: {
       NodeId addressee = r.u32();
-      std::uint32_t n = r.u32();
       if (!r.ok()) return;
       if (addressee != mux_.self() || synced_) return;
-      data_.clear();
-      for (std::uint32_t i = 0; i < n; ++i) {
-        std::string k = r.str();
-        std::string v = r.str();
-        if (!r.ok()) return;
-        data_[k] = std::move(v);
-      }
+      std::map<std::string, std::string> data;
+      std::map<std::string, Stamp> stamps;
+      std::map<std::string, Stamp> tombs;
+      std::uint64_t clock = 0;
+      if (!read_state(r, data, stamps, tombs, clock)) return;
+      data_ = std::move(data);
+      stamps_ = std::move(stamps);
+      tombstones_ = std::move(tombs);
+      tombstone_order_.clear();
+      for (const auto& [k, st] : tombstones_) tombstone_order_.push_back(k);
+      lamport_ = std::max(lamport_, clock);
       synced_ = true;
       sync_ops_.inc();
       // Replay the operations ordered after our sync request but before the
@@ -196,29 +536,60 @@ void ReplicatedMap::on_message(NodeId origin, const Slice& payload) {
       std::vector<std::pair<NodeId, Slice>> replay;
       replay.swap(replay_);
       for (auto& [o, p] : replay) on_message(o, p);
-      RC_INFO(kMod, "node %u synced snapshot of %u entries (+%zu replayed)",
-              mux_.self(), n, replay.size());
+      RC_INFO(kMod, "node %u synced snapshot of %zu entries (+%zu replayed)",
+              mux_.self(), data_.size(), replay.size());
+      // Anything we recovered that the group does not know about (and did
+      // not tombstone) goes back through the agreed stream.
+      reconcile_shadow();
+      // The adopted table never went through our WAL: checkpoint it so a
+      // crash right after the sync still recovers the full state.
+      if (store_ != nullptr && store_->is_open()) store_->compact();
       if (on_change_) on_change_("", std::nullopt, origin);
       break;
     }
+    case Op::kReproposePut: {
+      std::string key = r.str();
+      std::string value = r.str();
+      Stamp st;
+      st.lamport = r.u64();
+      st.origin = r.u32();  // original writer, NOT the re-proposing sender
+      if (!r.ok()) return;
+      if (sync_requested_ && !synced_) replay_.emplace_back(origin, payload);
+      apply_repropose_put(key, std::move(value), st);
+      break;
+    }
+    case Op::kReproposeErase: {
+      std::string key = r.str();
+      Stamp st;
+      st.lamport = r.u64();
+      st.origin = r.u32();
+      if (!r.ok()) return;
+      if (sync_requested_ && !synced_) replay_.emplace_back(origin, payload);
+      apply_repropose_erase(key, st);
+      break;
+    }
     case Op::kReconcile: {
-      std::uint32_t n = r.u32();
-      if (!r.ok() || n > 10'000'000) return;
-      std::map<std::string, std::string> adopted;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        std::string k = r.str();
-        std::string v = r.str();
-        if (!r.ok()) return;
-        adopted[k] = std::move(v);
-      }
+      std::map<std::string, std::string> data;
+      std::map<std::string, Stamp> stamps;
+      std::map<std::string, Stamp> tombs;
+      std::uint64_t clock = 0;
+      if (!read_state(r, data, stamps, tombs, clock)) return;
       // Everyone — the sender included — replaces contents at this point in
       // the agreed stream, so diverged replicas reconverge identically.
-      data_ = std::move(adopted);
+      data_ = std::move(data);
+      stamps_ = std::move(stamps);
+      tombstones_ = std::move(tombs);
+      tombstone_order_.clear();
+      for (const auto& [k, st] : tombstones_) tombstone_order_.push_back(k);
+      lamport_ = std::max(lamport_, clock);
       synced_ = true;
       sync_ops_.inc();
       replay_.clear();
-      RC_INFO(kMod, "node %u reconciled to %u entries from %u", mux_.self(), n,
-              origin);
+      RC_INFO(kMod, "node %u reconciled to %zu entries from %u", mux_.self(),
+              data_.size(), origin);
+      reconcile_shadow();
+      reassert_own_writes();
+      if (store_ != nullptr && store_->is_open()) store_->compact();
       if (on_change_) on_change_("", std::nullopt, origin);
       break;
     }

@@ -12,14 +12,29 @@
 // view multicasts a RECONCILE snapshot; every replica — including the
 // sender — adopts it at the same point in the agreed stream, so replicas
 // that genuinely diverged while partitioned reconverge deterministically.
+//
+// Durability (DESIGN.md §5g): every mutation carries a Lamport stamp
+// (writer clock + origin id tiebreak), and erases leave bounded tombstones,
+// so states from different histories are mergeable by stamp order. When a
+// storage::ShardStore is bound, applies are journaled at the apply point
+// and recovery loads snapshot+WAL into a SHADOW state, never directly into
+// the replica: a restarted founding singleton adopts the shadow, a
+// rejoining node keeps it until the group's snapshot/reconcile arrives and
+// then reconciles — live state wins on conflict, recovered-only keys are
+// re-proposed through the agreed stream unless a newer tombstone says they
+// were deleted while the node was down. A bounded own-write ledger
+// re-asserts this node's latest acknowledged writes after any wholesale
+// reconcile adoption (mirror of the lock manager's self-heal).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <string>
 
 #include "data/channel_mux.h"
+#include "storage/shard_store.h"
 
 namespace raincore::data {
 
@@ -49,8 +64,14 @@ class ReplicatedMap {
 
   void set_change_handler(ChangeFn fn) { on_change_ = std::move(fn); }
 
+  /// Binds a durable store: applies journal under `stream`, and the next
+  /// store.recover() loads the shadow state this map reconciles from. Call
+  /// before the session is founded.
+  void bind_store(storage::ShardStore& store, std::uint16_t stream);
+
   /// Map instruments ("data.map.*"): mutation counts, sync-protocol ops,
-  /// and the multicast→apply convergence lag per replica.
+  /// the multicast→apply convergence lag per replica, and the durability
+  /// healing counts (recovered-key re-proposals, ledger re-asserts).
   metrics::Registry& metrics() { return metrics_; }
   const metrics::Registry& metrics() const { return metrics_; }
 
@@ -61,16 +82,78 @@ class ReplicatedMap {
     kSyncRequest = 3,
     kSnapshot = 4,
     kReconcile = 5,
+    // Recovery re-proposals carry their ORIGINAL durable stamp (not a fresh
+    // one) and apply under a last-writer-wins guard. Two nodes recovering
+    // different durable generations of the same key can then both
+    // re-propose; the genuinely newer mutation wins regardless of the order
+    // the proposals land in the agreed stream.
+    kReproposePut = 6,
+    kReproposeErase = 7,
   };
+
+  /// Total order over mutations of one key across histories: Lamport clock
+  /// first, origin id as the deterministic tiebreak.
+  struct Stamp {
+    std::uint64_t lamport = 0;
+    NodeId origin = 0;
+    friend bool operator<(const Stamp& a, const Stamp& b) {
+      if (a.lamport != b.lamport) return a.lamport < b.lamport;
+      return a.origin < b.origin;
+    }
+  };
+
+  struct ShadowEntry {
+    std::string value;
+    Stamp stamp;
+  };
+  struct OwnWrite {
+    Stamp stamp;
+    std::optional<std::string> value;  ///< nullopt = erase
+  };
+
+  /// Bounds for the two unbounded-history side tables (FIFO eviction; the
+  /// deques record insertion order). Past the bound the map silently
+  /// forgets oldest deletions/own-writes — the healing guarantees then
+  /// cover only the most recent entries, which is the documented contract.
+  static constexpr std::size_t kMaxTombstones = 8192;
+  static constexpr std::size_t kMaxOwnWrites = 2048;
 
   void on_message(NodeId origin, const Slice& payload);
   void on_view(const session::View& v);
-  void apply_put(const std::string& key, std::string value, NodeId origin);
-  void apply_erase(const std::string& key, NodeId origin);
+  void apply_put(const std::string& key, std::string value, NodeId origin,
+                 Stamp stamp);
+  void apply_erase(const std::string& key, NodeId origin, Stamp stamp);
+  void send_repropose(Op op, const std::string& key, const std::string& value,
+                      Stamp stamp);
+  void apply_repropose_put(const std::string& key, std::string value,
+                           Stamp stamp);
+  void apply_repropose_erase(const std::string& key, Stamp stamp);
+  Stamp next_send_stamp();
+  void add_tombstone(const std::string& key, Stamp stamp);
+  void note_own_write(const std::string& key, Stamp stamp,
+                      std::optional<std::string> value);
+  void journal(Op op, const std::string& key, const std::string& value,
+               Stamp stamp);
+  /// Reusable scratch buffer for journal() — cleared per record, capacity
+  /// retained, so the per-apply durability hot path is allocation-free.
+  ByteWriter journal_w_;
+  void write_state(ByteWriter& w) const;
+  bool read_state(ByteReader& r, std::map<std::string, std::string>& data,
+                  std::map<std::string, Stamp>& stamps,
+                  std::map<std::string, Stamp>& tombs,
+                  std::uint64_t& clock) const;
+  void adopt_shadow_as_state();
+  void reconcile_shadow();
+  void reassert_own_writes();
 
   ChannelMux& mux_;
   Channel channel_;
   std::map<std::string, std::string> data_;
+  std::map<std::string, Stamp> stamps_;  ///< stamp of each live entry
+  std::map<std::string, Stamp> tombstones_;
+  std::deque<std::string> tombstone_order_;
+  std::uint64_t lamport_ = 0;       ///< max stamp applied so far
+  std::uint64_t send_lamport_ = 0;  ///< last stamp this node sent
   bool synced_ = false;
   bool was_member_ = false;
   bool sync_requested_ = false;
@@ -84,11 +167,28 @@ class ReplicatedMap {
   /// and receiving the snapshot must be replayed on top of it. The retained
   /// slices keep their token-frame storage alive past delivery (ref-count).
   std::vector<std::pair<NodeId, Slice>> replay_;
+  /// Recovered-but-not-yet-reconciled state (loaded by store.recover()).
+  /// Survives the generation-change wipe: it belongs to the NEXT
+  /// incarnation, not the previous one.
+  std::map<std::string, ShadowEntry> shadow_;
+  std::map<std::string, Stamp> shadow_tombs_;
+  std::uint64_t shadow_clock_ = 0;
+  bool shadow_valid_ = false;
+  /// This node's latest write per key, re-asserted after a reconcile
+  /// adoption wipes state this node already saw applied.
+  std::map<std::string, OwnWrite> my_writes_;
+  std::deque<std::string> my_writes_order_;
+  storage::ShardStore* store_ = nullptr;
+  std::uint16_t stream_ = 0;
   ChangeFn on_change_;
   metrics::Registry metrics_;
   Counter& puts_ = metrics_.counter("data.map.puts");
   Counter& erases_ = metrics_.counter("data.map.erases");
   Counter& sync_ops_ = metrics_.counter("data.map.sync_ops");
+  /// Recovered-only keys re-proposed into the live stream after rejoin.
+  Counter& reproposed_ = metrics_.counter("data.map.reproposed");
+  /// Own writes re-asserted after a reconcile adoption lost them.
+  Counter& reasserted_ = metrics_.counter("data.map.reasserted");
   /// Mutation multicast (put/erase) to local apply, per replica: how far
   /// this replica lags the origin's write (§3 shared-state freshness).
   Histogram& convergence_lag_ =

@@ -54,18 +54,61 @@ std::size_t ShardRouter::shard_of(std::string_view key) const {
 ShardedDataPlane::ShardedDataPlane(session::SessionMux& mux,
                                    std::size_t shards,
                                    session::SessionConfig ring_cfg,
-                                   transport::MuxGroup base_group)
+                                   transport::MuxGroup base_group,
+                                   storage::StorageConfig storage_cfg)
     : mux_(mux), router_(shards) {
   rings_.reserve(shards);
   channels_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     session::SessionConfig cfg = ring_cfg;
-    cfg.metrics_prefix = "shard" + std::to_string(s) + ".";
+    const std::string prefix = "shard" + std::to_string(s) + ".";
+    cfg.metrics_prefix = prefix;
     auto group = static_cast<transport::MuxGroup>(base_group + s);
     session::SessionNode& ring = mux_.create_ring(group, std::move(cfg));
     rings_.push_back(&ring);
     channels_.push_back(std::make_unique<ChannelMux>(ring));
+    if (!storage_cfg.dir.empty()) {
+      stores_.push_back(std::make_unique<storage::ShardStore>(
+          storage_cfg, storage_cfg.dir + "/shard" + std::to_string(s),
+          prefix));
+    }
   }
+}
+
+bool ShardedDataPlane::open_storage() {
+  bool ok = true;
+  for (auto& st : stores_) ok = st->open() && ok;
+  return ok;
+}
+
+void ShardedDataPlane::recover_storage() {
+  for (auto& st : stores_) st->recover();
+}
+
+void ShardedDataPlane::flush_storage() {
+  for (auto& st : stores_) st->flush();
+}
+
+void ShardedDataPlane::crash_storage() {
+  for (auto& st : stores_) st->crash();
+}
+
+bool ShardedDataPlane::open_store(std::size_t shard) {
+  return durable() ? stores_.at(shard)->open() : false;
+}
+
+void ShardedDataPlane::recover_store(std::size_t shard) {
+  if (durable()) stores_.at(shard)->recover();
+}
+
+void ShardedDataPlane::crash_store(std::size_t shard) {
+  if (durable()) stores_.at(shard)->crash();
+}
+
+metrics::Snapshot ShardedDataPlane::storage_snapshot() const {
+  metrics::Snapshot out;
+  for (const auto& st : stores_) out.merge(st->metrics().snapshot());
+  return out;
 }
 
 void ShardedDataPlane::found_all() {
@@ -88,6 +131,9 @@ ShardedMap::ShardedMap(ShardedDataPlane& plane, Channel channel)
   for (std::size_t s = 0; s < plane_.shard_count(); ++s) {
     shards_.push_back(
         std::make_unique<ReplicatedMap>(plane_.channels(s), channel));
+    if (auto* store = plane_.store(s)) {
+      shards_.back()->bind_store(*store, channel);
+    }
   }
 }
 
@@ -134,6 +180,9 @@ ShardedLockManager::ShardedLockManager(ShardedDataPlane& plane,
   for (std::size_t s = 0; s < plane_.shard_count(); ++s) {
     shards_.push_back(
         std::make_unique<LockManager>(plane_.channels(s), channel));
+    if (auto* store = plane_.store(s)) {
+      shards_.back()->bind_store(*store, channel);
+    }
   }
 }
 

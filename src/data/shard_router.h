@@ -24,6 +24,7 @@
 #include "data/lock_manager.h"
 #include "data/replicated_map.h"
 #include "session/session_mux.h"
+#include "storage/shard_store.h"
 
 namespace raincore::data {
 
@@ -46,11 +47,20 @@ class ShardRouter {
 /// Per-node bundle of K shard rings on one SessionMux: creates rings on
 /// groups base..base+K-1 (metrics prefixes "shard<k>.") and wraps each in a
 /// ChannelMux for the data services. The mux must outlive the plane.
+///
+/// With a non-empty storage config, the plane also owns one
+/// storage::ShardStore per shard (directory `<dir>/shard<k>`, instruments
+/// prefixed "shard<k>."), so every shard journals and recovers
+/// independently: a shard-level restart replays only that shard's log.
+/// Services bind to the stores in the ShardedMap/ShardedLockManager
+/// constructors; the lifecycle (open → recover → found) and the power-cut
+/// model (crash) are driven per shard or node-wide by the harness.
 class ShardedDataPlane {
  public:
   ShardedDataPlane(session::SessionMux& mux, std::size_t shards,
                    session::SessionConfig ring_cfg,
-                   transport::MuxGroup base_group = 0);
+                   transport::MuxGroup base_group = 0,
+                   storage::StorageConfig storage_cfg = {});
 
   std::size_t shard_count() const { return router_.shard_count(); }
   const ShardRouter& router() const { return router_; }
@@ -62,11 +72,30 @@ class ShardedDataPlane {
   /// True when every shard ring's view has exactly n members.
   bool all_converged(std::size_t n) const;
 
+  /// Durable store of one shard; nullptr when durability is disabled.
+  storage::ShardStore* store(std::size_t shard) {
+    return durable() ? stores_.at(shard).get() : nullptr;
+  }
+  bool durable() const { return !stores_.empty(); }
+
+  /// Node-wide storage lifecycle (per-shard variants for shard restarts).
+  bool open_storage();
+  void recover_storage();
+  void flush_storage();
+  void crash_storage();
+  bool open_store(std::size_t shard);
+  void recover_store(std::size_t shard);
+  void crash_store(std::size_t shard);
+
+  /// Merged storage.* instruments across all shard stores.
+  metrics::Snapshot storage_snapshot() const;
+
  private:
   session::SessionMux& mux_;
   ShardRouter router_;
   std::vector<session::SessionNode*> rings_;
   std::vector<std::unique_ptr<ChannelMux>> channels_;
+  std::vector<std::unique_ptr<storage::ShardStore>> stores_;
 };
 
 /// Replicated map partitioned across the plane's shards: put/erase/get route

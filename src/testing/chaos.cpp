@@ -30,6 +30,8 @@ const char* fault_class_name(FaultClass c) {
     case FaultClass::kRttInflate: return "rtt-inflate";
     case FaultClass::kAsymLoss: return "asym-loss";
     case FaultClass::kLinkFlap: return "link-flap";
+    case FaultClass::kShardRestart: return "shard-restart";
+    case FaultClass::kClusterRestart: return "cluster-restart";
     case FaultClass::kCount: break;
   }
   return "?";
@@ -37,7 +39,11 @@ const char* fault_class_name(FaultClass c) {
 
 std::string FaultEvent::describe() const {
   char buf[160];
-  if (b != kInvalidNode) {
+  if (shard != static_cast<std::size_t>(-1)) {
+    std::snprintf(buf, sizeof(buf), "  t=%9.3fms %-15s shard=%lu dur=%.1fms",
+                  to_millis(at), fault_class_name(cls),
+                  static_cast<unsigned long>(shard), to_millis(duration));
+  } else if (b != kInvalidNode) {
     std::snprintf(buf, sizeof(buf),
                   "  t=%9.3fms %-15s a=%u b=%u rate=%.2f dur=%.1fms",
                   to_millis(at), fault_class_name(cls), a, b, rate,
@@ -147,6 +153,13 @@ void ChaosEngine::restart(NodeId id) {
   // into an active partition stays on its original side of the split.
   RC_INFO(kMod, "restart node %u", id);
   if (on_restart_) on_restart_(id);
+}
+
+void ChaosEngine::restart_shard(std::size_t shard) {
+  if (shards_down_.count(shard) == 0) return;
+  shards_down_.erase(shard);
+  RC_INFO(kMod, "restart shard %lu", static_cast<unsigned long>(shard));
+  if (on_shard_restart_) on_shard_restart_(shard);
 }
 
 void ChaosEngine::inject_one() {
@@ -324,6 +337,50 @@ void ChaosEngine::inject_one() {
       injected = true;
       break;
     }
+    case FaultClass::kShardRestart: {
+      // One shard dies CLUSTER-WIDE: the harness crash-stops that shard's
+      // store and ring on every live node (power-cut model: unsynced WAL
+      // tail lost), then the restart hook recovers each from disk and
+      // re-founds the ring. Other shards keep serving throughout — the
+      // scenario the per-shard durability split exists for.
+      if (cfg_.n_shards == 0 || !on_shard_crash_ || !on_shard_restart_) break;
+      std::vector<std::size_t> up_shards;
+      for (std::size_t s = 0; s < cfg_.n_shards; ++s) {
+        if (shards_down_.count(s) == 0) up_shards.push_back(s);
+      }
+      if (up_shards.empty()) break;
+      const std::size_t s = up_shards[rng_.next_below(up_shards.size())];
+      shards_down_.insert(s);
+      ev.shard = s;
+      RC_INFO(kMod, "crash shard %lu for %.1fms",
+              static_cast<unsigned long>(s), to_millis(duration));
+      on_shard_crash_(s);
+      add_revert(duration, [this, s] { restart_shard(s); });
+      injected = true;
+      break;
+    }
+    case FaultClass::kClusterRestart: {
+      // Total blackout: every node crash-stops (losing its unsynced WAL
+      // tails), then the whole cluster restarts together and must rebuild
+      // its state from disk alone — there is no surviving replica to sync
+      // from. Skipped while any node is individually down so the single
+      // revert cleanly owns the whole restart.
+      if (!on_crash_ || !on_restart_) break;
+      if (!down_.empty() || !shards_down_.empty()) break;
+      for (NodeId id : ids_) {
+        down_.insert(id);
+        on_crash_(id);
+        net_.set_node_up(id, false);
+      }
+      RC_INFO(kMod, "cluster restart: all %lu nodes down for %.1fms",
+              static_cast<unsigned long>(ids_.size()), to_millis(duration));
+      add_revert(duration, [this] {
+        const std::set<NodeId> d = down_;
+        for (NodeId id : d) restart(id);
+      });
+      injected = true;
+      break;
+    }
     case FaultClass::kCount:
       break;
   }
@@ -363,6 +420,8 @@ void ChaosEngine::stop_and_heal() {
   net_.heal_partition();
   std::set<NodeId> still_down = down_;
   for (NodeId id : still_down) restart(id);
+  std::set<std::size_t> shards_still_down = shards_down_;
+  for (std::size_t s : shards_still_down) restart_shard(s);
   // Belt and braces: no link overrides survive a heal.
   for (std::size_t i = 0; i < ids_.size(); ++i) {
     for (std::size_t j = i + 1; j < ids_.size(); ++j) {

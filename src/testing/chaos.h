@@ -51,6 +51,8 @@ enum class FaultClass : std::uint8_t {
   kRttInflate,        ///< sustained multi-x latency inflation on a node pair
   kAsymLoss,          ///< heavy one-direction-only packet loss on a pair
   kLinkFlap,          ///< link toggles up/down on a short period, then heals
+  kShardRestart,      ///< one data-plane shard restarts cluster-wide (durability)
+  kClusterRestart,    ///< every node crash-stops, then the whole cluster restarts
   kCount,             ///< number of fault classes (not a fault)
 };
 
@@ -65,9 +67,14 @@ struct ChaosConfig {
   /// Crash faults never reduce the up-node count below this.
   std::size_t min_alive = 2;
   /// Relative weight per fault class, indexed by FaultClass. Zero disables
-  /// the class.
+  /// the class. The restart-storm classes (kShardRestart, kClusterRestart)
+  /// default to zero: they only make sense against a durability harness
+  /// that installs the shard/cluster hooks, and a zero weight keeps every
+  /// pre-existing seeded schedule bit-for-bit identical.
   double weights[static_cast<std::size_t>(FaultClass::kCount)] = {
-      1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+      1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0};
+  /// Shard count of the harness's data plane; kShardRestart needs it > 0.
+  std::size_t n_shards = 0;
 };
 
 /// One injected fault, recorded for the replayable schedule.
@@ -78,6 +85,8 @@ struct FaultEvent {
   NodeId b = kInvalidNode;  ///< second of the pair, if pairwise
   double rate = 0.0;        ///< drop/duplicate/corrupt probability, if any
   Time duration = 0;        ///< time until auto-revert
+  /// Shard index, kShardRestart only.
+  std::size_t shard = static_cast<std::size_t>(-1);
 
   std::string describe() const;
 };
@@ -89,6 +98,7 @@ struct FaultEvent {
 class ChaosEngine {
  public:
   using NodeHook = std::function<void(NodeId)>;
+  using ShardHook = std::function<void(std::size_t)>;
 
   ChaosEngine(net::SimNetwork& net, std::vector<NodeId> ids, ChaosConfig cfg);
   ChaosEngine(const ChaosEngine&) = delete;
@@ -100,6 +110,14 @@ class ChaosEngine {
   /// Called right after the engine marks the node up again (rejoin as a new
   /// incarnation).
   void set_restart_hook(NodeHook fn) { on_restart_ = std::move(fn); }
+  /// Shard-restart hooks (kShardRestart; requires cfg.n_shards > 0): the
+  /// harness stops/recovers the shard's service on every live node. Node
+  /// up/down state is untouched — the shard dies cluster-wide while every
+  /// other shard keeps serving.
+  void set_shard_crash_hook(ShardHook fn) { on_shard_crash_ = std::move(fn); }
+  void set_shard_restart_hook(ShardHook fn) {
+    on_shard_restart_ = std::move(fn);
+  }
 
   /// Begins injecting faults (timers run on the network's event loop).
   void start();
@@ -126,6 +144,7 @@ class ChaosEngine {
   std::pair<NodeId, NodeId> pick_pair();
   void crash(NodeId id, Time duration);
   void restart(NodeId id);
+  void restart_shard(std::size_t shard);
   void add_revert(Time after, std::function<void()> fn);
   /// One phase of a link-flap fault: toggles the link and schedules the
   /// next phase until `until` (or stop_and_heal) restores the link.
@@ -138,6 +157,7 @@ class ChaosEngine {
   bool running_ = false;
   net::TimerId next_timer_ = 0;
   std::set<NodeId> down_;
+  std::set<std::size_t> shards_down_;
   /// Groups of the currently active partition (empty = none). A node that
   /// restarts while a partition is active joins a random group so it cannot
   /// bridge the split.
@@ -151,6 +171,8 @@ class ChaosEngine {
   std::vector<FaultEvent> schedule_;
   NodeHook on_crash_;
   NodeHook on_restart_;
+  ShardHook on_shard_crash_;
+  ShardHook on_shard_restart_;
 };
 
 // --- Full-stack chaos harness ----------------------------------------------

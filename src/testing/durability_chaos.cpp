@@ -1,0 +1,563 @@
+#include "testing/durability_chaos.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "session/introspect.h"
+
+namespace raincore::testing {
+
+namespace {
+constexpr const char* kMod = "dchaos";
+
+constexpr data::Channel kMapChannel = 1;
+constexpr data::Channel kLockChannel = 2;
+
+}  // namespace
+
+DurabilityChaosCluster::DurabilityChaosCluster(std::vector<NodeId> ids,
+                                               std::string root_dir,
+                                               ChaosConfig chaos_cfg,
+                                               DurabilityConfig dur_cfg,
+                                               session::SessionConfig session_cfg,
+                                               net::SimNetConfig net_cfg)
+    : net_(net_cfg),
+      root_dir_(std::move(root_dir)),
+      session_cfg_(std::move(session_cfg)),
+      chaos_cfg_(chaos_cfg),
+      dur_cfg_(dur_cfg),
+      ids_(std::move(ids)) {
+  if (session_cfg_.eligible.empty()) session_cfg_.eligible = ids_;
+  chaos_cfg_.n_shards = dur_cfg_.n_shards;
+  Rng setup_rng(chaos_cfg_.seed ^ 0x2545f491u);
+  for (NodeId id : ids_) {
+    auto& env = net_.add_node(id);
+    auto st = std::make_unique<Stack>();
+    st->mux =
+        std::make_unique<session::SessionMux>(env, session_cfg_.transport);
+    storage::StorageConfig scfg = dur_cfg_.storage;
+    scfg.dir = root_dir_ + "/node" + std::to_string(id);
+    st->plane = std::make_unique<data::ShardedDataPlane>(
+        *st->mux, dur_cfg_.n_shards, session_cfg_, 0, scfg);
+    st->map = std::make_unique<data::ShardedMap>(*st->plane, kMapChannel);
+    st->locks =
+        std::make_unique<data::ShardedLockManager>(*st->plane, kLockChannel);
+    st->traffic_rng = setup_rng.fork();
+    st->map->set_change_handler(
+        [this, id](const std::string& key,
+                   const std::optional<std::string>& value, NodeId origin) {
+          on_map_change(id, key, value, origin);
+        });
+    stacks_.emplace(id, std::move(st));
+  }
+  engine_ = std::make_unique<ChaosEngine>(net_, ids_, chaos_cfg_);
+  engine_->set_crash_hook([this](NodeId id) { crash_node(id); });
+  engine_->set_restart_hook([this](NodeId id) { restart_node(id); });
+  engine_->set_shard_crash_hook([this](std::size_t s) { crash_shard(s); });
+  engine_->set_shard_restart_hook([this](std::size_t s) { restart_shard(s); });
+}
+
+DurabilityChaosCluster::~DurabilityChaosCluster() {
+  traffic_on_ = false;
+  if (sweep_timer_) net_.loop().cancel(sweep_timer_);
+  for (auto& [id, st] : stacks_) {
+    if (st->traffic_timer) net_.loop().cancel(st->traffic_timer);
+  }
+}
+
+bool DurabilityChaosCluster::bootstrap(Time timeout) {
+  for (auto& [id, st] : stacks_) {
+    if (!st->plane->open_storage()) {
+      violation("bootstrap: node " + std::to_string(id) +
+                " failed to open its stores under " + root_dir_);
+      return false;
+    }
+    st->plane->found_all();
+  }
+  Time deadline = net_.now() + timeout;
+  while (net_.now() < deadline) {
+    bool conv = true;
+    for (auto& [id, st] : stacks_) {
+      if (!st->plane->all_converged(ids_.size()) || !st->map->synced()) {
+        conv = false;
+        break;
+      }
+    }
+    if (conv) return true;
+    net_.loop().run_for(millis(10));
+  }
+  violation("bootstrap: not every shard ring converged");
+  return false;
+}
+
+// --- client traffic + ack tracking -----------------------------------------
+
+void DurabilityChaosCluster::start_traffic(NodeId id) {
+  Stack& st = *stacks_.at(id);
+  Time gap =
+      millis(3) + static_cast<Time>(st.traffic_rng.next_below(millis(5)));
+  st.traffic_timer = net_.loop().schedule(gap, [this, id] {
+    Stack& st = *stacks_.at(id);
+    st.traffic_timer = 0;
+    if (!traffic_on_) return;
+    if (!st.crashed) issue_op(id);
+    start_traffic(id);
+  });
+}
+
+void DurabilityChaosCluster::issue_op(NodeId id) {
+  Stack& st = *stacks_.at(id);
+  const std::size_t slot = st.traffic_rng.next_below(dur_cfg_.slots_per_node);
+  const std::string key =
+      "d" + std::to_string(id) + ":" + std::to_string(slot);
+  if (pending_.count(key)) return;  // one outstanding op per slot
+  const std::size_t shard = st.map->shard_of(key);
+  if (st.shards_down.count(shard)) return;
+  session::SessionNode& ring = st.plane->ring(shard);
+  if (!ring.started() || !ring.view().has(id)) return;
+  if (!st.map->shard(shard).synced()) return;
+
+  Pending p;
+  p.op_id = next_op_id_++;
+  p.node = id;
+  p.key = key;
+  p.shard = shard;
+  p.issued_at = net_.now();
+
+  OpRecord op;
+  op.id = p.op_id;
+  // Erase only a key that has a history — deleting a never-written key
+  // exercises nothing and muddies the oracle's tombstone cases less often.
+  op.is_erase = !history_[key].empty() && st.traffic_rng.chance(0.25);
+  if (!op.is_erase) op.value = "v" + std::to_string(p.op_id) + "-" + key;
+  p.applied = false;
+  history_[key].push_back(op);
+  pending_.emplace(key, p);
+  if (op.is_erase) {
+    st.map->erase(key);
+  } else {
+    st.map->put(key, op.value);
+  }
+  // Light lock traffic so the lock journal/recovery path sees the same
+  // storms (exclusion itself is judged by the lock suite, not here).
+  if (st.traffic_rng.chance(0.1)) {
+    st.locks->acquire("lk:" + key, [this, id](const std::string& name) {
+      net_.loop().schedule(millis(1), [this, id, name] {
+        Stack& st = *stacks_.at(id);
+        if (!st.crashed) st.locks->release(name);
+      });
+    });
+  }
+}
+
+void DurabilityChaosCluster::on_map_change(
+    NodeId id, const std::string& key,
+    const std::optional<std::string>& value, NodeId origin) {
+  if (key.empty() || origin != id) return;
+  auto it = pending_.find(key);
+  if (it == pending_.end() || it->second.node != id) return;
+  Pending& p = it->second;
+  if (p.applied) return;
+  const OpRecord& op = history_.at(key).back();
+  const bool matches = op.is_erase ? !value.has_value()
+                                   : (value.has_value() && *value == op.value);
+  if (!matches) return;
+  p.applied = true;
+  // The journal record was appended inside the apply, just before this
+  // handler ran — the store's head LSN IS that record's LSN.
+  p.applied_lsn = stacks_.at(id)->plane->store(p.shard)->lsn();
+}
+
+void DurabilityChaosCluster::ack(Pending& p) {
+  auto& ops = history_.at(p.key);
+  for (auto rit = ops.rbegin(); rit != ops.rend(); ++rit) {
+    if (rit->id == p.op_id) {
+      rit->acked = true;
+      break;
+    }
+  }
+  ++acked_ops_;
+}
+
+void DurabilityChaosCluster::sweep_acks(NodeId id) {
+  Stack& st = *stacks_.at(id);
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Pending& p = it->second;
+    if (p.node == id && p.applied &&
+        st.plane->store(p.shard)->durable_lsn() >= p.applied_lsn) {
+      ack(p);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DurabilityChaosCluster::sweep_acks_shard(std::size_t shard) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Pending& p = it->second;
+    Stack& st = *stacks_.at(p.node);
+    if (p.shard == shard && !st.crashed && p.applied &&
+        st.plane->store(p.shard)->durable_lsn() >= p.applied_lsn) {
+      ack(p);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DurabilityChaosCluster::void_pending_node(NodeId id) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.node == id) {
+      ++voided_ops_;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DurabilityChaosCluster::void_pending_shard(std::size_t shard) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.shard == shard) {
+      ++voided_ops_;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DurabilityChaosCluster::void_stale_pending() {
+  // A client whose op never resolves times out and frees the slot for a
+  // retry; the op's effects may or may not survive, which the oracle
+  // allows — exactly the real-world unknown-outcome window.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (net_.now() - it->second.issued_at > dur_cfg_.op_timeout) {
+      ++voided_ops_;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DurabilityChaosCluster::schedule_sweep() {
+  sweep_timer_ = net_.loop().schedule(dur_cfg_.sweep_every, [this] {
+    sweep_timer_ = 0;
+    if (!traffic_on_) return;
+    for (NodeId id : ids_) {
+      if (!stacks_.at(id)->crashed) sweep_acks(id);
+    }
+    void_stale_pending();
+    schedule_sweep();
+  });
+}
+
+// --- chaos hooks ------------------------------------------------------------
+
+void DurabilityChaosCluster::crash_node(NodeId id) {
+  Stack& st = *stacks_.at(id);
+  // Anything durable at the power cut counts as acked — drop_unsynced only
+  // discards the tail AFTER the durable LSN, so sweeping first is exact.
+  sweep_acks(id);
+  void_pending_node(id);
+  for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+    if (st.shards_down.count(s) == 0) st.plane->crash_store(s);
+  }
+  st.mux->set_enabled(false);
+  st.crashed = true;
+}
+
+void DurabilityChaosCluster::restart_node(NodeId id) {
+  Stack& st = *stacks_.at(id);
+  ++st.epoch;
+  st.crashed = false;
+  st.mux->set_enabled(true);
+  // Shards that are down CLUSTER-WIDE stay down on this node too; the
+  // shard-restart hook will bring them back everywhere at once.
+  st.shards_down = global_shards_down_;
+  for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+    if (global_shards_down_.count(s)) continue;
+    st.plane->open_store(s);
+    st.plane->recover_store(s);  // shadow ready before the ring forms
+    if (!st.plane->ring(s).started()) st.plane->ring(s).found();
+  }
+}
+
+void DurabilityChaosCluster::crash_shard(std::size_t shard) {
+  global_shards_down_.insert(shard);
+  sweep_acks_shard(shard);
+  void_pending_shard(shard);
+  for (NodeId id : ids_) {
+    Stack& st = *stacks_.at(id);
+    if (st.crashed || st.shards_down.count(shard)) continue;
+    st.plane->crash_store(shard);
+    st.plane->ring(shard).stop();
+    st.shards_down.insert(shard);
+  }
+}
+
+void DurabilityChaosCluster::restart_shard(std::size_t shard) {
+  global_shards_down_.erase(shard);
+  for (NodeId id : ids_) {
+    Stack& st = *stacks_.at(id);
+    if (st.crashed || st.shards_down.count(shard) == 0) continue;
+    st.plane->open_store(shard);
+    st.plane->recover_store(shard);
+    if (!st.plane->ring(shard).started()) st.plane->ring(shard).found();
+    st.shards_down.erase(shard);
+  }
+}
+
+// --- phases -----------------------------------------------------------------
+
+void DurabilityChaosCluster::run_chaos(Time duration) {
+  traffic_on_ = true;
+  for (NodeId id : ids_) start_traffic(id);
+  schedule_sweep();
+  engine_->start();
+  Time end = net_.now() + duration;
+  while (net_.now() < end) net_.loop().run_for(millis(10));
+}
+
+void DurabilityChaosCluster::heal_and_check(Time converge_timeout) {
+  engine_->stop_and_heal();
+  auto converged = [&] {
+    for (auto& [id, st] : stacks_) {
+      if (!st->plane->all_converged(ids_.size()) || !st->map->synced()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  constexpr Time kStableWindow = millis(300);
+  Time deadline = net_.now() + converge_timeout;
+  Time stable_since = -1;
+  while (net_.now() < deadline) {
+    if (converged()) {
+      if (stable_since < 0) stable_since = net_.now();
+      if (net_.now() - stable_since >= kStableWindow) break;
+    } else {
+      stable_since = -1;
+    }
+    net_.loop().run_for(millis(10));
+  }
+  if (!converged()) {
+    violation("heal: not every shard ring re-converged to the full set");
+  }
+  // Quiesce the clients, let re-proposals and re-assertions circulate.
+  traffic_on_ = false;
+  net_.loop().run_for(millis(400));
+  // Promote everything still buffered to durable, take the final acks, and
+  // write off whatever never resolved.
+  for (auto& [id, st] : stacks_) st->plane->flush_storage();
+  for (NodeId id : ids_) sweep_acks(id);
+  const std::size_t unresolved = pending_.size();
+  voided_ops_ += unresolved;
+  pending_.clear();
+  RC_INFO(kMod, "final sweep: %llu acked, %llu voided (%lu at heal)",
+          static_cast<unsigned long long>(acked_ops_),
+          static_cast<unsigned long long>(voided_ops_),
+          static_cast<unsigned long>(unresolved));
+  check_map_convergence(ids_);
+  run_oracle();
+}
+
+void DurabilityChaosCluster::check_map_convergence(
+    const std::vector<NodeId>& live) {
+  // Wait until every shard's replicas agree everywhere, then assert it.
+  Time deadline = net_.now() + millis(6000);
+  auto settled = [&] {
+    const Stack& ref = *stacks_.at(live.front());
+    for (NodeId id : live) {
+      const Stack& st = *stacks_.at(id);
+      for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+        if (!st.map->shard(s).synced()) return false;
+        if (st.map->shard(s).contents() != ref.map->shard(s).contents()) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  while (net_.now() < deadline && !settled()) net_.loop().run_for(millis(10));
+  const Stack& ref = *stacks_.at(live.front());
+  for (NodeId id : live) {
+    const Stack& st = *stacks_.at(id);
+    for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+      if (!st.map->shard(s).synced()) {
+        violation("convergence: node " + std::to_string(id) + " shard " +
+                  std::to_string(s) + " never synced");
+      } else if (st.map->shard(s).contents() !=
+                 ref.map->shard(s).contents()) {
+        violation("convergence: node " + std::to_string(id) + " shard " +
+                  std::to_string(s) + " diverged from node " +
+                  std::to_string(live.front()) + " (" +
+                  std::to_string(st.map->shard(s).size()) + " vs " +
+                  std::to_string(ref.map->shard(s).size()) + " entries)");
+      }
+    }
+  }
+}
+
+void DurabilityChaosCluster::run_oracle() {
+  // Judge the converged final state (reference node) against every key's
+  // issue history. See the header for the acked-loss / phantom rules.
+  std::map<std::string, std::string> finals;
+  const Stack& ref = *stacks_.at(ids_.front());
+  for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+    for (const auto& [k, v] : ref.map->shard(s).contents()) finals[k] = v;
+  }
+  for (const auto& [key, ops] : history_) {
+    // Newest acknowledged op; keys with no acked op promise nothing.
+    std::size_t acked_idx = ops.size();
+    for (std::size_t i = ops.size(); i-- > 0;) {
+      if (ops[i].acked) {
+        acked_idx = i;
+        break;
+      }
+    }
+    if (acked_idx == ops.size()) continue;
+    auto it = finals.find(key);
+    // Allowed final states: the newest acked op itself, or any op issued
+    // after it (voided ops may have landed — the client never learned).
+    bool ok = false;
+    if (it == finals.end()) {
+      for (std::size_t i = acked_idx; i < ops.size() && !ok; ++i) {
+        ok = ops[i].is_erase;
+      }
+    } else {
+      for (std::size_t i = acked_idx; i < ops.size() && !ok; ++i) {
+        ok = !ops[i].is_erase && ops[i].value == it->second;
+      }
+    }
+    if (ok) continue;
+    const OpRecord& acked = ops[acked_idx];
+    if (it != finals.end() && acked.is_erase) {
+      ++phantoms_;
+      violation("durability: phantom resurrection — '" + key + "' = '" +
+                it->second + "' though op " + std::to_string(acked.id) +
+                " (erase) was acknowledged with nothing newer issued");
+    } else if (it != finals.end()) {
+      ++acked_lost_;
+      violation("durability: acked write lost — '" + key + "' holds '" +
+                it->second + "' instead of acknowledged op " +
+                std::to_string(acked.id) + " ('" + acked.value +
+                "') or anything issued after it");
+    } else {
+      ++acked_lost_;
+      violation("durability: acked write lost — '" + key +
+                "' is absent though op " + std::to_string(acked.id) + " ('" +
+                acked.value + "') was acknowledged and never erased");
+    }
+  }
+}
+
+// --- reporting --------------------------------------------------------------
+
+void DurabilityChaosCluster::violation(std::string what) {
+  RC_WARN(kMod, "INVARIANT VIOLATION: %s", what.c_str());
+  violations_.push_back(std::move(what));
+}
+
+metrics::Snapshot DurabilityChaosCluster::metrics_snapshot() const {
+  metrics::Snapshot out;
+  for (const auto& [id, st] : stacks_) {
+    out.merge(st->mux->metrics_snapshot());
+    out.merge(st->plane->storage_snapshot());
+    for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+      out.merge(st->map->shard(s).metrics().snapshot());
+      out.merge(st->locks->shard(s).metrics().snapshot());
+    }
+  }
+  return out;
+}
+
+std::string DurabilityChaosCluster::failure_report() const {
+  std::string out = "=== durability chaos failure report ===\n";
+  out += "violations (" + std::to_string(violations_.size()) + "):\n";
+  for (const std::string& v : violations_) out += "  " + v + "\n";
+  out += "acked=" + std::to_string(acked_ops_) +
+         " voided=" + std::to_string(voided_ops_) +
+         " acked_lost=" + std::to_string(acked_lost_) +
+         " phantoms=" + std::to_string(phantoms_) + "\n";
+  out += engine_->describe_schedule();
+  session::RingIntrospector ri;
+  for (const auto& [id, st] : stacks_) {
+    for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+      ri.watch(st->plane->ring(s));
+    }
+  }
+  out += ri.dump();
+  return out;
+}
+
+// --- run_durability_round ----------------------------------------------------
+
+DurabilityRoundResult run_durability_round(std::uint64_t seed,
+                                           const std::string& dir,
+                                           Time chaos_duration,
+                                           std::size_t n_nodes,
+                                           std::size_t n_shards) {
+  ChaosConfig ccfg;
+  ccfg.seed = seed;
+  ccfg.mean_gap = millis(160);
+  ccfg.mean_duration = millis(320);
+  ccfg.min_alive = 2;
+  ccfg.n_shards = n_shards;
+  // Restart-storm mix: node crashes, shard restarts and full-cluster
+  // restarts dominate; a light seasoning of network faults keeps the
+  // recovery paths honest about loss and reordering.
+  auto w = [&ccfg](FaultClass c) -> double& {
+    return ccfg.weights[static_cast<std::size_t>(c)];
+  };
+  w(FaultClass::kCrashRestart) = 1.5;
+  w(FaultClass::kPartition) = 0.4;
+  w(FaultClass::kLinkCut) = 0.4;
+  w(FaultClass::kDropBurst) = 0.4;
+  w(FaultClass::kLatencyStorm) = 0.3;
+  w(FaultClass::kDuplicateBurst) = 0.2;
+  w(FaultClass::kCorruptBurst) = 0.2;
+  w(FaultClass::kReorderWindow) = 0.2;
+  w(FaultClass::kRttInflate) = 0.0;
+  w(FaultClass::kAsymLoss) = 0.2;
+  w(FaultClass::kLinkFlap) = 0.0;
+  w(FaultClass::kShardRestart) = 1.2;
+  w(FaultClass::kClusterRestart) = 0.5;
+
+  DurabilityConfig dcfg;
+  dcfg.n_shards = n_shards;
+  dcfg.storage.fsync_every = 4;
+  dcfg.storage.snapshot_every = 64;
+
+  net::SimNetConfig ncfg;
+  ncfg.seed = seed ^ 0xa0761d6478bd642fULL;
+  session::SessionConfig scfg;
+  scfg.transport.adaptive = true;
+
+  std::vector<NodeId> ids;
+  for (std::size_t i = 1; i <= n_nodes; ++i) {
+    ids.push_back(static_cast<NodeId>(i));
+  }
+  DurabilityChaosCluster cluster(ids, dir, ccfg, dcfg, scfg, ncfg);
+  if (cluster.bootstrap()) {
+    cluster.run_chaos(chaos_duration);
+    cluster.heal_and_check();
+  }
+  DurabilityRoundResult res;
+  res.violations = cluster.violations();
+  res.schedule = cluster.engine().describe_schedule();
+  res.faults = cluster.engine().faults_injected();
+  res.classes = cluster.engine().classes_seen();
+  res.acked_ops = cluster.acked_ops();
+  res.voided_ops = cluster.voided_ops();
+  res.acked_lost = cluster.acked_lost();
+  res.phantom_resurrections = cluster.phantom_resurrections();
+  res.metrics = cluster.metrics_snapshot();
+  if (!res.violations.empty()) res.report = cluster.failure_report();
+  return res;
+}
+
+}  // namespace raincore::testing

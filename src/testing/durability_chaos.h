@@ -1,0 +1,195 @@
+// Restart-storm chaos for the durable data plane (DESIGN.md §5g).
+//
+// Every node runs a full sharded stack — SessionMux, ShardedDataPlane with
+// per-shard WAL+snapshot stores on real disk, ShardedMap, ShardedLockManager
+// — while the ChaosEngine kills and restarts single nodes, whole shards
+// (cluster-wide: every node loses that shard's ring and store at once) and
+// the entire cluster mid-traffic. Crashes use the power-cut model: the
+// unsynced WAL tail is gone; restart recovers from snapshot+WAL, rejoins,
+// and reconciles against the live group.
+//
+// The durability oracle drives one-outstanding-op-per-slot client state
+// machines over keys "d<node>:<slot>" with globally unique values, and
+// ACKNOWLEDGES a write only when both hold:
+//   - the issuing node observed its own apply (agreed order reached it), and
+//   - the journal record of that apply is durable (its LSN is at or below
+//     the shard store's durable LSN — fsynced or folded into a snapshot).
+// Acks are swept on a short timer and at every crash/flush boundary, using
+// the durable LSN as it stood at the power cut. Outstanding unacked ops are
+// voided (a client timeout/retry); their effects MAY survive — the oracle
+// treats them as allowed, like any real client that never got a reply.
+//
+// After heal + reconvergence the oracle classifies the final replicated
+// state per key against its issue history:
+//   - acked write lost: the final state matches neither the newest acked
+//     op nor any op issued after it;
+//   - phantom resurrection: the newest acked op was an erase (or the key
+//     was erased by a later issued op) yet the key holds a value from an op
+//     OLDER than that erase — a deleted entry clawed back by recovery.
+// Both counters must be zero; every slot's unique values make the
+// classification exact.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/shard_router.h"
+#include "net/sim_network.h"
+#include "session/session_mux.h"
+#include "testing/chaos.h"
+
+namespace raincore::testing {
+
+struct DurabilityConfig {
+  std::size_t n_shards = 2;
+  std::size_t slots_per_node = 4;
+  /// Client retry timeout: a pending op older than this is voided.
+  Time op_timeout = millis(2500);
+  /// Ack sweep cadence.
+  Time sweep_every = millis(2);
+  storage::StorageConfig storage;  ///< dir filled in by the harness
+};
+
+class DurabilityChaosCluster {
+ public:
+  /// `root_dir` holds one subdirectory per node ("node<id>"), each with one
+  /// directory per shard store. The caller owns cleanup of root_dir.
+  DurabilityChaosCluster(std::vector<NodeId> ids, std::string root_dir,
+                         ChaosConfig chaos_cfg, DurabilityConfig dur_cfg,
+                         session::SessionConfig session_cfg = {},
+                         net::SimNetConfig net_cfg = {});
+  ~DurabilityChaosCluster();
+
+  bool bootstrap(Time timeout = millis(8000));
+  void run_chaos(Time duration);
+  /// Heal, reconverge, quiesce, flush + final ack sweep, check replica
+  /// convergence, then run the durability oracle.
+  void heal_and_check(Time converge_timeout = millis(20000));
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  ChaosEngine& engine() { return *engine_; }
+  net::SimNetwork& net() { return net_; }
+  data::ShardedMap& map(NodeId id) { return *stacks_.at(id)->map; }
+  data::ShardedDataPlane& plane(NodeId id) { return *stacks_.at(id)->plane; }
+
+  std::uint64_t acked_ops() const { return acked_ops_; }
+  std::uint64_t voided_ops() const { return voided_ops_; }
+  std::uint64_t acked_lost() const { return acked_lost_; }
+  std::uint64_t phantom_resurrections() const { return phantoms_; }
+
+  /// Merged storage.* + data.* + session/transport instruments of every
+  /// node (the storage counters ride the per-shard registries).
+  metrics::Snapshot metrics_snapshot() const;
+  std::string failure_report() const;
+
+ private:
+  struct Stack {
+    std::unique_ptr<session::SessionMux> mux;
+    std::unique_ptr<data::ShardedDataPlane> plane;
+    std::unique_ptr<data::ShardedMap> map;
+    std::unique_ptr<data::ShardedLockManager> locks;
+    std::uint64_t epoch = 0;
+    bool crashed = false;
+    /// Shards whose store+ring are down on THIS node (shard fault, or
+    /// globally-down shards inherited at node restart).
+    std::set<std::size_t> shards_down;
+    net::TimerId traffic_timer = 0;
+    Rng traffic_rng{0};
+  };
+
+  /// One issued client op. `id` is a cluster-global issue ordinal; values
+  /// "v<id>-<node>:<slot>" are unique, so the final state names its op.
+  struct OpRecord {
+    std::uint64_t id = 0;
+    bool is_erase = false;
+    std::string value;  ///< empty for erases
+    bool acked = false;
+  };
+  /// The in-flight op of one slot (at most one outstanding per slot).
+  struct Pending {
+    std::uint64_t op_id = 0;
+    NodeId node = kInvalidNode;
+    std::string key;
+    std::size_t shard = 0;
+    bool applied = false;        ///< own apply observed
+    std::uint64_t applied_lsn = 0;  ///< store LSN of the journal record
+    Time issued_at = 0;
+  };
+
+  void start_traffic(NodeId id);
+  void issue_op(NodeId id);
+  void on_map_change(NodeId id, const std::string& key,
+                     const std::optional<std::string>& value, NodeId origin);
+  /// Acks every applied pending op of `id` whose record is durable now.
+  void sweep_acks(NodeId id);
+  void sweep_acks_shard(std::size_t shard);
+  void void_pending_node(NodeId id);
+  void void_pending_shard(std::size_t shard);
+  void void_stale_pending();
+  void ack(Pending& p);
+  void schedule_sweep();
+
+  void crash_node(NodeId id);
+  void restart_node(NodeId id);
+  void crash_shard(std::size_t shard);
+  void restart_shard(std::size_t shard);
+
+  void check_map_convergence(const std::vector<NodeId>& live);
+  void run_oracle();
+  void violation(std::string what);
+
+  net::SimNetwork net_;
+  std::string root_dir_;
+  session::SessionConfig session_cfg_;
+  ChaosConfig chaos_cfg_;
+  DurabilityConfig dur_cfg_;
+  std::unique_ptr<ChaosEngine> engine_;
+  std::map<NodeId, std::unique_ptr<Stack>> stacks_;
+  std::vector<NodeId> ids_;
+  std::set<std::size_t> global_shards_down_;
+  bool traffic_on_ = false;
+  net::TimerId sweep_timer_ = 0;
+
+  std::uint64_t next_op_id_ = 1;
+  /// key -> pending op (one outstanding per slot == per key).
+  std::map<std::string, Pending> pending_;
+  /// key -> full issue history, oldest first.
+  std::map<std::string, std::vector<OpRecord>> history_;
+
+  std::uint64_t acked_ops_ = 0;
+  std::uint64_t voided_ops_ = 0;
+  std::uint64_t acked_lost_ = 0;
+  std::uint64_t phantoms_ = 0;
+  std::vector<std::string> violations_;
+};
+
+/// One full durability round, derived from `seed`: bootstrap → restart-storm
+/// chaos + client traffic → heal → convergence + durability oracle. The
+/// on-disk state lives under `dir` (a fresh subtree per seed; caller picks a
+/// tmp root and removes it afterwards).
+struct DurabilityRoundResult {
+  std::vector<std::string> violations;
+  std::string schedule;
+  std::size_t faults = 0;
+  std::set<FaultClass> classes;
+  std::uint64_t acked_ops = 0;
+  std::uint64_t voided_ops = 0;
+  std::uint64_t acked_lost = 0;
+  std::uint64_t phantom_resurrections = 0;
+  /// Cluster-wide merged instruments. Contains wall-clock recovery
+  /// histograms — compare counters/violations across seeds, not this.
+  metrics::Snapshot metrics;
+  std::string report;  ///< non-empty only when the round had violations
+};
+
+DurabilityRoundResult run_durability_round(std::uint64_t seed,
+                                           const std::string& dir,
+                                           Time chaos_duration = millis(2200),
+                                           std::size_t n_nodes = 4,
+                                           std::size_t n_shards = 2);
+
+}  // namespace raincore::testing

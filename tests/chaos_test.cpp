@@ -223,9 +223,15 @@ TEST(ChaosEngineTest, AllFaultClassesExercised) {
   for (const std::string& v : cluster.violations()) {
     ADD_FAILURE() << v << "\nreplay:\n" << cluster.engine().describe_schedule();
   }
-  EXPECT_EQ(cluster.engine().classes_seen().size(),
-            static_cast<std::size_t>(FaultClass::kCount))
-      << "not every fault class fired:\n"
+  // Every class with a non-zero default weight must fire. (The restart-storm
+  // classes default to weight 0 — they need the durability harness's shard
+  // hooks and are exercised by the durability suite instead.)
+  std::size_t enabled = 0;
+  for (double w : cfg.weights) {
+    if (w > 0.0) ++enabled;
+  }
+  EXPECT_EQ(cluster.engine().classes_seen().size(), enabled)
+      << "not every enabled fault class fired:\n"
       << cluster.engine().describe_schedule();
 }
 
