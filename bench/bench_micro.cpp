@@ -29,7 +29,7 @@ void BM_TokenSerialize(benchmark::State& state) {
     m.origin = 1 + (i % 8);
     m.seq = i;
     m.payload = Slice::copy(Bytes(128, 0xcd));
-    t.msgs.push_back(std::move(m));
+    t.batches.push_back(session::AttachedBatch::single(m));
   }
   for (auto _ : state) {
     Slice b = t.encode();
@@ -48,7 +48,7 @@ void BM_TokenDeserialize(benchmark::State& state) {
     m.origin = 1;
     m.seq = i;
     m.payload = Slice::copy(Bytes(128, 0xcd));
-    t.msgs.push_back(std::move(m));
+    t.batches.push_back(session::AttachedBatch::single(m));
   }
   Slice b = t.encode();
   for (auto _ : state) {

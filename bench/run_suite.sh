@@ -36,6 +36,9 @@ run "$BUILD/bench/bench_network_overhead" \
     "--json=$TMP/bench_network_overhead.json"
 run "$BUILD/bench/bench_chaos" 3 1500 5 1 "--json=$TMP/bench_chaos.json"
 run "$BUILD/bench/bench_shard" "--json=$TMP/bench_shard.json"
+# Saturation knee for the batched plane (see README "Tuning the batch
+# knobs"): sweeps offered load over the same K=4 harness.
+run "$BUILD/bench/bench_saturation" "--json=$TMP/bench_saturation.json"
 # Full-size durability run: phase A at steady state, phase B up to the
 # 10k-entry replay floor (the bench exits non-zero if either gate fails).
 run "$BUILD/bench/bench_durability" "--json=$TMP/bench_durability.json"

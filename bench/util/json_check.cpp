@@ -147,6 +147,37 @@ bool check_file(const std::string& path) {
     std::printf("  ok: %s carries non-zero storage.* instruments\n",
                 path.c_str());
   }
+  if (bench->as_string() == "shard" || bench->as_string() == "saturation") {
+    // Batched-plane documents must prove the batching path actually ran:
+    // non-zero session.batch.msgs (messages rode in batch frames) and the
+    // session.backpressure_stalls counter present (bounded queues wired,
+    // zero is fine — an unsaturated run never refuses).
+    const JsonValue* metrics = v.find("metrics");
+    const JsonValue* counters =
+        metrics != nullptr ? metrics->find("counters") : nullptr;
+    bool batched = false, stalls_wired = false;
+    if (counters != nullptr) {
+      for (const auto& [name, val] : counters->members()) {
+        if (name.find("session.batch.msgs") != std::string::npos &&
+            val.as_number() > 0) {
+          batched = true;
+        }
+        if (name.find("session.backpressure_stalls") != std::string::npos) {
+          stalls_wired = true;
+        }
+      }
+    }
+    if (!batched || !stalls_wired) {
+      std::printf("  FAIL: %s: %s document lacks %s\n", path.c_str(),
+                  bench->as_string().c_str(),
+                  !batched ? "a non-zero session.batch.msgs counter"
+                           : "the session.backpressure_stalls counter");
+      return false;
+    }
+    std::printf("  ok: %s carries live session.batch.* / backpressure "
+                "instruments\n",
+                path.c_str());
+  }
   return true;
 }
 

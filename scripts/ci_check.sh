@@ -43,7 +43,8 @@ echo "== configure + build (ASAN) in $BUILD"
 cmake -B "$BUILD" -S "$ROOT" -DRAINCORE_ASAN=ON
 cmake --build "$BUILD" -j"$JOBS" --target bench_chaos wire_perf_test \
     shard_test bench_shard bench_json_check storage_test durability_test \
-    bench_durability
+    bench_durability batching_test fuzz_robustness_test property_test \
+    bench_saturation
 
 echo "== chaos sweep: $ROUNDS rounds x ${MS}ms, $NODES nodes, seeds $SEED.."
 "$BUILD/bench/bench_chaos" "$ROUNDS" "$MS" "$NODES" "$SEED"
@@ -63,7 +64,12 @@ ctest --test-dir "$BUILD" -L shard --output-on-failure
 
 echo "== durability label under ASAN (WAL format/torn-tail tests," \
      "restart-storm sweep seeds 1..25 with a zero acked-write-loss and" \
-     "zero phantom-resurrection budget, bench_durability 0.7x WAL gate)"
+     "zero phantom-resurrection budget, bench_durability 0.6x WAL gate)"
 ctest --test-dir "$BUILD" -L durability --output-on-failure
+
+echo "== batching label under ASAN (batch-codec fuzzers over aliased" \
+     "sub-views, formation/deferral/backpressure tests, knob-equivalence" \
+     "properties, 25-seed chaos sweep with batching enabled)"
+ctest --test-dir "$BUILD" -L batching --output-on-failure
 
 echo "== ci_check OK"

@@ -31,6 +31,20 @@ MsgSeq ChannelMux::send(Channel ch, Slice payload, session::Ordering o) {
   return node_.multicast(w.finish(), o);
 }
 
+std::optional<MsgSeq> ChannelMux::try_send(Channel ch, Slice payload,
+                                           session::Ordering o) {
+  FrameBuilder w(payload.size() + 2);
+  w.u16(ch);
+  w.raw(payload.data(), payload.size());
+  std::optional<MsgSeq> seq = node_.try_multicast(w.finish(), o);
+  if (seq) {
+    sent_.inc();
+  } else {
+    refused_.inc();
+  }
+  return seq;
+}
+
 void ChannelMux::subscribe(Channel ch, ChannelFn fn) {
   channels_[ch] = std::move(fn);
 }

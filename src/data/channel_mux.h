@@ -32,6 +32,17 @@ class ChannelMux {
     return send(ch, Slice::take(std::move(payload)), o);
   }
 
+  /// Flow-controlled variant: refuses (nullopt) when the session's bounded
+  /// send queue is full instead of growing it. Producers that can pace
+  /// themselves (bulk loaders, benchmark injectors) use this; the plain
+  /// send() keeps force-enqueue semantics for protocol traffic.
+  std::optional<MsgSeq> try_send(Channel ch, Slice payload,
+                                 session::Ordering o = session::Ordering::kAgreed);
+  std::optional<MsgSeq> try_send(Channel ch, Bytes payload,
+                                 session::Ordering o = session::Ordering::kAgreed) {
+    return try_send(ch, Slice::take(std::move(payload)), o);
+  }
+
   /// At most one subscriber per channel (services own their channels).
   void subscribe(Channel ch, ChannelFn fn);
   /// Any number of view subscribers; also invoked immediately with the
@@ -56,6 +67,8 @@ class ChannelMux {
   metrics::Registry metrics_;
   Counter& sent_ = metrics_.counter("data.mux.sent");
   Counter& delivered_ = metrics_.counter("data.mux.delivered");
+  /// try_send calls refused by session backpressure (bounded queue full).
+  Counter& refused_ = metrics_.counter("data.mux.send_refused");
 };
 
 }  // namespace raincore::data

@@ -3,7 +3,7 @@
 namespace raincore::session {
 
 Slice encode_token_msg(const Token& t) {
-  FrameBuilder w(128 + t.msgs.size() * 32);
+  FrameBuilder w(128 + t.batches.size() * 33 + t.msg_bytes());
   w.u8(static_cast<std::uint8_t>(SessionMsgType::kToken));
   t.serialize(w);
   return w.finish();

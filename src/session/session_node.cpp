@@ -88,6 +88,8 @@ void SessionNode::reset_protocol_state() {
   seen_lineage_.clear();
   origin_state_.clear();
   pending_out_.clear();
+  pending_bytes_ = 0;
+  queue_depth_.set(0);
   exclusive_queue_.clear();
   pending_joins_.clear();
   pending_merge_invites_.clear();
@@ -198,15 +200,31 @@ void SessionNode::set_eligible(std::vector<NodeId> eligible) {
 // --- Public services ---------------------------------------------------------
 
 MsgSeq SessionNode::multicast(Slice payload, Ordering ordering) {
-  AttachedMessage m;
-  m.origin = id();
-  m.incarnation = incarnation_;
+  PendingMsg m;
   m.safe = ordering == Ordering::kSafe;
   m.seq = m.safe ? ++next_safe_seq_ : ++next_agreed_seq_;
+  m.enqueued = env_.now();
+  pending_bytes_ += payload.size();
   m.payload = std::move(payload);
   pending_out_.push_back(std::move(m));
+  queue_depth_.set(static_cast<double>(pending_out_.size()));
   stats_.msgs_sent.inc();
   return pending_out_.back().seq;
+}
+
+std::optional<MsgSeq> SessionNode::try_multicast(Slice payload,
+                                                Ordering ordering) {
+  // Bounded queue: refuse before touching the sequence counters so a
+  // stalled producer retries with the same next seq (no wire gaps).
+  const bool msg_full = pending_out_.size() >= cfg_.max_queue_msgs;
+  const bool byte_full =
+      !pending_out_.empty() &&
+      pending_bytes_ + payload.size() > cfg_.max_queue_bytes;
+  if (msg_full || byte_full) {
+    backpressure_stalls_.inc();
+    return std::nullopt;
+  }
+  return multicast(std::move(payload), ordering);
 }
 
 void SessionNode::submit_open(NodeId member, Slice payload) {
@@ -335,10 +353,10 @@ void SessionNode::arm_bodyodor_timer() {
   });
 }
 
-void SessionNode::deliver(const AttachedMessage& m) {
+void SessionNode::deliver(NodeId origin, const Slice& payload, bool safe) {
   stats_.msgs_delivered.inc();
   if (on_deliver_) {
-    on_deliver_(m.origin, m.payload, m.safe ? Ordering::kSafe : Ordering::kAgreed);
+    on_deliver_(origin, payload, safe ? Ordering::kSafe : Ordering::kAgreed);
   }
 }
 

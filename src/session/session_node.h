@@ -73,8 +73,25 @@ struct SessionConfig {
   /// before removing it. Active only with transport.adaptive; 0 restores
   /// the paper's aggressive remove-on-first-failure behaviour (§2.2).
   int probation_passes = 1;
-  /// Flow control: own messages attached per token visit.
-  std::size_t max_msgs_per_visit = 128;
+  /// Flow control / batching (RPC-formation style, cortx-motr rpc/): a
+  /// token visit drains at most this many queued messages, coalesced into
+  /// per-ordering-class batch frames (token.h AttachedBatch).
+  std::size_t max_batch_msgs = 128;
+  /// Byte-size trigger and per-visit byte cap: a visit stops draining once
+  /// the attached payload bytes reach this (a single message larger than
+  /// the cap still goes — alone).
+  std::size_t max_batch_bytes = 1 << 20;
+  /// Latency deadline for batch formation: when positive, a visit with a
+  /// below-threshold queue defers draining until the oldest queued message
+  /// has waited this long, letting batches fill instead of sending slivers
+  /// every rotation. 0 = drain every visit (the pre-batching behaviour).
+  Time flush_deadline = 0;
+  /// Bounded send queue: try_multicast refuses (would-block backpressure)
+  /// once the queue holds this many messages...
+  std::size_t max_queue_msgs = 8192;
+  /// ...or this many payload bytes (a lone oversized message is admitted
+  /// into an empty queue so it can never wedge).
+  std::size_t max_queue_bytes = 8 << 20;
   /// Nodes eligible to ever be members (discovery targets, §2.4). Empty
   /// means "no discovery" — merges only happen via explicit join().
   std::vector<NodeId> eligible;
@@ -157,6 +174,19 @@ class SessionNode {
     return multicast(Slice::take(std::move(payload)), ordering);
   }
 
+  /// Flow-controlled multicast: refuses (returns nullopt, increments
+  /// "session.backpressure_stalls") when the bounded send queue is full
+  /// instead of growing it — the would-block signal producers use to pace
+  /// themselves. multicast() above keeps the force-enqueue semantics for
+  /// protocol-internal senders that cannot drop (open-submit forwarding,
+  /// re-proposals).
+  std::optional<MsgSeq> try_multicast(Slice payload,
+                                      Ordering ordering = Ordering::kAgreed);
+  std::optional<MsgSeq> try_multicast(Bytes payload,
+                                      Ordering ordering = Ordering::kAgreed) {
+    return try_multicast(Slice::take(std::move(payload)), ordering);
+  }
+
   /// Mutual exclusion service (§2.7): fn runs while this node is EATING —
   /// no other node can be EATING at the same time.
   void run_exclusive(std::function<void()> fn);
@@ -198,6 +228,8 @@ class SessionNode {
   const Token& last_copy() const { return last_copy_; }
   bool holds_token() const { return state_ == State::kEating; }
   std::size_t pending_out() const { return pending_out_.size(); }
+  /// Payload bytes currently held in the bounded send queue.
+  std::size_t pending_out_bytes() const { return pending_bytes_; }
   transport::ReliableTransport& transport() { return transport_; }
   /// Demux group this ring's frames are stamped with (0 for classic nodes).
   transport::MuxGroup mux_group() const { return group_; }
@@ -293,7 +325,10 @@ class SessionNode {
   Time effective_hungry_timeout() const;
   Time effective_starving_retry() const;
 
-  void deliver(const AttachedMessage& m);
+  void deliver(NodeId origin, const Slice& payload, bool safe);
+  /// Delivers the batch's inner messages above `watermark` in order and
+  /// advances the watermark (exactly-once across duplicated batch frames).
+  void deliver_batch(const AttachedBatch& b, MsgSeq& watermark);
   void reset_protocol_state();
   /// Single state-transition point: records dwell time in the state being
   /// left into the matching "session.state.*_dwell_ns" histogram.
@@ -341,7 +376,16 @@ class SessionNode {
   std::map<std::pair<NodeId, std::uint32_t>, OriginState> origin_state_;
   std::uint64_t origin_stamp_ = 0;
   OriginState& origin_watermarks(NodeId origin, std::uint32_t incarnation);
-  std::deque<AttachedMessage> pending_out_;
+  /// Bounded send queue (the batching layer's feed): messages wait here
+  /// until a token visit drains them into batch frames.
+  struct PendingMsg {
+    MsgSeq seq = 0;
+    bool safe = false;
+    Time enqueued = 0;  ///< for the flush-deadline trigger
+    Slice payload;
+  };
+  std::deque<PendingMsg> pending_out_;
+  std::size_t pending_bytes_ = 0;
   std::deque<std::function<void()>> exclusive_queue_;
 
   // Probation state: the successor currently on its extra attempt budget.
@@ -392,6 +436,17 @@ class SessionNode {
   Histogram& dwell_starving_ =
       metrics_.histogram("session.state.starving_dwell_ns");
   Counter& rounds_911_ = metrics_.counter("session.911.rounds");
+  // Batching / flow-control instruments.
+  Counter& backpressure_stalls_ =
+      metrics_.counter("session.backpressure_stalls");
+  Counter& batches_attached_ = metrics_.counter("session.batch.attached");
+  Counter& batch_msgs_ = metrics_.counter("session.batch.msgs");
+  Counter& batch_bytes_ = metrics_.counter("session.batch.bytes");
+  /// Visits that deferred a below-threshold queue to let a batch fill
+  /// (flush_deadline formation trigger).
+  Counter& batch_deferrals_ = metrics_.counter("session.batch.deferrals");
+  Histogram& batch_fill_ = metrics_.histogram("session.batch.fill");
+  Gauge& queue_depth_ = metrics_.gauge("session.queue.depth");
   /// Members removed on a fanned-out suspicion from another ring's
   /// detection (vs. this ring's own failed pass).
   Counter& suspect_removals_ = metrics_.counter("session.suspect_removals");

@@ -147,48 +147,59 @@ void SessionNode::eating_cycle() {
 }
 
 void SessionNode::process_attached(Token& t) {
-  // Delivery is strictly in list (= attach) order: an unqualified safe
-  // message *blocks* everything attached after it, so all members deliver
-  // the mixed agreed/safe stream in one identical total order (the same
-  // holdback discipline as Totem's safe delivery).
-  std::vector<AttachedMessage> kept;
-  kept.reserve(t.msgs.size());
+  // Delivery is strictly in list (= attach) order at batch granularity: an
+  // unconfirmed safe batch *blocks* everything attached after it, so all
+  // members deliver the mixed agreed/safe stream in one identical total
+  // order (the same holdback discipline as Totem's safe delivery). Within
+  // a batch the inner messages are delivered in index (= enqueue) order.
+  std::vector<AttachedBatch> kept;
+  kept.reserve(t.batches.size());
   bool blocked = false;
-  bool safe_pending_earlier = false;  // an earlier-listed safe msg survives
-  for (AttachedMessage& m : t.msgs) {
-    const std::uint32_t attach_ring = std::max<std::uint32_t>(1, m.ring_at_attach);
+  bool safe_pending_earlier = false;  // an earlier-listed safe batch survives
+  for (AttachedBatch& b : t.batches) {
+    const std::uint32_t attach_ring =
+        std::max<std::uint32_t>(1, b.ring_at_attach);
     if (!blocked) {
-      const std::uint32_t retire_at = m.safe ? 2 * attach_ring : attach_ring;
+      const std::uint32_t retire_at = b.safe ? 2 * attach_ring : attach_ring;
       // Retire only when every node has had the chance to deliver: an
-      // agreed message must additionally wait out any earlier-listed safe
-      // message it may be held back behind at other nodes.
-      if (m.hops >= retire_at && (m.safe || !safe_pending_earlier)) {
+      // agreed batch must additionally wait out any earlier-listed safe
+      // batch it may be held back behind at other nodes.
+      if (b.hops >= retire_at && (b.safe || !safe_pending_earlier)) {
         continue;  // full round(s) complete everywhere: retire
       }
 
-      OriginState& os = origin_watermarks(m.origin, m.incarnation);
-      if (!m.safe) {
-        if (m.seq > os.agreed) {
-          os.agreed = m.seq;
-          deliver(m);
-        }
-      } else if (m.hops >= attach_ring) {
+      OriginState& os = origin_watermarks(b.origin, b.incarnation);
+      if (!b.safe) {
+        deliver_batch(b, os.agreed);
+      } else if (b.hops >= attach_ring) {
         // Second sighting: the token completed a full round since attach,
-        // so every member has received the message (§2.6 safe ordering).
-        if (m.seq > os.safe) {
-          os.safe = m.seq;
-          deliver(m);
-        }
+        // so every member has received the batch (§2.6 safe ordering).
+        deliver_batch(b, os.safe);
       } else {
-        // Safe message not yet confirmed: hold back everything after it.
+        // Safe batch not yet confirmed: hold back everything after it.
         blocked = true;
       }
     }
-    if (m.safe) safe_pending_earlier = true;
-    m.hops++;
-    kept.push_back(std::move(m));
+    if (b.safe) safe_pending_earlier = true;
+    b.hops++;
+    kept.push_back(std::move(b));
   }
-  t.msgs = std::move(kept);
+  t.batches = std::move(kept);
+}
+
+void SessionNode::deliver_batch(const AttachedBatch& b, MsgSeq& watermark) {
+  if (b.count == 0 || b.last_seq() <= watermark) return;  // wholly duplicate
+  MsgSeq& wm = watermark;
+  b.for_each([&](std::uint32_t i, Slice body) {
+    const MsgSeq seq = b.base_seq + i;
+    // Per-message watermark check: a partially duplicated batch (token
+    // regeneration resurrecting an already half-delivered batch, or a
+    // duplicated batch frame) re-delivers nothing below the mark.
+    if (seq > wm) {
+      wm = seq;
+      deliver(b.origin, body, b.safe);
+    }
+  });
 }
 
 SessionNode::OriginState& SessionNode::origin_watermarks(
@@ -220,15 +231,51 @@ SessionNode::OriginState& SessionNode::origin_watermarks(
 }
 
 void SessionNode::attach_pending(Token& t) {
-  std::size_t attached = 0;
-  while (!pending_out_.empty() && attached < cfg_.max_msgs_per_visit) {
-    AttachedMessage m = std::move(pending_out_.front());
-    pending_out_.pop_front();
-    m.hops = 0;  // our own visit is counted by the delivery pass
-    m.ring_at_attach = static_cast<std::uint16_t>(t.ring.size());
-    t.msgs.push_back(std::move(m));
-    ++attached;
+  if (pending_out_.empty()) return;
+
+  // Adaptive flush: with a deadline configured, a visit whose backlog has
+  // neither filled a batch (messages or bytes) nor aged past the deadline
+  // defers — the next visit ships a fuller batch. flush_deadline == 0
+  // drains every visit (the pre-batching behaviour), and a leaving node
+  // always flushes so no message is stranded behind the deadline.
+  if (cfg_.flush_deadline > 0 && !leaving_ &&
+      pending_out_.size() < cfg_.max_batch_msgs &&
+      pending_bytes_ < cfg_.max_batch_bytes &&
+      env_.now() - pending_out_.front().enqueued < cfg_.flush_deadline) {
+    batch_deferrals_.inc();
+    return;
   }
+
+  // Drain up to one visit budget (max_batch_msgs / max_batch_bytes) as a
+  // run of batch frames. Consecutive same-class messages share one frame —
+  // their seqs are consecutive because each class has a monotonic counter
+  // and refused try_multicast calls consume no seq — and a class flip
+  // (agreed -> safe or back) closes the frame, preserving attach order at
+  // batch granularity.
+  const std::uint16_t ring_now = static_cast<std::uint16_t>(t.ring.size());
+  std::size_t msgs = 0;
+  std::size_t bytes = 0;
+  while (!pending_out_.empty() && msgs < cfg_.max_batch_msgs &&
+         bytes < cfg_.max_batch_bytes) {
+    const bool safe = pending_out_.front().safe;
+    BatchBuilder b(id(), incarnation_, pending_out_.front().seq, safe);
+    while (!pending_out_.empty() && pending_out_.front().safe == safe &&
+           msgs < cfg_.max_batch_msgs && bytes < cfg_.max_batch_bytes) {
+      PendingMsg m = std::move(pending_out_.front());
+      pending_out_.pop_front();
+      pending_bytes_ -= m.payload.size();
+      ++msgs;
+      bytes += m.payload.size();  // cap checked before the NEXT add, so an
+                                  // oversized message still ships (alone)
+      b.add(m.payload);
+    }
+    batch_fill_.record(static_cast<double>(b.count()));
+    batch_msgs_.inc(b.count());
+    batch_bytes_.inc(b.body_bytes());
+    batches_attached_.inc();
+    t.batches.push_back(b.finish(ring_now));
+  }
+  queue_depth_.set(static_cast<double>(pending_out_.size()));
 }
 
 void SessionNode::process_joins(Token& t) {
@@ -291,8 +338,9 @@ Token SessionNode::merge_tokens(Token own) {
       f.insert_after(insert_after, n);
       insert_after = n;
     }
-    // Concatenate the multicast messages of the two tokens (§2.4).
-    f.msgs.insert(f.msgs.end(), merged.msgs.begin(), merged.msgs.end());
+    // Concatenate the multicast batches of the two tokens (§2.4).
+    f.batches.insert(f.batches.end(), merged.batches.begin(),
+                     merged.batches.end());
     f.seq = std::max(f.seq, merged.seq) + 1;
     f.view_id = std::max(f.view_id, merged.view_id) + 1;
     f.tbm = false;

@@ -1007,6 +1007,11 @@ ChaosRoundResult run_chaos_round(std::uint64_t seed, Time chaos_duration,
   ncfg.default_drop = profile.base_loss;
   session::SessionConfig scfg;
   scfg.transport.adaptive = profile.adaptive;
+  if (profile.max_batch_msgs > 0) scfg.max_batch_msgs = profile.max_batch_msgs;
+  if (profile.max_batch_bytes > 0) {
+    scfg.max_batch_bytes = profile.max_batch_bytes;
+  }
+  if (profile.flush_deadline > 0) scfg.flush_deadline = profile.flush_deadline;
   std::vector<NodeId> ids;
   for (std::size_t i = 1; i <= n_nodes; ++i) {
     ids.push_back(static_cast<NodeId>(i));
@@ -1420,6 +1425,11 @@ ChaosRoundResult run_multi_ring_round(std::uint64_t seed, Time chaos_duration,
   ncfg.default_drop = profile.base_loss;
   session::SessionConfig scfg;
   scfg.transport.adaptive = profile.adaptive;
+  if (profile.max_batch_msgs > 0) scfg.max_batch_msgs = profile.max_batch_msgs;
+  if (profile.max_batch_bytes > 0) {
+    scfg.max_batch_bytes = profile.max_batch_bytes;
+  }
+  if (profile.flush_deadline > 0) scfg.flush_deadline = profile.flush_deadline;
   std::vector<NodeId> ids;
   for (std::size_t i = 1; i <= n_nodes; ++i) {
     ids.push_back(static_cast<NodeId>(i));

@@ -261,5 +261,212 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SessionChaos,
                            return "seed" + std::to_string(pinfo.param.seed);
                          });
 
+// --- Token-hop batching properties -------------------------------------------
+//
+// Batching changed the wire format (multi-message AttachedBatch frames,
+// per-visit byte budgets, the flush-deadline formation trigger) but must
+// not change the delivery semantics the protocol promises:
+//   B1  Any knob setting yields one identical total order at every node,
+//       with exactly-once delivery, under loss and reordering.
+//   B2  Per-origin delivery order equals that origin's send order (FIFO) —
+//       the observable contract the pre-batching path provided.
+//   B3  The bounded send queue never exceeds its cap when producers use
+//       try_multicast, and backpressure is actually reported.
+
+struct BatchParams {
+  std::uint64_t seed;
+  std::size_t max_batch_msgs;
+  std::size_t max_batch_bytes;
+  Time flush_deadline;
+  double drop;
+};
+
+std::string batch_param_name(const ::testing::TestParamInfo<BatchParams>& i) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "seed%llu_m%zu_b%zu_d%d_drop%d",
+                static_cast<unsigned long long>(i.param.seed),
+                i.param.max_batch_msgs, i.param.max_batch_bytes,
+                static_cast<int>(i.param.flush_deadline / kNanosPerMilli),
+                static_cast<int>(i.param.drop * 100));
+  return buf;
+}
+
+class BatchingProperty : public ::testing::TestWithParam<BatchParams> {
+ protected:
+  static constexpr std::size_t kNodes = 4;
+  static constexpr int kMsgs = 60;
+
+  std::vector<NodeId> all_ids() {
+    std::vector<NodeId> ids;
+    for (NodeId i = 1; i <= kNodes; ++i) ids.push_back(i);
+    return ids;
+  }
+
+  session::SessionConfig knob_config() {
+    const BatchParams& p = GetParam();
+    session::SessionConfig cfg;
+    cfg.hungry_timeout = millis(1200);
+    cfg.max_batch_msgs = p.max_batch_msgs;
+    cfg.max_batch_bytes = p.max_batch_bytes;
+    cfg.flush_deadline = p.flush_deadline;
+    return cfg;
+  }
+
+  /// Deterministic mixed-class schedule with random payload sizes; payload
+  /// prefix "o<origin>-i<index>:" lets any observer reconstruct per-origin
+  /// send order.
+  void run_schedule(TestCluster& c, std::uint64_t seed) {
+    Rng rng(seed * 101);
+    std::map<NodeId, int> next_idx;
+    for (int i = 0; i < kMsgs; ++i) {
+      NodeId from = 1 + static_cast<NodeId>(rng.next_below(kNodes));
+      Ordering o = rng.chance(0.3) ? Ordering::kSafe : Ordering::kAgreed;
+      std::string payload = "o" + std::to_string(from) + "-i" +
+                            std::to_string(next_idx[from]++) + ":" +
+                            std::string(rng.next_below(700), 'p');
+      c.send(from, payload, o);
+      c.run(millis(rng.next_below(6)));
+    }
+    c.run(seconds(30));
+  }
+
+  /// B2: per-origin delivered indices are exactly 0,1,2,... at every node.
+  void check_per_origin_fifo(TestCluster& c) {
+    for (NodeId id : all_ids()) {
+      std::map<NodeId, int> expect;
+      for (const testing::Delivery& d : c.delivered(id)) {
+        const std::string& s = d.payload;
+        auto dash = s.find("-i");
+        auto colon = s.find(':');
+        ASSERT_NE(dash, std::string::npos);
+        ASSERT_NE(colon, std::string::npos);
+        int idx = std::stoi(s.substr(dash + 2, colon - dash - 2));
+        EXPECT_EQ(idx, expect[d.origin]++)
+            << "node " << id << ": origin " << d.origin
+            << " delivered out of send order";
+      }
+    }
+  }
+};
+
+TEST_P(BatchingProperty, TotalOrderAndExactlyOnceUnderAnyKnobs) {
+  const BatchParams& p = GetParam();
+  net::SimNetConfig ncfg;
+  ncfg.default_drop = p.drop;
+  ncfg.seed = p.seed;
+  std::vector<NodeId> ids = all_ids();
+  TestCluster c(ids, knob_config(), ncfg);
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged(ids, seconds(60)));
+
+  run_schedule(c, p.seed);
+
+  EXPECT_TRUE(c.check_agreed_order().empty()) << c.check_agreed_order();  // B1
+  for (NodeId id : ids) {
+    EXPECT_EQ(c.delivered(id).size(), static_cast<std::size_t>(kMsgs))
+        << "node " << id;  // exactly-once
+  }
+  check_per_origin_fifo(c);  // B2
+}
+
+TEST_P(BatchingProperty, KnobsPreserveUnbatchedDeliverySemantics) {
+  // Metamorphic equivalence: the same schedule under the default config
+  // (the pre-batching semantics — drain every visit, unbounded practical
+  // queue) and under the parameterised knobs must produce the same message
+  // SET with the same per-origin order at every node. The global
+  // interleaving may legally differ (attach timing shifts), which is why
+  // the comparison is per-origin, not positional.
+  const BatchParams& p = GetParam();
+  std::vector<NodeId> ids = all_ids();
+
+  auto origin_streams = [&](TestCluster& c) {
+    // node -> origin -> payload prefixes in delivery order.
+    std::map<NodeId, std::map<NodeId, std::vector<std::string>>> out;
+    for (NodeId id : ids) {
+      for (const testing::Delivery& d : c.delivered(id)) {
+        out[id][d.origin].push_back(d.payload.substr(0, d.payload.find(':')));
+      }
+    }
+    return out;
+  };
+
+  net::SimNetConfig ncfg;
+  ncfg.default_drop = p.drop;
+  ncfg.seed = p.seed;
+
+  session::SessionConfig reference;  // defaults = pre-batching behaviour
+  reference.hungry_timeout = millis(1200);
+  TestCluster ref(ids, reference, ncfg);
+  ref.bootstrap_via_join();
+  ASSERT_TRUE(ref.run_until_converged(ids, seconds(60)));
+  run_schedule(ref, p.seed);
+  ASSERT_TRUE(ref.check_agreed_order().empty());
+
+  TestCluster knobbed(ids, knob_config(), ncfg);
+  knobbed.bootstrap_via_join();
+  ASSERT_TRUE(knobbed.run_until_converged(ids, seconds(60)));
+  run_schedule(knobbed, p.seed);
+  ASSERT_TRUE(knobbed.check_agreed_order().empty());
+
+  EXPECT_EQ(origin_streams(ref), origin_streams(knobbed))
+      << "per-origin delivery streams must not depend on batching knobs";
+}
+
+TEST_P(BatchingProperty, BoundedQueueHoldsUnderTryOnlyProducers) {
+  const BatchParams& p = GetParam();
+  net::SimNetConfig ncfg;
+  ncfg.default_drop = p.drop;
+  ncfg.seed = p.seed;
+  session::SessionConfig cfg = knob_config();
+  constexpr std::size_t kCap = 8;
+  cfg.max_queue_msgs = kCap;
+  std::vector<NodeId> ids = all_ids();
+  TestCluster c(ids, cfg, ncfg);
+  c.bootstrap_via_join();
+  ASSERT_TRUE(c.run_until_converged(ids, seconds(60)));
+
+  // Offered load far above one visit's drain budget, admission via
+  // try_multicast only: the queue must never exceed the cap (B3), refusals
+  // must not burn sequence numbers, and every admitted message must still
+  // deliver exactly once everywhere.
+  Rng rng(p.seed * 13);
+  session::SessionNode& producer = c.node(1);
+  std::size_t accepted = 0, refused = 0;
+  for (int i = 0; i < 400; ++i) {
+    std::string s = "t" + std::to_string(i);
+    if (producer.try_multicast(Bytes(s.begin(), s.end()))) {
+      ++accepted;
+    } else {
+      ++refused;
+    }
+    ASSERT_LE(producer.pending_out(), kCap) << "queue exceeded its bound";
+    if (rng.chance(0.25)) c.run(millis(1));
+  }
+  EXPECT_GT(refused, 0u) << "offered load should have hit backpressure";
+  c.run(seconds(30));
+  EXPECT_EQ(c.node(1).pending_out(), 0u);
+  for (NodeId id : ids) {
+    EXPECT_EQ(c.delivered(id).size(), accepted) << "node " << id;
+  }
+  EXPECT_TRUE(c.check_agreed_order().empty()) << c.check_agreed_order();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, BatchingProperty,
+    ::testing::Values(
+        // Degenerate single-message frames: batching off in all but format.
+        BatchParams{1, 1, 64, 0, 0.0},
+        // Tiny byte budget forces multi-frame visits.
+        BatchParams{2, 4, 256, 0, 0.02},
+        // Deadline-driven formation under loss.
+        BatchParams{3, 16, 2048, millis(5), 0.05},
+        // Production-like knobs.
+        BatchParams{4, 128, 1 << 20, millis(3), 0.0},
+        // Small everything, long deadline.
+        BatchParams{5, 8, 128, millis(10), 0.02},
+        // Heavy loss.
+        BatchParams{6, 64, 4096, millis(1), 0.10}),
+    batch_param_name);
+
 }  // namespace
 }  // namespace raincore

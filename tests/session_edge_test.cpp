@@ -13,7 +13,7 @@ using testing::TestCluster;
 
 TEST(SessionEdge, FlowControlDrainsLargeBacklog) {
   session::SessionConfig cfg;
-  cfg.max_msgs_per_visit = 10;
+  cfg.max_batch_msgs = 10;
   cfg.token_hold = millis(2);
   TestCluster c({1, 2, 3}, cfg);
   c.bootstrap_via_join();

@@ -31,7 +31,7 @@ Token sample_token() {
   m.hops = 2;
   m.ring_at_attach = 3;
   m.payload = Slice::copy(Bytes{9, 8, 7});
-  t.msgs.push_back(m);
+  t.batches.push_back(session::AttachedBatch::single(m));
   return t;
 }
 
