@@ -42,6 +42,11 @@ run "$BUILD/bench/bench_saturation" "--json=$TMP/bench_saturation.json"
 # Full-size durability run: phase A at steady state, phase B up to the
 # 10k-entry replay floor (the bench exits non-zero if either gate fails).
 run "$BUILD/bench/bench_durability" "--json=$TMP/bench_durability.json"
+# Process-mode runtime: 4 threaded nodes over kernel UDP loopback, epoll +
+# worker threads. Wall-clock, so this row moves with machine load; its own
+# gates (2x the committed sim K=4 baseline at equal-or-better p95) still
+# apply.
+run "$BUILD/bench/bench_runtime" "--json=$TMP/bench_runtime.json"
 
 # Assemble: {"schema": "raincore.bench.suite.v1", "runs": {name: doc, ...}}
 {

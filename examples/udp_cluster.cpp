@@ -1,74 +1,129 @@
-// The same Raincore protocol stack on real UDP sockets (loopback) — the
-// deployment configuration the paper describes: the Transport Service "uses
-// UDP as the packet sending and receiving interface" (§2.1).
+// The production runtime in one process: three ThreadedNodes on kernel UDP
+// loopback — the deployment configuration the paper describes: the
+// Transport Service "uses UDP as the packet sending and receiving
+// interface" (§2.1).
 //
-// Five nodes run in one process over 127.0.0.1 sockets, form a group, and
-// multicast; one node is crash-stopped and the survivors reconverge — all
-// in real time.
+// Each node runs an epoll I/O thread (socket + reliable transport) plus
+// one worker thread per shard ring (DESIGN.md §5i), exactly like a
+// raincored process. Ports are ephemeral: bind port 0, discover via
+// port(), cross-register with add_peer() — no free-port guessing. The
+// cluster forms by discovery, multicasts, loses a member to a crash-stop,
+// and reconverges, all in wall-clock time.
 //
-// Run: ./udp_cluster
+// Run: ./udp_cluster   (exits non-zero on any failed step — doubles as the
+// runtime smoke test in ctest)
+#include <atomic>
+#include <chrono>
 #include <cstdio>
-#include <map>
 #include <memory>
+#include <thread>
+#include <vector>
 
-#include "net/udp_network.h"
-#include "session/session_node.h"
+#include "runtime/threaded_node.h"
 
 using namespace raincore;
 
+namespace {
+
+bool poll_until(const std::function<bool()>& cond, int limit_s = 30) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() - t0 > std::chrono::seconds(limit_s))
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return true;
+}
+
+}  // namespace
+
 int main() {
-  net::UdpConfig ucfg;
-  ucfg.base_port = 47000;
-  net::UdpNetwork net(ucfg);
+  constexpr std::size_t kNodes = 3;
+  constexpr std::size_t kShards = 2;
 
-  session::SessionConfig cfg;
-  cfg.eligible = {1, 2, 3, 4, 5};
-  cfg.token_hold = millis(10);
+  runtime::ThreadedNodeConfig base;
+  base.shards = kShards;
+  base.ring.token_hold = millis(5);
+  for (NodeId id = 1; id <= kNodes; ++id) base.ring.eligible.push_back(id);
 
-  std::map<NodeId, std::unique_ptr<session::SessionNode>> nodes;
-  try {
-    for (NodeId id = 1; id <= 5; ++id) {
-      auto& env = net.add_node(id);
-      nodes[id] = std::make_unique<session::SessionNode>(env, cfg);
-      nodes[id]->set_deliver_handler(
-          [id](NodeId origin, const Slice& payload, session::Ordering) {
-            std::printf("  [udp] node %u delivered from %u: %.*s\n", id, origin,
-                        static_cast<int>(payload.size()), payload.data());
+  std::vector<std::unique_ptr<runtime::ThreadedNode>> nodes;
+  for (NodeId id = 1; id <= kNodes; ++id) {
+    runtime::ThreadedNodeConfig cfg = base;
+    cfg.node = id;
+    nodes.push_back(std::make_unique<runtime::ThreadedNode>(cfg));
+  }
+  for (auto& a : nodes) {
+    for (auto& b : nodes) {
+      if (a->node() == b->node()) continue;
+      a->add_peer(b->node(), 0, "127.0.0.1", b->port(0));
+    }
+  }
+  std::printf("== %zu nodes x %zu shard rings on ephemeral loopback ports:",
+              kNodes, kShards);
+  for (auto& n : nodes) std::printf(" %u", n->port(0));
+  std::printf(" ==\n");
+
+  std::atomic<int> deliveries{0};
+  for (auto& n : nodes) {
+    const NodeId id = n->node();
+    for (std::size_t k = 0; k < kShards; ++k) {
+      n->ring_unsafe(k).set_deliver_handler(
+          [id, &deliveries](NodeId origin, const Slice& payload,
+                            session::Ordering) {
+            std::printf("  [udp] node %u delivered from %u: %.*s\n", id,
+                        origin, static_cast<int>(payload.size()),
+                        payload.data());
+            deliveries.fetch_add(1, std::memory_order_relaxed);
           });
     }
-  } catch (const std::exception& e) {
-    std::printf("socket setup failed (%s) — is the port range free?\n",
-                e.what());
-    return 1;
   }
 
-  std::printf("== forming group over UDP/127.0.0.1:%u.. ==\n", ucfg.base_port);
-  nodes[1]->found();
-  for (NodeId id = 2; id <= 5; ++id) nodes[id]->join({1});
-  net.run_for(seconds(2));
+  for (auto& n : nodes) n->start();
+  for (auto& n : nodes) n->found_all();
 
-  auto view = nodes[3]->view();
-  std::printf("node 3's view (#%llu):",
-              static_cast<unsigned long long>(view.view_id));
-  for (NodeId m : view.members) std::printf(" %u", m);
-  std::printf("\n");
+  std::printf("== forming %zu rings by discovery.. ==\n", kShards);
+  if (!poll_until([&] {
+        for (auto& n : nodes)
+          if (!n->all_converged(kNodes)) return false;
+        return true;
+      })) {
+    std::fprintf(stderr, "FAIL: rings did not converge\n");
+    return 1;
+  }
+  std::printf("all views converged to %zu members\n", kNodes);
 
   std::printf("== multicast over real sockets ==\n");
   std::string msg = "hello over UDP";
-  nodes[2]->multicast(Bytes(msg.begin(), msg.end()));
-  net.run_for(seconds(1));
+  nodes[1]->run_on_shard(0, [&](session::SessionNode& r) {
+    r.multicast(Bytes(msg.begin(), msg.end()));
+  });
+  // Agreed delivery lands at every member of the shard-0 ring.
+  if (!poll_until([&] { return deliveries.load() >= int(kNodes); })) {
+    std::fprintf(stderr, "FAIL: multicast not delivered cluster-wide\n");
+    return 1;
+  }
 
-  std::printf("== crash-stopping node 4 ==\n");
-  nodes[4]->stop();
-  net.run_for(seconds(3));
-  view = nodes[1]->view();
-  std::printf("node 1's view after failure (#%llu):",
-              static_cast<unsigned long long>(view.view_id));
-  for (NodeId m : view.members) std::printf(" %u", m);
-  std::printf("\n");
+  std::printf("== crash-stopping node 3 ==\n");
+  nodes.back()->stop();
+  if (!poll_until([&] {
+        for (std::size_t i = 0; i + 1 < nodes.size(); ++i)
+          if (!nodes[i]->all_converged(kNodes - 1)) return false;
+        return true;
+      })) {
+    std::fprintf(stderr, "FAIL: survivors did not reconverge\n");
+    return 1;
+  }
+  std::printf("survivors reconverged to %zu members on every ring\n",
+              kNodes - 1);
 
-  std::printf("done: %llu real token roundtrips observed at node 1\n",
-              static_cast<unsigned long long>(
-                  nodes[1]->stats().tokens_received.value()));
+  std::uint64_t tokens = 0;
+  metrics::Snapshot snap = nodes[0]->metrics_snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name.find("session.token.received") != std::string::npos)
+      tokens += value;
+  }
+  for (auto& n : nodes) n->stop();
+  std::printf("done: %llu real token receipts observed at node 1\n",
+              static_cast<unsigned long long>(tokens));
   return 0;
 }

@@ -6,8 +6,9 @@
 # tests. A use-after-free in an aliased datagram view, a frame mutated
 # while shared, or a regression back to per-retry copies all fail here.
 #
-# Usage: scripts/ci_check.sh [asan-build-dir]
+# Usage: scripts/ci_check.sh [asan-build-dir] [tsan-build-dir]
 #   asan-build-dir  defaults to <repo>/build-asan (configured on demand)
+#   tsan-build-dir  defaults to <repo>/build-tsan (configured on demand)
 #
 # The `durability`-labelled suite then runs under the same ASAN tree:
 # WAL format/torn-tail unit tests plus the restart-storm chaos sweep
@@ -20,6 +21,12 @@
 # fails if the ground-truth oracle counts more false removals (a node
 # removed while its process was alive) than SOAK_FALSE_RM_BUDGET.
 #
+# A ThreadSanitizer pass closes the gate: the `runtime`-labelled suite
+# (timer wheel + loop parity, SPSC stress, cross-thread eventfd posts,
+# live ThreadedNode clusters, the udp_cluster smoke, the kill -9 raincored
+# harness) runs in a separate TSAN tree, since ASAN and TSAN cannot share
+# one build. Any data race in the I/O-thread/worker handoff fails here.
+#
 # Environment:
 #   CHAOS_ROUNDS=50 CHAOS_MS=3000 CHAOS_NODES=5 CHAOS_SEED=1  sweep shape
 #   SOAK_ROUNDS=10 SOAK_MS=2000 SOAK_SEED=301                 soak shape
@@ -28,6 +35,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-asan}"
+TSAN_BUILD="${2:-$ROOT/build-tsan}"
 ROUNDS="${CHAOS_ROUNDS:-50}"
 MS="${CHAOS_MS:-3000}"
 NODES="${CHAOS_NODES:-5}"
@@ -71,5 +79,14 @@ echo "== batching label under ASAN (batch-codec fuzzers over aliased" \
      "sub-views, formation/deferral/backpressure tests, knob-equivalence" \
      "properties, 25-seed chaos sweep with batching enabled)"
 ctest --test-dir "$BUILD" -L batching --output-on-failure
+
+echo "== configure + build (TSAN) in $TSAN_BUILD"
+cmake -B "$TSAN_BUILD" -S "$ROOT" -DRAINCORE_TSAN=ON
+cmake --build "$TSAN_BUILD" -j"$JOBS" --target real_time_loop_test \
+    runtime_test udp_cluster raincored cluster_harness
+
+echo "== runtime label under TSAN (loop semantics, SPSC handoff, threaded" \
+     "nodes on kernel UDP, udp_cluster smoke, raincored kill -9 harness)"
+ctest --test-dir "$TSAN_BUILD" -L runtime --output-on-failure
 
 echo "== ci_check OK"

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Launches an N-member raincored cluster on localhost UDP: generates one
+# JSON config per member (full-mesh peers, fixed ports), starts the
+# daemons, waits for every member's status.json to report all K shard
+# rings converged, then keeps the cluster up until Ctrl-C (or for -t
+# seconds). All state lands under the work dir: configs, status
+# heartbeats, and each member's exit metrics.json.
+#
+# The kill -9 acceptance path (SIGKILL a member, watch survivors
+# reconverge, restart it, watch it merge back) is the C++ harness:
+#   build/tools/cluster_harness build/tools/raincored --kill9
+# which also runs in ctest as `cluster_kill9` (ctest -L runtime).
+#
+# Usage: scripts/cluster.sh [options]
+#   -b DIR   build dir holding tools/raincored   (default <repo>/build)
+#   -n N     cluster members                     (default 4)
+#   -k K     shard rings per member              (default 4)
+#   -p PORT  base UDP port; member i binds PORT+i (default 47100)
+#   -d DIR   work dir                            (default /tmp/raincore-cluster.<pid>)
+#   -t SEC   run for SEC seconds then stop; 0 = until Ctrl-C (default 0)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build"
+NODES=4
+SHARDS=4
+BASE_PORT=47100
+WORK=""
+RUN_S=0
+while getopts "b:n:k:p:d:t:h" opt; do
+  case "$opt" in
+    b) BUILD="$OPTARG" ;;
+    n) NODES="$OPTARG" ;;
+    k) SHARDS="$OPTARG" ;;
+    p) BASE_PORT="$OPTARG" ;;
+    d) WORK="$OPTARG" ;;
+    t) RUN_S="$OPTARG" ;;
+    h|*) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+  esac
+done
+WORK="${WORK:-/tmp/raincore-cluster.$$}"
+DAEMON="$BUILD/tools/raincored"
+
+if [ ! -x "$DAEMON" ]; then
+  echo "error: $DAEMON not found — build the tree first:" >&2
+  echo "  cmake -B $BUILD -S $ROOT && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+mkdir -p "$WORK"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  for pid in "${pids[@]:-}"; do wait "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT INT TERM
+
+# One config per member: full-mesh peers on fixed localhost ports.
+for i in $(seq 1 "$NODES"); do
+  peers=""
+  for j in $(seq 1 "$NODES"); do
+    [ "$j" -eq "$i" ] && continue
+    [ -n "$peers" ] && peers="$peers, "
+    peers="$peers{\"node\": $j, \"ip\": \"127.0.0.1\", \"port\": $((BASE_PORT + j))}"
+  done
+  mkdir -p "$WORK/n$i"
+  cat > "$WORK/n$i.json" <<EOF
+{
+  "node": $i,
+  "shards": $SHARDS,
+  "bind_ip": "127.0.0.1",
+  "port": $((BASE_PORT + i)),
+  "storage_dir": "$WORK/n$i",
+  "status_interval_ms": 200,
+  "peers": [ $peers ]
+}
+EOF
+done
+
+echo "== starting $NODES raincored on 127.0.0.1:$((BASE_PORT + 1)).. ($SHARDS shard rings each, state in $WORK)"
+for i in $(seq 1 "$NODES"); do
+  if [ "$RUN_S" -gt 0 ]; then
+    "$DAEMON" "$WORK/n$i.json" --run-s "$RUN_S" &
+  else
+    "$DAEMON" "$WORK/n$i.json" &
+  fi
+  pids+=($!)
+done
+
+# Converged when every member's heartbeat shows all K views at size N.
+want="\"views\":[$(printf "$NODES,%.0s" $(seq 1 "$SHARDS") | sed 's/,$//')]"
+deadline=$((SECONDS + 60))
+converged=0
+while [ "$SECONDS" -lt "$deadline" ]; do
+  ok=0
+  for i in $(seq 1 "$NODES"); do
+    grep -q -F "$want" "$WORK/n$i/status.json" 2>/dev/null && ok=$((ok + 1))
+  done
+  if [ "$ok" -eq "$NODES" ]; then converged=1; break; fi
+  sleep 0.2
+done
+if [ "$converged" -ne 1 ]; then
+  echo "error: cluster did not converge within 60s (see $WORK)" >&2
+  exit 1
+fi
+echo "== all $NODES members report $SHARDS rings of $NODES — cluster is up"
+
+if [ "$RUN_S" -gt 0 ]; then
+  echo "== running for ${RUN_S}s"
+  wait "${pids[@]}"
+  pids=()
+else
+  echo "== Ctrl-C to stop; heartbeats in $WORK/n*/status.json"
+  wait "${pids[@]}"
+  pids=()
+fi

@@ -24,12 +24,12 @@ VipManager::VipManager(data::ChannelMux& mux, Subnet& subnet, VipConfig cfg)
 }
 
 VipManager::~VipManager() {
-  if (reassert_timer_) mux_.session().transport().env().cancel(reassert_timer_);
+  if (reassert_timer_) mux_.session().env().cancel(reassert_timer_);
 }
 
 void VipManager::schedule_reassert() {
   if (cfg_.arp_reassert_interval <= 0) return;
-  reassert_timer_ = mux_.session().transport().env().schedule(
+  reassert_timer_ = mux_.session().env().schedule(
       cfg_.arp_reassert_interval, [this] {
         reassert_arps();
         schedule_reassert();

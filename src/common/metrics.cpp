@@ -32,37 +32,40 @@ std::string fmt(double v) {
 }  // namespace
 
 Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   return counters_[prefix_ + name];
 }
 
 Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   return gauges_[prefix_ + name];
 }
 
 Histogram& Registry::histogram(const std::string& name, std::size_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
   std::string full = prefix_ + name;
-  auto it = histograms_.find(full);
-  if (it == histograms_.end()) {
-    // Seed from the full (prefixed) name: two instances of one component
-    // keep independent, order-insensitive reservoirs.
-    it = histograms_.emplace(full, Histogram(capacity, name_seed(full))).first;
-  }
+  // Seed from the full (prefixed) name: two instances of one component
+  // keep independent, order-insensitive reservoirs.
+  auto it = histograms_.try_emplace(full, capacity, name_seed(full)).first;
   return it->second;
 }
 
 bool Registry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::string full = prefix_ + name;
   return counters_.count(full) || gauges_.count(full) ||
          histograms_.count(full);
 }
 
 std::size_t Registry::reservoir_samples() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::size_t total = 0;
   for (const auto& [name, h] : histograms_) total += h.reservoir_size();
   return total;
 }
 
 Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
   Snapshot s;
   for (const auto& [name, c] : counters_) s.counters[name] = c.value();
   for (const auto& [name, g] : gauges_) s.gauges[name] = g.value();
@@ -82,6 +85,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();

@@ -3,10 +3,12 @@
 // Every protocol layer (transport, session, data services, hierarchy, apps)
 // owns a Registry and registers its instruments under hierarchical
 // dot-separated names ("session.token.rotation_ns", "transport.fod", ...).
-// Like the rest of the codebase the registry is single-loop — no locks, no
-// atomics — and every stochastic element (histogram reservoirs) is
-// deterministically seeded, so metric snapshots of a seeded simulation run
-// are bit-for-bit reproducible.
+// The instrument layer is thread-safe without hot-path locks (counters and
+// gauges are relaxed atomics, histograms shard their reservoirs per thread
+// — see common/stats.h); a registry mutex guards only registration and
+// snapshot iteration, never a record. Every stochastic element (histogram
+// reservoirs) is deterministically seeded, so metric snapshots of a seeded
+// single-threaded simulation run are bit-for-bit reproducible.
 //
 // Snapshot is the value type: diff() isolates a measurement window,
 // merge() aggregates across instances (all components of one node, or the
@@ -16,6 +18,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/json.h"
@@ -99,6 +102,7 @@ class Registry {
 
   bool has(const std::string& name) const;
   std::size_t instrument_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
   /// Total samples currently held across all reservoirs — the memory
@@ -109,6 +113,10 @@ class Registry {
   void reset();
 
  private:
+  /// Guards the instrument maps (registration / snapshot iteration). The
+  /// instruments themselves are thread-safe; bound references recorded
+  /// through never touch this mutex.
+  mutable std::mutex mu_;
   std::string prefix_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;

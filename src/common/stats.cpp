@@ -4,55 +4,230 @@
 
 namespace raincore {
 
-void Histogram::record(double v) {
-  if (count_ == 0) {
-    min_ = max_ = v;
-  } else {
-    if (v < min_) min_ = v;
-    if (v > max_) max_ = v;
+namespace {
+thread_local unsigned t_metric_shard = 0;
+}  // namespace
+
+void set_thread_metric_shard(unsigned idx) {
+  t_metric_shard =
+      idx < Histogram::kMaxThreadShards
+          ? idx
+          : static_cast<unsigned>(Histogram::kMaxThreadShards - 1);
+}
+
+unsigned thread_metric_shard() { return t_metric_shard; }
+
+Histogram::Histogram(std::size_t capacity, std::uint64_t seed)
+    : capacity_(std::max<std::size_t>(1, capacity)), seed_(seed) {
+  // Slot 0 exists from birth: the simulator's (and any unregistered
+  // thread's) recordings land there with zero install races.
+  shards_[0].store(new Shard(shard_seed(0)), std::memory_order_release);
+}
+
+Histogram::Histogram(const Histogram& o) : capacity_(o.capacity_), seed_(o.seed_) {
+  for (std::size_t i = 0; i < kMaxThreadShards; ++i) {
+    Shard* src = o.shards_[i].load(std::memory_order_acquire);
+    if (!src && i != 0) continue;
+    auto* dst = new Shard(shard_seed(i));
+    if (src) {
+      std::lock_guard<std::mutex> lk(src->mu);
+      dst->rng = src->rng;
+      dst->count = src->count;
+      dst->min = src->min;
+      dst->max = src->max;
+      dst->sum = src->sum;
+      dst->samples = src->samples;
+      dst->sorted = src->sorted;
+    }
+    shards_[i].store(dst, std::memory_order_release);
   }
-  sum_ += v;
-  if (samples_.size() < capacity_) {
-    samples_.push_back(v);
-    sorted_ = false;
+}
+
+Histogram& Histogram::operator=(const Histogram& o) {
+  if (this == &o) return *this;
+  Histogram copy(o);
+  capacity_ = copy.capacity_;
+  seed_ = copy.seed_;
+  for (std::size_t i = 0; i < kMaxThreadShards; ++i) {
+    delete shards_[i].load(std::memory_order_acquire);
+    shards_[i].store(copy.shards_[i].load(std::memory_order_acquire),
+                     std::memory_order_release);
+    copy.shards_[i].store(nullptr, std::memory_order_release);
+  }
+  return *this;
+}
+
+Histogram::~Histogram() {
+  for (auto& slot : shards_) delete slot.load(std::memory_order_acquire);
+}
+
+std::uint64_t Histogram::shard_seed(std::size_t idx) const {
+  // Slot 0 keeps the instrument's own seed so single-threaded reservoirs
+  // replay the historical sequence exactly; other slots derive distinct
+  // deterministic streams.
+  return idx == 0 ? seed_ : seed_ ^ (0x9e3779b97f4a7c15ull * idx);
+}
+
+Histogram::Shard& Histogram::local_shard() {
+  std::size_t idx = t_metric_shard;
+  Shard* s = shards_[idx].load(std::memory_order_acquire);
+  if (!s) {
+    Shard* fresh = new Shard(shard_seed(idx));
+    if (shards_[idx].compare_exchange_strong(s, fresh,
+                                             std::memory_order_acq_rel)) {
+      return *fresh;
+    }
+    delete fresh;  // another thread sharing the slot won the install
+  }
+  return *shards_[idx].load(std::memory_order_acquire);
+}
+
+template <typename Fn>
+void Histogram::for_each_shard(Fn&& fn) const {
+  for (const auto& slot : shards_) {
+    if (Shard* s = slot.load(std::memory_order_acquire)) fn(*s);
+  }
+}
+
+void Histogram::record(double v) {
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.count == 0) {
+    s.min = s.max = v;
+  } else {
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+  }
+  s.sum += v;
+  if (s.samples.size() < capacity_) {
+    s.samples.push_back(v);
+    s.sorted = false;
   } else {
     // Algorithm R: the incoming sample replaces a random slot with
     // probability capacity/(count+1), keeping every stream element equally
     // likely to be retained.
-    std::uint64_t j = rng_.next_below(count_ + 1);
+    std::uint64_t j = s.rng.next_below(s.count + 1);
     if (j < capacity_) {
-      samples_[static_cast<std::size_t>(j)] = v;
-      sorted_ = false;
+      s.samples[static_cast<std::size_t>(j)] = v;
+      s.sorted = false;
     }
   }
-  ++count_;
+  ++s.count;
 }
 
-void Histogram::reset() {
-  count_ = 0;
-  min_ = max_ = sum_ = 0.0;
-  samples_.clear();
-  sorted_ = false;
-  rng_ = Rng(seed_);  // replay determinism: identical streams, identical reservoirs
+std::size_t Histogram::count() const {
+  std::size_t total = 0;
+  for_each_shard([&](Shard& s) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    total += s.count;
+  });
+  return total;
 }
 
-void Histogram::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
+std::size_t Histogram::reservoir_size() const {
+  std::size_t total = 0;
+  for_each_shard([&](Shard& s) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    total += s.samples.size();
+  });
+  return total;
+}
+
+double Histogram::min() const {
+  double out = 0.0;
+  bool any = false;
+  for_each_shard([&](Shard& s) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.count == 0) return;
+    out = any ? std::min(out, s.min) : s.min;
+    any = true;
+  });
+  return out;
+}
+
+double Histogram::max() const {
+  double out = 0.0;
+  bool any = false;
+  for_each_shard([&](Shard& s) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.count == 0) return;
+    out = any ? std::max(out, s.max) : s.max;
+    any = true;
+  });
+  return out;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for_each_shard([&](Shard& s) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    total += s.sum;
+  });
+  return total;
 }
 
 double Histogram::percentile(double q) const {
-  if (samples_.empty()) return 0.0;
-  ensure_sorted();
-  if (q <= 0.0) return samples_.front();
-  if (q >= 1.0) return samples_.back();
-  double idx = q * static_cast<double>(samples_.size() - 1);
-  auto lo = static_cast<std::size_t>(idx);
-  double frac = idx - static_cast<double>(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
-  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  // Single-populated-shard fast path — the deterministic simulator's only
+  // path — reproduces the historical behaviour exactly, including the
+  // cached in-place reservoir sort (whose slot rearrangement feeds back
+  // into later Algorithm R replacements; changing it would change seeded
+  // snapshot streams).
+  Shard* only = nullptr;
+  std::size_t populated = 0;
+  for_each_shard([&](Shard& s) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (!s.samples.empty()) {
+      ++populated;
+      only = &s;
+    }
+  });
+  if (populated == 0) return 0.0;
+
+  auto interpolate = [](const std::vector<double>& sorted, double quant) {
+    if (quant <= 0.0) return sorted.front();
+    if (quant >= 1.0) return sorted.back();
+    double idx = quant * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(idx);
+    double frac = idx - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+  };
+
+  if (populated == 1) {
+    std::lock_guard<std::mutex> lk(only->mu);
+    if (!only->sorted) {
+      std::sort(only->samples.begin(), only->samples.end());
+      only->sorted = true;
+    }
+    return interpolate(only->samples, q);
+  }
+
+  // Multi-thread estimate: merge every retained sample (each shard is an
+  // unbiased reservoir of its thread's stream; the union approximates the
+  // combined stream well when shard counts are comparable).
+  std::vector<double> merged;
+  for_each_shard([&](Shard& s) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    merged.insert(merged.end(), s.samples.begin(), s.samples.end());
+  });
+  std::sort(merged.begin(), merged.end());
+  return interpolate(merged, q);
+}
+
+void Histogram::reset() {
+  std::size_t idx = 0;
+  for (auto& slot : shards_) {
+    if (Shard* s = slot.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lk(s->mu);
+      s->count = 0;
+      s->min = s->max = s->sum = 0.0;
+      s->samples.clear();
+      s->sorted = false;
+      // replay determinism: identical streams, identical reservoirs
+      s->rng = Rng(shard_seed(idx));
+    }
+    ++idx;
+  }
 }
 
 std::string format_row(const std::vector<std::string>& cells,

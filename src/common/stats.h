@@ -2,10 +2,22 @@
 // metrics (task switches, packets, bytes, latencies) rather than computing
 // them from formulas. Plain value types; owners aggregate, and the
 // MetricsRegistry (common/metrics.h) names and exports them.
+//
+// Thread model (the production runtime, DESIGN.md §5i): counters and gauges
+// are relaxed atomics — any thread may record without locks. Histograms are
+// sharded per thread: each runtime thread registers a shard slot
+// (set_thread_metric_shard) and records exclusively into its own reservoir,
+// so the hot path never contends; the per-shard mutex exists only to
+// serialise rare snapshot/percentile reads against the owning thread. The
+// deterministic simulator runs everything on slot 0, whose record/percentile
+// sequence is bit-identical to the historical single-threaded histogram.
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,27 +26,54 @@
 
 namespace raincore {
 
-/// Monotonic event counter.
+/// Histogram shard slot for the calling thread (0 = the default slot the
+/// simulator and any unregistered thread record into). The threaded runtime
+/// assigns each worker a distinct slot per node so no two threads of one
+/// node share a reservoir; sharing a slot is safe (the shard mutex), just
+/// not contention-free. Clamped to the shard table size.
+void set_thread_metric_shard(unsigned idx);
+unsigned thread_metric_shard();
+
+/// Monotonic event counter (relaxed atomic: increments from any thread).
+/// Copy/move transfer the current value — value semantics for aggregates
+/// that get moved into containers, not a handle to the original.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  void reset() { value_ = 0; }
-  std::uint64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter& o) : value_(o.value()) {}
+  Counter& operator=(const Counter& o) {
+    value_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-value instrument for levels (ring size, queue depth, bytes held).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
-  void reset() { value_ = 0.0; }
-  double value() const { return value_; }
+  Gauge() = default;
+  Gauge(const Gauge& o) : value_(o.value()) {}
+  Gauge& operator=(const Gauge& o) {
+    value_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Streaming min/mean/max plus percentiles over a bounded reservoir.
@@ -43,49 +82,75 @@ class Gauge {
 /// exact while the stream fits the reservoir (count() <= capacity()) and an
 /// unbiased reservoir-sample estimate beyond it (Vitter's algorithm R with a
 /// deterministic, seeded RNG — identical record sequences always produce
-/// identical reservoirs). Memory is O(capacity) regardless of stream length,
-/// so long chaos soaks no longer grow without bound.
+/// identical reservoirs). Memory is O(capacity) per recording thread
+/// regardless of stream length, so long chaos soaks no longer grow without
+/// bound.
+///
+/// Sharded per thread: record() lands in the calling thread's shard (see
+/// set_thread_metric_shard); aggregate accessors merge across shards. A
+/// single-threaded stream uses only shard 0 and reproduces the historical
+/// behaviour bit for bit, including percentile()'s in-place reservoir sort.
 class Histogram {
  public:
   static constexpr std::size_t kDefaultCapacity = 1024;
+  static constexpr std::size_t kMaxThreadShards = 16;
 
   explicit Histogram(std::size_t capacity = kDefaultCapacity,
-                     std::uint64_t seed = 0x52c1e5u)
-      : capacity_(std::max<std::size_t>(1, capacity)), seed_(seed), rng_(seed) {}
+                     std::uint64_t seed = 0x52c1e5u);
+  /// Deep copy (value semantics, snapshotting each shard under its mutex);
+  /// the copy is an independent instrument.
+  Histogram(const Histogram& o);
+  Histogram& operator=(const Histogram& o);
+  ~Histogram();
 
   void record(double v);
   void record_time(Time t) { record(static_cast<double>(t)); }
 
   /// Total samples recorded over the stream (not the retained count).
-  std::size_t count() const { return count_; }
-  /// Samples currently retained: min(count(), capacity()).
-  std::size_t reservoir_size() const { return samples_.size(); }
+  std::size_t count() const;
+  /// Samples currently retained across all shards.
+  std::size_t reservoir_size() const;
+  /// Per-shard reservoir bound (total retention <= shards in use × this).
   std::size_t capacity() const { return capacity_; }
 
-  double min() const { return count_ ? min_ : 0.0; }
-  double max() const { return count_ ? max_ : 0.0; }
-  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double sum() const;
   double mean() const {
-    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    std::size_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
   }
   /// q in [0, 1]; exact order statistic at/below capacity, reservoir
-  /// estimate above it.
+  /// estimate above it. With several thread shards in use the estimate
+  /// merges all retained samples.
   double percentile(double q) const;
 
   void reset();
 
  private:
-  void ensure_sorted() const;
+  struct Shard {
+    mutable std::mutex mu;
+    Rng rng;
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    std::vector<double> samples;
+    bool sorted = false;
+
+    explicit Shard(std::uint64_t seed) : rng(seed) {}
+  };
+
+  std::uint64_t shard_seed(std::size_t idx) const;
+  Shard& local_shard();
+  /// Existing shards, in slot order (snapshot-safe: slots are installed
+  /// with release stores and never removed until destruction).
+  template <typename Fn>
+  void for_each_shard(Fn&& fn) const;
 
   std::size_t capacity_;
   std::uint64_t seed_;
-  Rng rng_;
-  std::size_t count_ = 0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  double sum_ = 0.0;
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::array<std::atomic<Shard*>, kMaxThreadShards> shards_{};
 };
 
 /// Formats a fixed-width numeric table row for the bench harnesses.

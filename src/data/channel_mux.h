@@ -54,7 +54,7 @@ class ChannelMux {
   const session::View& view() const { return node_.view(); }
   /// Current virtual time of the owning node's event loop — shared clock
   /// for the data services' latency instruments.
-  Time now() const { return node_.transport().env().now(); }
+  Time now() const { return node_.env().now(); }
 
   /// Mux-level instruments ("data.mux.*"): per-channel traffic counts.
   metrics::Registry& metrics() { return metrics_; }

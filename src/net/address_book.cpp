@@ -1,0 +1,30 @@
+#include "net/address_book.h"
+
+#include <arpa/inet.h>
+
+#include <cstring>
+
+namespace raincore::net {
+
+void AddressBook::set(const Address& a, const std::string& ip,
+                      std::uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  ::inet_pton(AF_INET, ip.c_str(), &sa.sin_addr);
+  entries_[key(a)] = sa;
+}
+
+bool AddressBook::lookup(const Address& a, sockaddr_in& out) const {
+  auto it = entries_.find(key(a));
+  if (it == entries_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+std::uint16_t AddressBook::port_of(const Address& a) const {
+  auto it = entries_.find(key(a));
+  return it == entries_.end() ? 0 : ntohs(it->second.sin_port);
+}
+
+}  // namespace raincore::net

@@ -4,6 +4,10 @@
 // timers, workload arrivals — is an event on this single queue. Events at
 // the same instant run in scheduling order, making every run bit-for-bit
 // reproducible from its seed.
+//
+// Implements net::Scheduler, the interface protocol code sees; the
+// epoll-backed RealTimeLoop is the production implementation of the same
+// contract.
 #pragma once
 
 #include <cstdint>
@@ -14,31 +18,25 @@
 
 #include "common/clock.h"
 #include "common/types.h"
+#include "net/scheduler.h"
 
 namespace raincore::net {
 
-using TimerId = std::uint64_t;
-using EventFn = std::function<void()>;
-
-class EventLoop {
+class EventLoop final : public Scheduler {
  public:
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
   const Clock& clock() const { return clock_; }
-  Time now() const { return clock_.now(); }
-
-  /// Schedules fn to run at now() + delay (delay may be 0). Returns an id
-  /// usable with cancel().
-  TimerId schedule(Time delay, EventFn fn) { return schedule_at(now() + delay, std::move(fn)); }
+  Time now() const override { return clock_.now(); }
 
   /// Schedules fn at an absolute instant (clamped to now()).
-  TimerId schedule_at(Time when, EventFn fn);
+  TimerId schedule_at(Time when, EventFn fn) override;
 
   /// Cancels a pending event; no-op if it already ran, was cancelled, or
   /// never existed (stale ids must not poison the pending() accounting).
-  void cancel(TimerId id) {
+  void cancel(TimerId id) override {
     if (live_.erase(id) > 0) cancelled_.insert(id);
   }
 
@@ -53,7 +51,7 @@ class EventLoop {
   bool step();
 
   bool idle() const;
-  std::size_t pending() const { return live_.size(); }
+  std::size_t pending() const override { return live_.size(); }
 
  private:
   struct Event {

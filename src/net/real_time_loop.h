@@ -1,0 +1,105 @@
+// Epoll-backed real-time event loop: the production counterpart of the
+// virtual-time EventLoop, behind the same net::Scheduler interface.
+//
+// One loop owns one thread. Inside that thread it multiplexes three event
+// sources:
+//   * non-blocking fds registered with watch_fd() (edge-triggered EPOLLIN
+//     — handlers must drain until EAGAIN),
+//   * timers on a hashed TimerWheel (schedule_at/cancel, Scheduler
+//     contract identical to the simulator loop),
+//   * closures post()ed from other threads, handed over under a short
+//     mutex and signalled through an eventfd so a blocked epoll_wait wakes
+//     immediately.
+//
+// post() is the ONLY cross-thread entry point; schedule/cancel/watch_fd
+// belong to the loop thread (calling them before run() starts, while the
+// owning thread is still setting up, is also fine). The epoll_wait timeout
+// is derived from the wheel's next deadline, so timers fire within one
+// wheel granularity of their deadline without any periodic tick when idle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/types.h"
+#include "net/scheduler.h"
+#include "net/timer_wheel.h"
+
+namespace raincore::net {
+
+class RealTimeLoop final : public Scheduler {
+ public:
+  using FdFn = std::function<void(std::uint32_t epoll_events)>;
+
+  RealTimeLoop();
+  ~RealTimeLoop() override;
+  RealTimeLoop(const RealTimeLoop&) = delete;
+  RealTimeLoop& operator=(const RealTimeLoop&) = delete;
+
+  // Scheduler interface (loop thread).
+  Time now() const override { return clock_.now(); }
+  TimerId schedule_at(Time when, EventFn fn) override;
+  void cancel(TimerId id) override { wheel_.cancel(id); }
+  std::size_t pending() const override { return wheel_.pending(); }
+
+  /// Thread-safe: enqueues fn to run on the loop thread and wakes a
+  /// blocked epoll_wait via the eventfd. Callable before run() (drained on
+  /// the first iteration) and after stop() (drained by the next run).
+  void post(EventFn fn);
+
+  /// Registers a non-blocking fd for edge-triggered EPOLLIN (plus
+  /// EPOLLERR/EPOLLHUP, always reported). The handler runs on the loop
+  /// thread and must read until EAGAIN. Re-watching an fd replaces its
+  /// handler.
+  void watch_fd(int fd, FdFn on_ready);
+  void unwatch_fd(int fd);
+
+  /// Thread-safe: wakes a blocked epoll_wait without enqueuing anything.
+  /// Producers pushing into lock-free queues drained by the service
+  /// handler use this instead of post() — no allocation, no mutex.
+  void notify() { wake(); }
+
+  /// Installs a handler run once per loop iteration (loop thread), before
+  /// timers fire. The runtime drains its SPSC inboxes here; it must be
+  /// cheap when there is nothing to do.
+  void set_service_handler(EventFn fn) { service_ = std::move(fn); }
+
+  /// Runs until stop(). Returns after the stop flag is observed; pending
+  /// posted closures are drained on the final iteration.
+  void run();
+
+  /// Runs for a wall-clock duration, then returns (test harness entry).
+  void run_for(Time d);
+
+  /// Thread-safe: requests run()/run_for() to return.
+  void stop();
+
+  /// True between run() entry and exit (approximate, for assertions).
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  /// One poll-dispatch cycle. `deadline` bounds the epoll timeout (-1 =
+  /// none). Returns false when the stop flag was observed.
+  bool iterate(Time deadline);
+  void drain_posted();
+  void wake();
+
+  RealClock clock_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  TimerWheel wheel_;
+  std::unordered_map<int, FdFn> fd_handlers_;
+
+  std::mutex post_mu_;
+  std::vector<EventFn> posted_;
+  EventFn service_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace raincore::net

@@ -1,0 +1,56 @@
+// Common scheduling interface shared by the virtual-time simulator loop
+// (net/event_loop.h) and the epoll-backed production loop
+// (net/real_time_loop.h).
+//
+// Protocol code — transports, session rings, data services — schedules
+// timers and reads the clock exclusively through this interface, so the
+// same passive state machines run bit-identically under the deterministic
+// simulator and in real time on a production thread. The contract both
+// implementations honour:
+//
+//   * schedule_at() clamps past instants to now(); same-instant events run
+//     in schedule order (FIFO by submission sequence).
+//   * cancel() on an id that already fired, was cancelled, or never existed
+//     is a harmless no-op — stale ids must not poison accounting.
+//   * Handlers may schedule and cancel freely, including a zero-delay
+//     timer from inside a handler; it runs in the same drain pass, after
+//     every event already due.
+//
+// Threading: schedule/cancel are owner-thread operations on both loops.
+// Cross-thread submission goes through RealTimeLoop::post(), never through
+// the Scheduler interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace raincore::net {
+
+using TimerId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual Time now() const = 0;
+
+  /// Schedules fn at an absolute instant (clamped to now()). Returns an id
+  /// usable with cancel().
+  virtual TimerId schedule_at(Time when, EventFn fn) = 0;
+
+  /// Schedules fn to run at now() + delay (delay may be 0).
+  TimerId schedule(Time delay, EventFn fn) {
+    return schedule_at(now() + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; no-op for stale/unknown ids.
+  virtual void cancel(TimerId id) = 0;
+
+  /// Timers scheduled and not yet fired or cancelled.
+  virtual std::size_t pending() const = 0;
+};
+
+}  // namespace raincore::net

@@ -1,187 +1,28 @@
 #include "net/udp_network.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <cassert>
-#include <cstring>
-#include <stdexcept>
-#include <vector>
-
-#include "common/log.h"
 
 namespace raincore::net {
 
-class UdpNetwork::UdpNodeEnv final : public NodeEnv {
- public:
-  UdpNodeEnv(UdpNetwork& net, NodeId id, std::uint8_t n_ifaces, Rng rng)
-      : net_(net), id_(id), n_ifaces_(n_ifaces), rng_(rng) {
-    fds_.resize(n_ifaces, -1);
-    for (std::uint8_t i = 0; i < n_ifaces; ++i) {
-      int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
-      if (fd < 0) throw std::runtime_error("socket() failed");
-      int flags = ::fcntl(fd, F_GETFL, 0);
-      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_port = htons(net.port_of(Address{id, i}));
-      ::inet_pton(AF_INET, net.cfg_.bind_ip.c_str(), &addr.sin_addr);
-      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-        ::close(fd);
-        throw std::runtime_error("bind() failed for node " + std::to_string(id));
-      }
-      fds_[i] = fd;
-    }
-  }
-
-  ~UdpNodeEnv() override {
-    for (int fd : fds_) {
-      if (fd >= 0) ::close(fd);
-    }
-  }
-
-  NodeId node() const override { return id_; }
-  std::uint8_t iface_count() const override { return n_ifaces_; }
-
-  void send(const Address& to, Slice payload, std::uint8_t from_iface) override {
-    assert(from_iface < n_ifaces_);
-    // Wire framing: [src_node u32][src_iface u8] + payload, so the receiver
-    // recovers the logical source address regardless of ephemeral routing.
-    // The header goes out as a separate iovec: the payload slice is shared
-    // with retries and parallel interfaces (which carry different headers),
-    // so it is never copied or prepended in place here.
-    std::uint8_t hdr[5];
-    for (int i = 0; i < 4; ++i) hdr[i] = static_cast<std::uint8_t>(id_ >> (8 * i));
-    hdr[4] = from_iface;
-
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(net_.port_of(to));
-    ::inet_pton(AF_INET, net_.cfg_.bind_ip.c_str(), &addr.sin_addr);
-
-    iovec iov[2];
-    iov[0].iov_base = hdr;
-    iov[0].iov_len = sizeof(hdr);
-    iov[1].iov_base = const_cast<std::uint8_t*>(payload.data());
-    iov[1].iov_len = payload.size();
-    msghdr msg{};
-    msg.msg_name = &addr;
-    msg.msg_namelen = sizeof(addr);
-    msg.msg_iov = iov;
-    msg.msg_iovlen = payload.empty() ? 1 : 2;
-    ::sendmsg(fds_[from_iface], &msg, 0);
-  }
-
-  TimerId schedule(Time delay, EventFn fn) override {
-    return net_.schedule(delay, std::move(fn));
-  }
-  void cancel(TimerId id) override { net_.cancel(id); }
-  Time now() const override { return net_.clock_.now(); }
-  Rng& rng() override { return rng_; }
-  void set_receiver(ReceiveFn fn) override { receiver_ = std::move(fn); }
-
-  void drain(std::uint8_t iface) {
-    std::uint8_t buf[65536];
-    for (;;) {
-      ssize_t n = ::recv(fds_[iface], buf, sizeof(buf), 0);
-      if (n < 0) break;
-      if (n < 5) continue;  // malformed frame
-      ByteReader r(buf, static_cast<std::size_t>(n));
-      Datagram d;
-      d.src.node = r.u32();
-      d.src.iface = r.u8();
-      d.dst = Address{id_, iface};
-      // One copy off the stack receive buffer; everything above (transport
-      // payload, decoded piggyback messages) aliases this storage.
-      d.payload = Slice::copy(buf + 5, static_cast<std::size_t>(n) - 5);
-      if (receiver_) receiver_(std::move(d));
-    }
-  }
-
-  const std::vector<int>& fds() const { return fds_; }
-
- private:
-  UdpNetwork& net_;
-  NodeId id_;
-  std::uint8_t n_ifaces_;
-  Rng rng_;
-  ReceiveFn receiver_;
-  std::vector<int> fds_;
-};
-
-UdpNetwork::UdpNetwork(UdpConfig cfg) : cfg_(cfg) {}
+UdpNetwork::UdpNetwork(UdpConfig cfg) : cfg_(std::move(cfg)) {}
 UdpNetwork::~UdpNetwork() = default;
-
-std::uint16_t UdpNetwork::port_of(const Address& a) const {
-  return static_cast<std::uint16_t>(cfg_.base_port + a.node * kMaxIfaces +
-                                    a.iface);
-}
 
 NodeEnv& UdpNetwork::add_node(NodeId id, std::uint8_t n_ifaces) {
   assert(n_ifaces >= 1 && n_ifaces <= kMaxIfaces);
+  UdpEndpointConfig ec;
+  ec.node = id;
+  ec.ifaces = n_ifaces;
+  ec.bind_ip = cfg_.bind_ip;
+  if (cfg_.base_port != 0) {
+    for (std::uint8_t i = 0; i < n_ifaces; ++i) {
+      ec.ports.push_back(static_cast<std::uint16_t>(cfg_.base_port +
+                                                    id * kMaxIfaces + i));
+    }
+  }
   auto [it, inserted] = nodes_.try_emplace(
-      id, std::make_unique<UdpNodeEnv>(*this, id, n_ifaces, Rng(0xacedull ^ id)));
+      id, std::make_unique<UdpEndpoint>(loop_, book_, std::move(ec)));
   assert(inserted && "duplicate node id");
   return *it->second;
-}
-
-TimerId UdpNetwork::schedule(Time delay, EventFn fn) {
-  TimerId id = next_timer_id_++;
-  timers_.push(PendingTimer{clock_.now() + delay, next_seq_++, id, std::move(fn)});
-  return id;
-}
-
-void UdpNetwork::cancel(TimerId id) { cancelled_.insert(id); }
-
-void UdpNetwork::poll_once(Time max_wait) {
-  // Fire due timers first.
-  while (!timers_.empty()) {
-    const PendingTimer& top = timers_.top();
-    if (cancelled_.erase(top.id) > 0) {
-      timers_.pop();
-      continue;
-    }
-    if (top.when > clock_.now()) break;
-    EventFn fn = std::move(const_cast<PendingTimer&>(top).fn);
-    timers_.pop();
-    fn();
-  }
-
-  Time wait = max_wait;
-  if (!timers_.empty()) {
-    Time until_timer = timers_.top().when - clock_.now();
-    if (until_timer < wait) wait = until_timer;
-  }
-  if (wait < 0) wait = 0;
-  int timeout_ms = static_cast<int>(wait / kNanosPerMilli);
-  if (timeout_ms < 1) timeout_ms = 1;
-
-  std::vector<pollfd> pfds;
-  std::vector<std::pair<UdpNodeEnv*, std::uint8_t>> owners;
-  for (auto& [id, env] : nodes_) {
-    for (std::uint8_t i = 0; i < env->iface_count(); ++i) {
-      pfds.push_back(pollfd{env->fds()[i], POLLIN, 0});
-      owners.emplace_back(env.get(), i);
-    }
-  }
-  int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
-  if (rc > 0) {
-    for (std::size_t i = 0; i < pfds.size(); ++i) {
-      if (pfds[i].revents & POLLIN) owners[i].first->drain(owners[i].second);
-    }
-  }
-}
-
-void UdpNetwork::run_for(Time d) {
-  stopping_ = false;
-  Time deadline = clock_.now() + d;
-  while (!stopping_ && clock_.now() < deadline) {
-    poll_once(std::min<Time>(deadline - clock_.now(), millis(10)));
-  }
 }
 
 }  // namespace raincore::net

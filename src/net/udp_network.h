@@ -2,26 +2,37 @@
 // UDP sockets on loopback (matching the paper's deployment, which uses UDP
 // as the unreliable packet interface under the Transport Service).
 //
-// All registered nodes live in one process and are driven by one
-// single-threaded poll loop; examples run the loop on a dedicated thread.
-// Address (node, iface) maps to port base_port + node*kMaxIfaces + iface.
+// A thin in-process harness over the production pieces: one epoll
+// RealTimeLoop drives every registered node's UdpEndpoint, and a shared
+// AddressBook routes logical (node, iface) addresses between them. The
+// caller owns the thread that calls run_for()/run() — examples and the
+// threaded runtime dedicate a thread to it; tests drive it inline.
+// raincored uses the same endpoint/loop/book pieces directly, one node per
+// process.
+//
+// Ports: base_port == 0 (the default) binds every socket ephemeral and
+// discovers the kernel's choice via getsockname — parallel CI runs never
+// collide. A non-zero base_port keeps the legacy deterministic layout
+// (base_port + node * kMaxIfaces + iface) for cross-process setups that
+// must predict peer ports.
 #pragma once
 
 #include <atomic>
 #include <map>
 #include <memory>
-#include <queue>
 #include <string>
-#include <unordered_set>
 
-#include "common/clock.h"
-#include "net/network.h"
+#include "net/address_book.h"
+#include "net/real_time_loop.h"
+#include "net/udp_endpoint.h"
 
 namespace raincore::net {
 
 struct UdpConfig {
   std::string bind_ip = "127.0.0.1";
-  std::uint16_t base_port = 45000;
+  /// 0 = ephemeral ports with getsockname discovery (CI-safe default);
+  /// non-zero = fixed layout base_port + node * kMaxIfaces + iface.
+  std::uint16_t base_port = 0;
 };
 
 class UdpNetwork {
@@ -34,46 +45,31 @@ class UdpNetwork {
   ~UdpNetwork();
 
   /// Binds n_ifaces sockets for the node. Throws std::runtime_error if a
-  /// port is unavailable.
+  /// requested fixed port is unavailable.
   NodeEnv& add_node(NodeId id, std::uint8_t n_ifaces = 1);
 
-  /// Runs the poll loop for a real-time duration (or until stop()).
-  void run_for(Time d);
-  /// Requests the loop to exit; safe to call from a handler.
-  void stop() { stopping_ = true; }
+  /// Runs the event loop for a real-time duration (or until stop()).
+  void run_for(Time d) { loop_.run_for(d); }
+  /// Runs until stop() (dedicated-thread entry).
+  void run() { loop_.run(); }
+  /// Requests the loop to exit; safe from any thread or handler.
+  void stop() { loop_.stop(); }
 
-  Time now() const { return clock_.now(); }
+  Time now() const { return loop_.now(); }
+
+  /// The loop driving all endpoints (cross-thread post(), timers).
+  RealTimeLoop& loop() { return loop_; }
+  /// Actual bound port of a registered node interface (host order) —
+  /// meaningful under ephemeral binding where ports are discovered.
+  std::uint16_t port_of(NodeId id, std::uint8_t iface = 0) const {
+    return book_.port_of(Address{id, iface});
+  }
 
  private:
-  class UdpNodeEnv;
-  friend class UdpNodeEnv;
-
-  struct PendingTimer {
-    Time when;
-    std::uint64_t seq;
-    TimerId id;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const PendingTimer& a, const PendingTimer& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
-  TimerId schedule(Time delay, EventFn fn);
-  void cancel(TimerId id);
-  void poll_once(Time max_wait);
-  std::uint16_t port_of(const Address& a) const;
-
   UdpConfig cfg_;
-  RealClock clock_;
-  std::map<NodeId, std::unique_ptr<UdpNodeEnv>> nodes_;
-  std::priority_queue<PendingTimer, std::vector<PendingTimer>, Later> timers_;
-  std::unordered_set<TimerId> cancelled_;
-  std::uint64_t next_seq_ = 0;
-  TimerId next_timer_id_ = 1;
-  std::atomic<bool> stopping_{false};
+  RealTimeLoop loop_;
+  AddressBook book_;
+  std::map<NodeId, std::unique_ptr<UdpEndpoint>> nodes_;
 };
 
 }  // namespace raincore::net

@@ -1,0 +1,68 @@
+// Lock-free peer liveness board: the I/O thread publishes, workers read.
+//
+// A worker ring's probation and 911 paths ask two questions about a peer —
+// since_heard() and failure_detection_bound() — that only the I/O thread's
+// ReliableTransport can answer. Marshalling each query through the command
+// queue would put a cross-thread round trip in the token path, so instead
+// the I/O thread refreshes this board on a short periodic timer and the
+// workers read relaxed atomics. Values are at most one refresh interval
+// stale; both consumers tolerate that (the detection bound changes slowly,
+// and since_heard staleness only widens probation by the refresh period).
+//
+// Both sides timestamp against the same steady clock (RealClock), so
+// "now - last_heard_at" computed on a worker is coherent with the I/O
+// thread's bookkeeping.
+#pragma once
+
+#include <atomic>
+#include <limits>
+#include <map>
+
+#include "common/types.h"
+
+namespace raincore::runtime {
+
+class PeerStatusBoard {
+ public:
+  static constexpr Time kNever = -1;
+
+  /// Rows are created up front (the cluster's node set comes from config)
+  /// so the map is never mutated once threads run.
+  void add_peer(NodeId peer, Time initial_bound) {
+    Row& r = rows_[peer];
+    r.last_heard_at.store(kNever, std::memory_order_relaxed);
+    r.bound.store(initial_bound, std::memory_order_relaxed);
+  }
+
+  // --- I/O-thread side -----------------------------------------------------
+  void publish(NodeId peer, Time last_heard_at, Time bound) {
+    auto it = rows_.find(peer);
+    if (it == rows_.end()) return;
+    it->second.last_heard_at.store(last_heard_at, std::memory_order_relaxed);
+    it->second.bound.store(bound, std::memory_order_relaxed);
+  }
+
+  // --- Worker side ---------------------------------------------------------
+  Time since_heard(NodeId peer, Time now) const {
+    auto it = rows_.find(peer);
+    if (it == rows_.end()) return std::numeric_limits<Time>::max();
+    Time at = it->second.last_heard_at.load(std::memory_order_relaxed);
+    if (at == kNever) return std::numeric_limits<Time>::max();
+    return now > at ? now - at : 0;
+  }
+
+  Time failure_detection_bound(NodeId peer) const {
+    auto it = rows_.find(peer);
+    if (it == rows_.end()) return 0;
+    return it->second.bound.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Row {
+    std::atomic<Time> last_heard_at{kNever};
+    std::atomic<Time> bound{0};
+  };
+  std::map<NodeId, Row> rows_;
+};
+
+}  // namespace raincore::runtime

@@ -1,0 +1,143 @@
+#include "runtime/raincored_config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace raincore::runtime {
+
+namespace {
+
+bool read_u64(const JsonValue& obj, const char* key, std::uint64_t& out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || !v->is_number()) return false;
+  out = static_cast<std::uint64_t>(v->as_number());
+  return true;
+}
+
+void opt_u64(const JsonValue& obj, const char* key, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  if (read_u64(obj, key, v)) out = v;
+}
+
+}  // namespace
+
+bool RaincoredConfig::load(const std::string& path, RaincoredConfig& out,
+                           std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot open " + path;
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  JsonValue doc;
+  if (!JsonValue::parse(ss.str(), doc) || !doc.is_object()) {
+    err = path + ": not a JSON object";
+    return false;
+  }
+
+  std::uint64_t node = 0, port = 0;
+  if (!read_u64(doc, "node", node)) {
+    err = path + ": missing required key \"node\"";
+    return false;
+  }
+  if (!read_u64(doc, "port", port)) {
+    err = path + ": missing required key \"port\"";
+    return false;
+  }
+  out.node = static_cast<NodeId>(node);
+  out.port = static_cast<std::uint16_t>(port);
+
+  std::uint64_t u = out.shards;
+  opt_u64(doc, "shards", u);
+  out.shards = static_cast<std::size_t>(u);
+  if (const JsonValue* v = doc.find("bind_ip"); v && v->is_string()) {
+    out.bind_ip = v->as_string();
+  }
+  if (const JsonValue* v = doc.find("storage_dir"); v && v->is_string()) {
+    out.storage_dir = v->as_string();
+  }
+  u = static_cast<std::uint64_t>(out.token_hold / kNanosPerMilli);
+  opt_u64(doc, "token_hold_ms", u);
+  out.token_hold = millis(static_cast<std::int64_t>(u));
+  u = out.max_batch_msgs;
+  opt_u64(doc, "max_batch_msgs", u);
+  out.max_batch_msgs = static_cast<std::size_t>(u);
+  u = out.max_batch_bytes;
+  opt_u64(doc, "max_batch_bytes", u);
+  out.max_batch_bytes = static_cast<std::size_t>(u);
+  u = static_cast<std::uint64_t>(out.status_interval / kNanosPerMilli);
+  opt_u64(doc, "status_interval_ms", u);
+  out.status_interval = millis(static_cast<std::int64_t>(u));
+
+  const JsonValue* peers = doc.find("peers");
+  if (!peers || !peers->is_array()) {
+    err = path + ": missing required key \"peers\" (array)";
+    return false;
+  }
+  out.peers.clear();
+  for (const JsonValue& p : peers->items()) {
+    Peer peer;
+    std::uint64_t pnode = 0, pport = 0;
+    const JsonValue* ip = p.find("ip");
+    if (!p.is_object() || !read_u64(p, "node", pnode) ||
+        !read_u64(p, "port", pport) || !ip || !ip->is_string()) {
+      err = path + ": each peer needs node, ip, port";
+      return false;
+    }
+    peer.node = static_cast<NodeId>(pnode);
+    peer.ip = ip->as_string();
+    peer.port = static_cast<std::uint16_t>(pport);
+    out.peers.push_back(std::move(peer));
+  }
+  return true;
+}
+
+std::string RaincoredConfig::dump() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("node", JsonValue::number(node));
+  doc.set("shards", JsonValue::number(static_cast<double>(shards)));
+  doc.set("bind_ip", JsonValue::string(bind_ip));
+  doc.set("port", JsonValue::number(port));
+  doc.set("storage_dir", JsonValue::string(storage_dir));
+  doc.set("token_hold_ms",
+          JsonValue::number(static_cast<double>(token_hold / kNanosPerMilli)));
+  doc.set("max_batch_msgs",
+          JsonValue::number(static_cast<double>(max_batch_msgs)));
+  doc.set("max_batch_bytes",
+          JsonValue::number(static_cast<double>(max_batch_bytes)));
+  doc.set("status_interval_ms",
+          JsonValue::number(
+              static_cast<double>(status_interval / kNanosPerMilli)));
+  JsonValue arr = JsonValue::array();
+  for (const Peer& p : peers) {
+    JsonValue pv = JsonValue::object();
+    pv.set("node", JsonValue::number(p.node));
+    pv.set("ip", JsonValue::string(p.ip));
+    pv.set("port", JsonValue::number(p.port));
+    arr.push_back(std::move(pv));
+  }
+  doc.set("peers", std::move(arr));
+  return doc.dump();
+}
+
+ThreadedNodeConfig RaincoredConfig::to_node_config() const {
+  ThreadedNodeConfig nc;
+  nc.node = node;
+  nc.shards = shards;
+  nc.bind_ip = bind_ip;
+  nc.ports = {port};
+  nc.ring.token_hold = token_hold;
+  nc.ring.max_batch_msgs = max_batch_msgs;
+  nc.ring.max_batch_bytes = max_batch_bytes;
+  nc.ring.eligible.push_back(node);
+  for (const Peer& p : peers) {
+    nc.ring.eligible.push_back(p.node);
+    nc.peers.push_back(p.node);
+  }
+  return nc;
+}
+
+}  // namespace raincore::runtime

@@ -42,7 +42,8 @@ SessionNode::SessionNode(net::NodeEnv& env, SessionConfig cfg)
       cfg_(std::move(cfg)),
       owned_transport_(
           std::make_unique<transport::ReliableTransport>(env, cfg_.transport)),
-      transport_(*owned_transport_) {
+      transport_(*owned_transport_),
+      classic_(owned_transport_.get()) {
   incarnation_ = static_cast<std::uint32_t>(env_.rng().next_u64());
   eligible_.insert(cfg_.eligible.begin(), cfg_.eligible.end());
   transport_.set_group_handler(group_, [this](NodeId src, Slice payload) {
@@ -55,6 +56,7 @@ SessionNode::SessionNode(transport::ReliableTransport& shared,
     : env_(shared.env()),
       cfg_(std::move(cfg)),
       transport_(shared),
+      classic_(&shared),
       group_(group) {
   // The shared stack's configuration is authoritative (one detector, one
   // retry schedule); mirror it so introspection through config() agrees.
@@ -64,6 +66,22 @@ SessionNode::SessionNode(transport::ReliableTransport& shared,
   transport_.set_group_handler(group_, [this](NodeId src, Slice payload) {
     on_transport_message(src, std::move(payload));
   });
+}
+
+SessionNode::SessionNode(net::NodeEnv& env, transport::TransportHandle& handle,
+                         transport::MuxGroup group, SessionConfig cfg)
+    : env_(env), cfg_(std::move(cfg)), transport_(handle), group_(group) {
+  cfg_.transport = transport_.config();
+  incarnation_ = static_cast<std::uint32_t>(env_.rng().next_u64());
+  eligible_.insert(cfg_.eligible.begin(), cfg_.eligible.end());
+  transport_.set_group_handler(group_, [this](NodeId src, Slice payload) {
+    on_transport_message(src, std::move(payload));
+  });
+}
+
+transport::ReliableTransport& SessionNode::transport() {
+  assert(classic_ && "threaded-runtime rings have no concrete transport");
+  return *classic_;
 }
 
 SessionNode::~SessionNode() {
@@ -117,7 +135,7 @@ void SessionNode::found() {
   leaving_ = false;
   // A shared transport's enablement is node-level state owned by the
   // SessionMux; only a node that owns its stack toggles it.
-  if (owns_transport()) transport_.set_enabled(true);
+  if (owns_transport()) owned_transport_->set_enabled(true);
   Token t;
   t.lineage = env_.rng().next_u64();
   t.seq = 1;
@@ -135,7 +153,7 @@ void SessionNode::join(std::vector<NodeId> contacts) {
   reset_protocol_state();
   started_ = true;
   leaving_ = false;
-  if (owns_transport()) transport_.set_enabled(true);
+  if (owns_transport()) owned_transport_->set_enabled(true);
   set_state(State::kHungry, "join");
   join_contacts_ = std::move(contacts);
   join_contact_idx_ = 0;
@@ -189,7 +207,7 @@ void SessionNode::stop() {
   if (join_timer_) env_.cancel(join_timer_), join_timer_ = 0;
   // Crash-stopping one ring must not silence its siblings on a shared
   // transport; SessionMux::set_enabled covers whole-node crash-stop.
-  if (owns_transport()) transport_.set_enabled(false);
+  if (owns_transport()) owned_transport_->set_enabled(false);
 }
 
 void SessionNode::set_eligible(std::vector<NodeId> eligible) {

@@ -134,6 +134,13 @@ class SessionNode {
   /// toggles the transport's enablement.
   SessionNode(transport::ReliableTransport& shared, transport::MuxGroup group,
               SessionConfig cfg = {});
+  /// Threaded-runtime ring: timers and rng come from `env` (the worker
+  /// thread's loop-backed environment), wire operations go through
+  /// `handle` (a TransportProxy marshalling to the I/O thread's real
+  /// transport). The concrete transport() accessor is unavailable in this
+  /// mode — everything the ring needs crosses the handle.
+  SessionNode(net::NodeEnv& env, transport::TransportHandle& handle,
+              transport::MuxGroup group, SessionConfig cfg = {});
   SessionNode(const SessionNode&) = delete;
   SessionNode& operator=(const SessionNode&) = delete;
   ~SessionNode();
@@ -230,7 +237,14 @@ class SessionNode {
   std::size_t pending_out() const { return pending_out_.size(); }
   /// Payload bytes currently held in the bounded send queue.
   std::size_t pending_out_bytes() const { return pending_bytes_; }
-  transport::ReliableTransport& transport() { return transport_; }
+  /// The concrete transport stack (classic and shared-transport modes).
+  /// Unavailable — asserts — for threaded-runtime rings, which only have a
+  /// marshalling handle; use handle() there.
+  transport::ReliableTransport& transport();
+  /// The transport surface this ring actually sends through, in any mode.
+  transport::TransportHandle& handle() { return transport_; }
+  /// The environment this ring's timers and rng run on.
+  net::NodeEnv& env() { return env_; }
   /// Demux group this ring's frames are stamped with (0 for classic nodes).
   transport::MuxGroup mux_group() const { return group_; }
   /// True when this node owns its transport stack (classic constructor).
@@ -339,7 +353,11 @@ class SessionNode {
   SessionConfig cfg_;
   /// Owned in classic mode; null when riding a SessionMux's transport.
   std::unique_ptr<transport::ReliableTransport> owned_transport_;
-  transport::ReliableTransport& transport_;
+  /// Every wire operation goes through this. In classic/shared modes it is
+  /// the concrete ReliableTransport (also reachable via classic_); in
+  /// threaded mode it is a cross-thread proxy and classic_ stays null.
+  transport::TransportHandle& transport_;
+  transport::ReliableTransport* classic_ = nullptr;
   transport::MuxGroup group_ = 0;
 
   bool started_ = false;

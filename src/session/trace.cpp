@@ -61,7 +61,7 @@ SessionTracer::SessionTracer(SessionNode& node, std::size_t capacity)
   });
 }
 
-Time SessionTracer::now() const { return node_.transport().env().now(); }
+Time SessionTracer::now() const { return node_.env().now(); }
 
 void SessionTracer::record(TraceEvent ev) {
   events_.push_back(std::move(ev));

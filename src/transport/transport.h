@@ -35,68 +35,17 @@
 #include "net/network.h"
 #include "transport/link_health.h"
 #include "transport/rtt_estimator.h"
+#include "transport/transport_handle.h"
 
 namespace raincore::transport {
 
-enum class SendStrategy : std::uint8_t {
-  kSequential,  ///< exhaust address 0, then address 1, ...
-  kParallel,    ///< every attempt round sends on all address pairs at once
-  kAdaptive,    ///< healthiest single address; all addresses once degraded
-};
-
-struct TransportConfig {
-  Time rto = millis(50);        ///< retransmission timeout per attempt
-  int attempts_per_address = 3; ///< attempts before a (sequential) address is abandoned
-  SendStrategy strategy = SendStrategy::kSequential;
-  /// Physical addresses assumed per peer unless set_peer_ifaces overrides
-  /// (redundant links, §2.1: "allows each node to have multiple physical
-  /// addresses").
-  std::uint8_t default_peer_ifaces = 1;
-  /// Per-peer cap on the receiver-side duplicate-suppression set
-  /// (PeerRecv::above). A hostile or chaotic peer sending wildly
-  /// out-of-order sequence numbers cannot grow receiver memory past this;
-  /// overflow advances the watermark over the oldest gap.
-  std::size_t max_recv_tracked = 4096;
-
-  // --- Adaptive failure detection ------------------------------------------
-  /// Master switch. Off (the default) reproduces the paper's fixed-interval
-  /// schedule exactly: every attempt waits `rto`, no jitter, no health
-  /// steering, and failure_detection_bound() is the closed-form constant.
-  bool adaptive = false;
-  /// Dynamic RTO clamp (Jacobson/Karels SRTT + 4*RTTVAR, `rto` until the
-  /// first sample).
-  Time min_rto = millis(5);
-  Time max_rto = millis(400);
-  /// Per-attempt RTO multiplier (exponential backoff across retries of one
-  /// transfer).
-  double rto_backoff = 2.0;
-  /// Deterministic jitter: each attempt waits rto + uniform[0, rto*jitter),
-  /// drawn from a node-seeded stream, so synchronized retry storms decohere
-  /// without breaking seeded-run replayability.
-  double rto_jitter = 0.1;
-  /// kAdaptive escalation threshold: while the best link's health score is
-  /// at or above this, send on that link alone; below it, send on all links
-  /// (kParallel behaviour) until the link recovers.
-  double health_degraded_below = 0.6;
-};
-
-/// Identifies one in-flight transfer at the sender.
-using TransferId = std::uint64_t;
-
-/// Session/group demux label carried by every DATA and RAW frame (Appendix
-/// A): N session rings on one node share a single transport — one UDP
-/// port, one dedup window, one set of per-peer RTT/health/failure state —
-/// and inbound payloads route to the handler registered for their group.
-/// Group 0 is the default for single-session nodes.
-using MuxGroup = std::uint16_t;
-
-class ReliableTransport {
+class ReliableTransport : public TransportHandle {
  public:
-  /// Upper-layer delivery: the payload slice aliases the inbound datagram
-  /// (zero-copy); retaining it keeps the datagram storage alive.
-  using MessageFn = std::function<void(NodeId src, Slice payload)>;
-  using DeliveredFn = std::function<void(TransferId, NodeId peer)>;
-  using FailedFn = std::function<void(TransferId, NodeId peer)>;
+  // Shared vocabulary (transport_handle.h), re-exported for existing users
+  // that spell them as class members.
+  using MessageFn = transport::MessageFn;
+  using DeliveredFn = transport::DeliveredFn;
+  using FailedFn = transport::FailedFn;
   /// Node-level failure observer: fires once per failure-on-delivery, in
   /// addition to the transfer's own FailedFn. The SessionMux uses it to fan
   /// one detection out to every ring the peer belongs to.
@@ -105,7 +54,7 @@ class ReliableTransport {
   ReliableTransport(net::NodeEnv& env, TransportConfig cfg = {});
   ReliableTransport(const ReliableTransport&) = delete;
   ReliableTransport& operator=(const ReliableTransport&) = delete;
-  ~ReliableTransport();
+  ~ReliableTransport() override;
 
   /// Installs the message handler for the default group 0.
   void set_message_handler(MessageFn fn) { set_group_handler(0, std::move(fn)); }
@@ -114,7 +63,7 @@ class ReliableTransport {
   /// group. Inbound DATA/RAW payloads route by the group stamped in their
   /// wire header; frames for a group with no handler are counted and
   /// dropped after the transport-level ack/dedup work is done.
-  void set_group_handler(MuxGroup group, MessageFn fn);
+  void set_group_handler(MuxGroup group, MessageFn fn) override;
 
   /// Installs the node-level failure-on-delivery observer (one per node).
   void set_failure_observer(FailureObserverFn fn) {
@@ -147,7 +96,7 @@ class ReliableTransport {
   /// and the receiver dedup window stay per-peer (not per-group): the
   /// reliability substrate is shared, only delivery routing differs.
   TransferId send_on(MuxGroup group, NodeId dst, Slice payload,
-                     DeliveredFn delivered = {}, FailedFn failed = {});
+                     DeliveredFn delivered = {}, FailedFn failed = {}) override;
 
   /// Fire-and-forget datagram bypassing acks/retransmission (used for
   /// low-frequency advisory traffic such as BODYODOR discovery).
@@ -157,7 +106,7 @@ class ReliableTransport {
   void send_unreliable(NodeId dst, Bytes payload) {
     send_unreliable_on(0, dst, Slice::take(std::move(payload)));
   }
-  void send_unreliable_on(MuxGroup group, NodeId dst, Slice payload);
+  void send_unreliable_on(MuxGroup group, NodeId dst, Slice payload) override;
 
   /// Abandons an in-flight transfer without a failure notification.
   void cancel(TransferId id);
@@ -172,7 +121,7 @@ class ReliableTransport {
   /// restarted sequence space cannot be mistaken for stale duplicates (the
   /// re-delivery edge noted at the session's per-origin watermarks guards
   /// the message layer above this).
-  void forget_peer(NodeId peer);
+  void forget_peer(NodeId peer) override;
 
   /// Crash-stop support: a disabled transport neither sends, acknowledges,
   /// nor delivers — to its peers it is indistinguishable from a dead node.
@@ -182,7 +131,7 @@ class ReliableTransport {
   std::size_t in_flight() const { return inflight_.size(); }
   NodeId node() const { return env_.node(); }
   net::NodeEnv& env() { return env_; }
-  const TransportConfig& config() const { return cfg_; }
+  const TransportConfig& config() const override { return cfg_; }
 
   /// Upper bound on how long a transfer can stay unresolved before either
   /// the delivered or the failure-on-delivery notification fires. In
@@ -191,13 +140,13 @@ class ReliableTransport {
   /// with maximal jitter. A dead peer produces no new samples, so the bound
   /// computed when the peer stops answering holds for transfers started
   /// after that point.
-  Time failure_detection_bound(NodeId peer) const;
+  Time failure_detection_bound(NodeId peer) const override;
 
   /// Time since the last integrity-checked frame (data, ack or raw) from
   /// this peer arrived; Time max if the peer was never heard (or has been
   /// forgotten). The session layer's probation step uses this to separate
   /// "degraded link" from "dead node".
-  Time since_heard(NodeId peer) const;
+  Time since_heard(NodeId peer) const override;
 
   /// Size of the receiver-side duplicate-suppression set for a peer
   /// (bounded by TransportConfig::max_recv_tracked).
