@@ -42,6 +42,9 @@ run "$BUILD/bench/bench_saturation" "--json=$TMP/bench_saturation.json"
 # Full-size durability run: phase A at steady state, phase B up to the
 # 10k-entry replay floor (the bench exits non-zero if either gate fails).
 run "$BUILD/bench/bench_durability" "--json=$TMP/bench_durability.json"
+# Elastic resize under load: 4 nodes grow K=4 -> K=8 mid-run; gates zero
+# acked-op loss and bounds the migration-window p99 blip at 5x steady.
+run "$BUILD/bench/bench_reshard" "--json=$TMP/bench_reshard.json"
 # Process-mode runtime: 4 threaded nodes over kernel UDP loopback, epoll +
 # worker threads. Wall-clock, so this row moves with machine load; its own
 # gates (2x the committed sim K=4 baseline at equal-or-better p95) still

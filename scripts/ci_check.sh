@@ -52,7 +52,7 @@ cmake -B "$BUILD" -S "$ROOT" -DRAINCORE_ASAN=ON
 cmake --build "$BUILD" -j"$JOBS" --target bench_chaos wire_perf_test \
     shard_test bench_shard bench_json_check storage_test durability_test \
     bench_durability batching_test fuzz_robustness_test property_test \
-    bench_saturation
+    bench_saturation reshard_test bench_reshard
 
 echo "== chaos sweep: $ROUNDS rounds x ${MS}ms, $NODES nodes, seeds $SEED.."
 "$BUILD/bench/bench_chaos" "$ROUNDS" "$MS" "$NODES" "$SEED"
@@ -74,6 +74,13 @@ echo "== durability label under ASAN (WAL format/torn-tail tests," \
      "restart-storm sweep seeds 1..25 with a zero acked-write-loss and" \
      "zero phantom-resurrection budget, bench_durability 0.6x WAL gate)"
 ctest --test-dir "$BUILD" -L durability --output-on-failure
+
+echo "== reshard label under ASAN (versioned-router property tests and the" \
+     "live-migration chaos sweeps: kill source mid-snapshot, kill dest" \
+     "before CUTOVER, partition during unfreeze — 9 seeds each, zero" \
+     "acked-write-loss and zero double-apply oracles, plus the" \
+     "bench_reshard 4->8 resize p99-blip gate)"
+ctest --test-dir "$BUILD" -L reshard --output-on-failure
 
 echo "== batching label under ASAN (batch-codec fuzzers over aliased" \
      "sub-views, formation/deferral/backpressure tests, knob-equivalence" \

@@ -19,6 +19,19 @@ LockManager::LockManager(ChannelMux& mux, Channel channel)
   mux_.subscribe_views([this](const session::View& v) { on_view(v); });
 }
 
+void LockManager::share_req_ids(std::shared_ptr<ReqIdSource> ids) {
+  if (!ids) return;
+  ids->next = std::max(ids->next, req_ids_->next);
+  req_ids_ = std::move(ids);
+}
+
+void LockManager::set_migration_filter(ClassifyFn classify,
+                                       LockBounceFn bounce, KeyPred retain) {
+  classify_ = std::move(classify);
+  bounce_fn_ = std::move(bounce);
+  retain_ = std::move(retain);
+}
+
 void LockManager::bind_store(storage::ShardStore& store, std::uint16_t stream) {
   store_ = &store;
   stream_ = stream;
@@ -30,7 +43,7 @@ void LockManager::bind_store(storage::ShardStore& store, std::uint16_t stream) {
   };
   hooks.snapshot = [this] {
     ByteWriter w(64);
-    w.u64(next_req_);
+    w.u64(req_ids_->next);
     write_table(w, locks_);
     return w.take();
   };
@@ -151,7 +164,7 @@ void LockManager::on_view(const session::View& v) {
     // The epoch we announce for this very view carries the adopted table
     // and purges entries of nodes that are no longer members.
     locks_ = std::move(shadow_locks_);
-    next_req_ = std::max(next_req_, shadow_next_req_);
+    req_ids_->next = std::max(req_ids_->next, shadow_next_req_);
     shadow_locks_.clear();
     shadow_valid_ = false;
     RC_INFO(kMod, "node %u adopted recovered lock table: %zu locks",
@@ -190,7 +203,7 @@ void LockManager::send_op(Op op, const std::string& name, std::uint64_t req) {
 }
 
 void LockManager::acquire(const std::string& name, GrantFn on_granted) {
-  std::uint64_t req = next_req_++;
+  std::uint64_t req = req_ids_->next++;
   if (on_granted) grant_fns_[{name, req}] = std::move(on_granted);
   my_outstanding_[name].push_back(req);
   wait_since_[{name, req}] = mux_.now();
@@ -298,8 +311,20 @@ void LockManager::apply_epoch(const std::vector<NodeId>& members,
   }
   // Adopt the sender's table wholesale (it is in the agreed stream, so every
   // replica adopts the identical table at the identical point), purging dead
-  // owners and waiters while doing so.
+  // owners and waiters while doing so. Names that migrated away are
+  // stripped the same way — a merge-side table must not resurrect a range
+  // this partition already handed off.
   locks_ = std::move(table);
+  if (classify_) {
+    for (auto it = locks_.begin(); it != locks_.end();) {
+      if (classify_(it->first) == RouteAction::kBounce &&
+          !(retain_ && retain_(it->first))) {
+        it = locks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   for (auto it = locks_.begin(); it != locks_.end();) {
     auto& q = it->second.queue;
     NodeId adopted_owner = q.empty() ? kInvalidNode : q.front().node;
@@ -339,6 +364,9 @@ void LockManager::apply_epoch(const std::vector<NodeId>& members,
     }
   }
   for (const auto& [name, reqs] : my_outstanding_) {
+    // Requests whose lock migrated away are re-asserted on the owner
+    // partition (their bookkeeping moves there too), never here.
+    if (classify_ && classify_(name) != RouteAction::kApply) continue;
     auto lit = locks_.find(name);
     for (std::uint64_t req : reqs) {
       bool present = false;
@@ -361,15 +389,38 @@ void LockManager::on_message(NodeId origin, const Slice& payload) {
   ByteReader r(payload);
   auto op = static_cast<Op>(r.u8());
   switch (op) {
-    case Op::kAcquire: {
-      std::string name = r.str();
-      std::uint64_t req = r.u64();
-      if (r.ok()) apply_acquire(name, origin, req);
-      break;
-    }
+    case Op::kAcquire:
     case Op::kRelease: {
       std::string name = r.str();
-      if (r.ok()) apply_release(name, origin);
+      std::uint64_t req = op == Op::kAcquire ? r.u64() : 0;
+      if (!r.ok()) break;
+      // Migration classification: every replica computes the same action
+      // for this name at this stream point (the classify state is itself
+      // mutated only by ring-ordered messages).
+      RouteAction action =
+          classify_ ? classify_(name) : RouteAction::kApply;
+      if (action == RouteAction::kBounce) {
+        // Migrated away — skipped identically everywhere; the origin
+        // re-routes its own op to the new owner partition.
+        if (origin == mux_.self() && bounce_fn_) {
+          bounce_fn_(static_cast<std::uint8_t>(op), name, req);
+        }
+        break;
+      }
+      if (action == RouteAction::kBuffer) {
+        // Destination side of an in-flight range: the frozen source table
+        // has not CUT into this stream yet, so applying now could grant
+        // against an empty queue while the true owner sits in the chunk.
+        // Hold the op; flush_buffered() replays it after the chunk lands.
+        buffered_.push_back(
+            BufferedOp{static_cast<std::uint8_t>(op), name, origin, req});
+        break;
+      }
+      if (op == Op::kAcquire) {
+        apply_acquire(name, origin, req);
+      } else {
+        apply_release(name, origin);
+      }
       break;
     }
     case Op::kEpoch: {
@@ -411,6 +462,185 @@ void LockManager::on_message(NodeId origin, const Slice& payload) {
     }
   }
   (void)kMod;
+}
+
+// --- elastic-resharding hooks (DESIGN.md §5j) ------------------------------
+
+std::vector<Bytes> LockManager::collect_range_chunks(const KeyPred& pred,
+                                                     std::size_t budget) const {
+  std::vector<Bytes> out;
+  ByteWriter w(256);
+  std::uint32_t rows = 0;
+  std::size_t body = 0;
+  auto flush = [&] {
+    if (rows == 0) return;
+    ByteWriter chunk(8 + body);
+    chunk.u32(rows);
+    chunk.raw(w.view().data(), w.view().size());
+    out.push_back(chunk.take());
+    w.clear();
+    rows = 0;
+    body = 0;
+  };
+  for (const auto& [name, state] : locks_) {
+    if (!pred(name)) continue;
+    w.str(name);
+    w.u32(static_cast<std::uint32_t>(state.queue.size()));
+    for (const Waiter& waiter : state.queue) {
+      w.u32(waiter.node);
+      w.u64(waiter.req);
+    }
+    ++rows;
+    body = w.view().size();
+    if (body >= budget) flush();
+  }
+  flush();
+  return out;
+}
+
+void LockManager::apply_migration_chunk(ByteReader& r) {
+  const std::uint32_t rows = r.u32();
+  if (!r.ok() || rows > 1'000'000) return;
+  std::vector<std::string> touched;
+  for (std::uint32_t i = 0; i < rows && r.ok(); ++i) {
+    std::string name = r.str();
+    const std::uint32_t n_waiters = r.u32();
+    if (!r.ok() || n_waiters > 1'000'000) return;
+    std::deque<Waiter> incoming;
+    for (std::uint32_t k = 0; k < n_waiters && r.ok(); ++k) {
+      const NodeId node = r.u32();
+      const std::uint64_t req = r.u64();
+      // The chunk was collected at the source's freeze point; members that
+      // died since are purged here, exactly as an epoch adoption would.
+      if (any_epoch_ && epoch_members_.count(node) == 0) continue;
+      incoming.push_back(Waiter{node, req});
+    }
+    if (!r.ok()) return;
+    // Merge-install: the frozen source queue comes first (it predates every
+    // op this partition buffered for the range), then any entries already
+    // present that the chunk does not know about (merge-side residue).
+    auto& q = locks_[name].queue;
+    for (const Waiter& w : q) {
+      bool dup = false;
+      for (const Waiter& in : incoming) {
+        if (in.node == w.node && in.req == w.req) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) incoming.push_back(w);
+    }
+    q = std::move(incoming);
+    if (q.empty()) {
+      locks_.erase(name);
+    } else {
+      touched.push_back(std::move(name));
+    }
+  }
+  journal_epoch();
+  for (const std::string& name : touched) maybe_grant(name);
+}
+
+void LockManager::flush_buffered(const KeyPred& pred) {
+  std::deque<BufferedOp> rest;
+  std::deque<BufferedOp> run;
+  for (auto& b : buffered_) {
+    (pred(b.name) ? run : rest).push_back(std::move(b));
+  }
+  buffered_ = std::move(rest);
+  for (const BufferedOp& b : run) {
+    if (static_cast<Op>(b.op) == Op::kAcquire) {
+      apply_acquire(b.name, b.node, b.req);
+    } else {
+      apply_release(b.name, b.node);
+    }
+  }
+}
+
+std::size_t LockManager::drop_range(const KeyPred& pred) {
+  std::size_t dropped = 0;
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    if (pred(it->first)) {
+      it = locks_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = buffered_.begin(); it != buffered_.end();) {
+    it = pred(it->name) ? buffered_.erase(it) : it + 1;
+  }
+  if (dropped > 0) journal_epoch();
+  return dropped;
+}
+
+std::vector<LockManager::LocalRequest> LockManager::extract_local_requests(
+    const KeyPred& pred) {
+  std::vector<LocalRequest> out;
+  for (auto it = my_outstanding_.begin(); it != my_outstanding_.end();) {
+    if (!pred(it->first)) {
+      ++it;
+      continue;
+    }
+    for (std::uint64_t req : it->second) {
+      LocalRequest lr;
+      lr.name = it->first;
+      lr.req = req;
+      lr.outstanding = true;
+      if (auto g = grant_fns_.find({it->first, req}); g != grant_fns_.end()) {
+        lr.grant = std::move(g->second);
+        grant_fns_.erase(g);
+      }
+      if (auto w = wait_since_.find({it->first, req}); w != wait_since_.end()) {
+        lr.wait_since = w->second;
+        wait_since_.erase(w);
+      }
+      out.push_back(std::move(lr));
+    }
+    it = my_outstanding_.erase(it);
+  }
+  // Residue: callbacks registered for requests already released locally.
+  for (auto it = grant_fns_.begin(); it != grant_fns_.end();) {
+    if (pred(it->first.first)) {
+      LocalRequest lr;
+      lr.name = it->first.first;
+      lr.req = it->first.second;
+      lr.grant = std::move(it->second);
+      out.push_back(std::move(lr));
+      it = grant_fns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = wait_since_.begin(); it != wait_since_.end();) {
+    it = pred(it->first.first) ? wait_since_.erase(it) : std::next(it);
+  }
+  return out;
+}
+
+void LockManager::absorb_local_requests(std::vector<LocalRequest> reqs) {
+  std::set<std::string> touched;
+  for (auto& lr : reqs) {
+    if (lr.outstanding) {
+      auto& dq = my_outstanding_[lr.name];
+      dq.push_back(lr.req);
+      std::sort(dq.begin(), dq.end());  // release pops earliest req first
+    }
+    if (lr.grant) grant_fns_[{lr.name, lr.req}] = std::move(lr.grant);
+    if (lr.wait_since) wait_since_[{lr.name, lr.req}] = *lr.wait_since;
+    touched.insert(lr.name);
+  }
+  // The chunk may have installed this node at a queue head before its grant
+  // callback arrived here; fire those grants now.
+  for (const std::string& name : touched) maybe_grant(name);
+}
+
+void LockManager::resend_acquire(const std::string& name, std::uint64_t req) {
+  send_op(Op::kAcquire, name, req);
+}
+
+void LockManager::send_release_raw(const std::string& name) {
+  send_op(Op::kRelease, name);
 }
 
 }  // namespace raincore::data

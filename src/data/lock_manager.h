@@ -29,9 +29,11 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "data/channel_mux.h"
 #include "storage/shard_store.h"
@@ -41,8 +43,19 @@ namespace raincore::data {
 class LockManager {
  public:
   using GrantFn = std::function<void(const std::string& name)>;
+  using KeyPred = std::function<bool(const std::string& name)>;
+
+  /// Node-global request-id counter shared by every partition of a
+  /// ShardedLockManager, so a request can migrate between partitions
+  /// without id collisions (ids stay unique per node across the plane).
+  struct ReqIdSource {
+    std::uint64_t next = 1;
+  };
 
   LockManager(ChannelMux& mux, Channel channel);
+
+  /// Shares the request-id counter (call before any acquire).
+  void share_req_ids(std::shared_ptr<ReqIdSource> ids);
 
   /// Requests the named lock; on_granted fires when this node becomes the
   /// owner (possibly immediately after the own request circles the ring).
@@ -74,6 +87,61 @@ class LockManager {
   /// Binds a durable store: applies journal under `stream`, and the next
   /// store.recover() loads the shadow table adopted on a founding restart.
   void bind_store(storage::ShardStore& store, std::uint16_t stream);
+
+  // --- elastic-resharding hooks (DESIGN.md §5j) ----------------------------
+
+  /// What every replica does with an applied op for `name` right now —
+  /// computed from ring-ordered migration state, so all replicas decide
+  /// identically at the same stream point.
+  enum class RouteAction : std::uint8_t {
+    kApply = 0,   ///< name lives on this partition: apply normally
+    kBounce = 1,  ///< migrated away: skip (origin re-routes via bounce fn)
+    kBuffer = 2,  ///< incoming range, snapshot not yet CUT: hold in order
+  };
+  using ClassifyFn = std::function<RouteAction(const std::string& name)>;
+  /// Origin-side re-route of a skipped own op (op is the raw Op value).
+  using LockBounceFn = std::function<void(std::uint8_t op,
+                                          const std::string& name,
+                                          std::uint64_t req)>;
+  /// `retain` widens wholesale epoch adoption: a kBounce-classified name it
+  /// accepts is kept anyway (a frozen-out source row is the migration ground
+  /// truth until UNFREEZE extracts it — stripping it at a merge would lose
+  /// the lock state mid-handoff). Unset = strip every kBounce name.
+  void set_migration_filter(ClassifyFn classify, LockBounceFn bounce,
+                            KeyPred retain = nullptr);
+
+  /// Serializes the lock table rows matching `pred` (the frozen-range
+  /// snapshot the coordinator replicates into the destination stream).
+  std::vector<Bytes> collect_range_chunks(const KeyPred& pred,
+                                          std::size_t budget = 32 * 1024) const;
+  /// Installs one chunk at the destination's apply point (journals as an
+  /// epoch record; grants fire where this node already heads a queue —
+  /// after absorb_local_requests registered the callbacks).
+  void apply_migration_chunk(ByteReader& r);
+  /// Re-applies the ops buffered while the range was incoming-but-uncut,
+  /// in their original agreed order (call right after the chunk installs).
+  void flush_buffered(const KeyPred& pred);
+  /// Drops table rows matching `pred` on the source after CUTOVER (no
+  /// release events, journals the shrunk table). Returns dropped rows.
+  std::size_t drop_range(const KeyPred& pred);
+
+  /// This node's local, non-replicated bookkeeping for one outstanding or
+  /// waited-on request — moved between partitions when its lock migrates.
+  struct LocalRequest {
+    std::string name;
+    std::uint64_t req = 0;
+    GrantFn grant;         ///< pending grant callback (may be empty)
+    bool outstanding = false;  ///< in my_outstanding_ (acquired, unreleased)
+    std::optional<Time> wait_since;
+  };
+  std::vector<LocalRequest> extract_local_requests(const KeyPred& pred);
+  void absorb_local_requests(std::vector<LocalRequest> reqs);
+
+  /// Re-sends an acquire with an EXISTING request id into this partition's
+  /// stream (bounced acquires keep their identity across partitions).
+  void resend_acquire(const std::string& name, std::uint64_t req);
+  /// Sends a release without touching local bookkeeping (bounce path).
+  void send_release_raw(const std::string& name);
 
  private:
   enum class Op : std::uint8_t {
@@ -120,7 +188,8 @@ class LockManager {
   bool any_epoch_ = false;
   std::uint64_t generation_ = 0;  ///< session incarnation we belong to
   std::uint64_t last_epoch_view_sent_ = 0;
-  std::uint64_t next_req_ = 1;
+  /// Request ids come from the (possibly shared) node-global source.
+  std::shared_ptr<ReqIdSource> req_ids_ = std::make_shared<ReqIdSource>();
   /// Pending grant callbacks keyed by (lock name, request id).
   std::map<std::pair<std::string, std::uint64_t>, GrantFn> grant_fns_;
   /// Local mirror of this node's outstanding requests (acquired, not yet
@@ -136,6 +205,18 @@ class LockManager {
   bool shadow_valid_ = false;
   storage::ShardStore* store_ = nullptr;
   std::uint16_t stream_ = 0;
+  /// Migration filter (unset = no filtering) and the destination-side
+  /// holding pen for ops that arrived before the range's snapshot CUT.
+  ClassifyFn classify_;
+  LockBounceFn bounce_fn_;
+  KeyPred retain_;  ///< unset = strip every kBounce name at epoch adoption
+  struct BufferedOp {
+    std::uint8_t op = 0;
+    std::string name;
+    NodeId node = kInvalidNode;
+    std::uint64_t req = 0;
+  };
+  std::deque<BufferedOp> buffered_;
   metrics::Registry metrics_;
   Stats stats_{metrics_};
 };

@@ -144,10 +144,14 @@ void ReplicatedMap::adopt_shadow_as_state() {
   data_.clear();
   stamps_.clear();
   for (const auto& [k, e] : shadow_) {
+    if (!retained_here(k)) continue;  // recovered pre-migration foreign keys
     data_[k] = e.value;
     stamps_[k] = e.stamp;
   }
-  tombstones_ = shadow_tombs_;
+  tombstones_.clear();
+  for (const auto& [k, st] : shadow_tombs_) {
+    if (retained_here(k)) tombstones_[k] = st;
+  }
   tombstone_order_.clear();
   for (const auto& [k, st] : tombstones_) tombstone_order_.push_back(k);
   lamport_ = std::max(lamport_, shadow_clock_);
@@ -244,6 +248,12 @@ ReplicatedMap::Stamp ReplicatedMap::next_send_stamp() {
 void ReplicatedMap::put(const std::string& key, const std::string& value) {
   puts_.inc();
   const Stamp st = next_send_stamp();
+  // Record the intent in the own-write ledger at SEND time, not just at
+  // apply: if a reconcile adoption runs while this op is still in flight,
+  // reassert_own_writes must re-issue the in-flight op, not the previous
+  // generation (a fresh-stamped re-put of the older value would outrace and
+  // undo this one). The apply-time note with the same stamp is then a no-op.
+  note_own_write(key, st, value);
   ByteWriter w(key.size() + value.size() + 32);
   w.u8(static_cast<std::uint8_t>(Op::kPut));
   w.str(key);
@@ -258,6 +268,8 @@ void ReplicatedMap::put(const std::string& key, const std::string& value) {
 void ReplicatedMap::erase(const std::string& key) {
   erases_.inc();
   const Stamp st = next_send_stamp();
+  // Send-time ledger note, same rationale as put().
+  note_own_write(key, st, std::nullopt);
   ByteWriter w(key.size() + 24);
   w.u8(static_cast<std::uint8_t>(Op::kErase));
   w.str(key);
@@ -291,7 +303,12 @@ void ReplicatedMap::note_own_write(const std::string& key, Stamp stamp,
                                    std::optional<std::string> value) {
   auto it = my_writes_.find(key);
   if (it != my_writes_.end()) {
-    it->second = OwnWrite{stamp, std::move(value)};
+    // LWW, like every other table: a healing re-proposal of one of our OLD
+    // writes can apply after a newer own write (its bounced copy circling
+    // through a migration, say) — it must not displace the newer ledger
+    // entry, or reassert_own_writes would resurrect history with a fresh
+    // stamp.
+    if (it->second.stamp < stamp) it->second = OwnWrite{stamp, std::move(value)};
     return;
   }
   my_writes_.emplace(key, OwnWrite{stamp, std::move(value)});
@@ -348,9 +365,13 @@ void ReplicatedMap::apply_repropose_put(const std::string& key,
   // branch at the same point of the agreed stream): a same-or-newer live
   // entry or tombstone means this recovered mutation is history — drop it.
   auto s = stamps_.find(key);
-  if (s != stamps_.end() && !(s->second < stamp)) return;
+  if (s != stamps_.end() && !(s->second < stamp)) {
+    return;
+  }
   auto t = tombstones_.find(key);
-  if (t != tombstones_.end() && !(t->second < stamp)) return;
+  if (t != tombstones_.end() && !(t->second < stamp)) {
+    return;
+  }
   lamport_ = std::max(lamport_, stamp.lamport);
   data_[key] = std::move(value);
   stamps_[key] = stamp;
@@ -370,9 +391,13 @@ void ReplicatedMap::apply_repropose_put(const std::string& key,
 void ReplicatedMap::apply_repropose_erase(const std::string& key,
                                           Stamp stamp) {
   auto s = stamps_.find(key);
-  if (s != stamps_.end() && !(s->second < stamp)) return;
+  if (s != stamps_.end() && !(s->second < stamp)) {
+    return;
+  }
   auto t = tombstones_.find(key);
-  if (t != tombstones_.end() && !(t->second < stamp)) return;
+  if (t != tombstones_.end() && !(t->second < stamp)) {
+    return;
+  }
   lamport_ = std::max(lamport_, stamp.lamport);
   const bool existed = data_.erase(key) > 0;
   stamps_.erase(key);
@@ -460,9 +485,22 @@ void ReplicatedMap::reassert_own_writes() {
       put(k, *w.value);
     } else {
       auto s = stamps_.find(k);
+      auto t = tombstones_.find(k);
       if (s != stamps_.end() && s->second < w.stamp) {
+        // A stale generation of the entry resurfaced: cancel it with a
+        // fresh stamp through our own stream.
         reasserted_.inc();
         erase(k);
+      } else if (s == stamps_.end() &&
+                 (t == tombstones_.end() || t->second < w.stamp)) {
+        // The adopted table has neither the entry nor any memory of its
+        // deletion (a merge replaced it with a side that never saw the
+        // erase, or the tombstone aged out). Re-propose the tombstone with
+        // its ORIGINAL stamp: if the key migrated away meanwhile, the
+        // bounce re-routes it to the owner, where LWW lets it kill exactly
+        // the generations older than the acknowledged deletion.
+        reasserted_.inc();
+        send_repropose(Op::kReproposeErase, k, std::string(), w.stamp);
       }
     }
   }
@@ -482,6 +520,15 @@ void ReplicatedMap::on_message(NodeId origin, const Slice& payload) {
       if (!r.ok()) return;
       convergence_lag_.record_time(mux_.now() - sent_at);
       if (sync_requested_ && !synced_) replay_.emplace_back(origin, payload);
+      if (!owned_here(key)) {
+        // Key migrated away: every replica skips at this same stream point;
+        // the origin re-routes its write — ORIGINAL stamp — to the owner.
+        bounced_.inc();
+        if (origin == mux_.self() && bounce_fn_) {
+          bounce_fn_(false, key, value, st);
+        }
+        return;
+      }
       apply_put(key, std::move(value), origin, st);
       break;
     }
@@ -494,6 +541,13 @@ void ReplicatedMap::on_message(NodeId origin, const Slice& payload) {
       if (!r.ok()) return;
       convergence_lag_.record_time(mux_.now() - sent_at);
       if (sync_requested_ && !synced_) replay_.emplace_back(origin, payload);
+      if (!owned_here(key)) {
+        bounced_.inc();
+        if (origin == mux_.self() && bounce_fn_) {
+          bounce_fn_(true, key, std::string(), st);
+        }
+        return;
+      }
       apply_erase(key, origin, st);
       break;
     }
@@ -523,6 +577,8 @@ void ReplicatedMap::on_message(NodeId origin, const Slice& payload) {
       std::map<std::string, Stamp> tombs;
       std::uint64_t clock = 0;
       if (!read_state(r, data, stamps, tombs, clock)) return;
+      strip_foreign(data, stamps, tombs);
+      reroute_strangers();  // our dying pre-sync state may outrank the owner's
       data_ = std::move(data);
       stamps_ = std::move(stamps);
       tombstones_ = std::move(tombs);
@@ -555,6 +611,13 @@ void ReplicatedMap::on_message(NodeId origin, const Slice& payload) {
       st.origin = r.u32();  // original writer, NOT the re-proposing sender
       if (!r.ok()) return;
       if (sync_requested_ && !synced_) replay_.emplace_back(origin, payload);
+      if (!owned_here(key)) {
+        // A healing re-proposal of a key that has since migrated: the
+        // SENDER (not the original writer) re-routes it to the owner.
+        bounced_.inc();
+        if (origin == mux_.self() && bounce_fn_) bounce_fn_(false, key, value, st);
+        return;
+      }
       apply_repropose_put(key, std::move(value), st);
       break;
     }
@@ -565,6 +628,13 @@ void ReplicatedMap::on_message(NodeId origin, const Slice& payload) {
       st.origin = r.u32();
       if (!r.ok()) return;
       if (sync_requested_ && !synced_) replay_.emplace_back(origin, payload);
+      if (!owned_here(key)) {
+        bounced_.inc();
+        if (origin == mux_.self() && bounce_fn_) {
+          bounce_fn_(true, key, std::string(), st);
+        }
+        return;
+      }
       apply_repropose_erase(key, st);
       break;
     }
@@ -574,6 +644,8 @@ void ReplicatedMap::on_message(NodeId origin, const Slice& payload) {
       std::map<std::string, Stamp> tombs;
       std::uint64_t clock = 0;
       if (!read_state(r, data, stamps, tombs, clock)) return;
+      strip_foreign(data, stamps, tombs);
+      reroute_strangers();  // our dying state may hold migrated-away keys
       // Everyone — the sender included — replaces contents at this point in
       // the agreed stream, so diverged replicas reconverge identically.
       data_ = std::move(data);
@@ -592,6 +664,160 @@ void ReplicatedMap::on_message(NodeId origin, const Slice& payload) {
       if (store_ != nullptr && store_->is_open()) store_->compact();
       if (on_change_) on_change_("", std::nullopt, origin);
       break;
+    }
+  }
+}
+
+// --- elastic-resharding hooks (DESIGN.md §5j) ------------------------------
+
+void ReplicatedMap::set_migration_filter(std::size_t self_shard, OwnerFn owner,
+                                         BounceFn bounce, RetainFn retain) {
+  self_shard_ = self_shard;
+  owner_fn_ = std::move(owner);
+  bounce_fn_ = std::move(bounce);
+  retain_fn_ = std::move(retain);
+}
+
+void ReplicatedMap::migrate_propose(bool erase, const std::string& key,
+                                    const std::string& value, Stamp stamp) {
+  send_repropose(erase ? Op::kReproposeErase : Op::kReproposePut, key, value,
+                 stamp);
+}
+
+std::vector<Bytes> ReplicatedMap::collect_range_chunks(
+    const KeyPred& pred, std::size_t budget) const {
+  // Self-contained chunks: [u32 records]([u8 tomb][key]([value])[stamp])*.
+  // Every record replays through the strict-LWW repropose path at the
+  // destination, so chunk application is idempotent and loses races against
+  // genuinely newer destination writes.
+  std::vector<Bytes> out;
+  ByteWriter w(256);
+  std::uint32_t records = 0;
+  auto flush = [&] {
+    if (records == 0) return;
+    ByteWriter chunk(8 + w.view().size());
+    chunk.u32(records);
+    chunk.raw(w.view().data(), w.view().size());
+    out.push_back(chunk.take());
+    w.clear();
+    records = 0;
+  };
+  auto record = [&](bool tomb, const std::string& key, const std::string& value,
+                    Stamp st) {
+    w.u8(tomb ? 1 : 0);
+    w.str(key);
+    if (!tomb) w.str(value);
+    w.u64(st.lamport);
+    w.u32(st.origin);
+    ++records;
+    if (w.view().size() >= budget) flush();
+  };
+  for (const auto& [k, v] : data_) {
+    if (!pred(k)) continue;
+    auto it = stamps_.find(k);
+    record(false, k, v, it != stamps_.end() ? it->second : Stamp{});
+  }
+  for (const auto& [k, st] : tombstones_) {
+    if (!pred(k)) continue;
+    record(true, k, std::string(), st);
+  }
+  flush();
+  return out;
+}
+
+void ReplicatedMap::apply_migration_chunk(ByteReader& r) {
+  const std::uint32_t records = r.u32();
+  if (!r.ok() || records > kMaxWireEntries) return;
+  for (std::uint32_t i = 0; i < records && r.ok(); ++i) {
+    const bool tomb = r.u8() != 0;
+    std::string key = r.str();
+    std::string value = tomb ? std::string() : r.str();
+    Stamp st;
+    st.lamport = r.u64();
+    st.origin = r.u32();
+    if (!r.ok()) return;
+    migrated_in_.inc();
+    if (tomb) {
+      apply_repropose_erase(key, st);
+    } else {
+      apply_repropose_put(key, std::move(value), st);
+    }
+  }
+}
+
+std::size_t ReplicatedMap::drop_range(const KeyPred& pred, bool reroute) {
+  // A hand-off, not a delete: no change events, no tombstones, no journal
+  // records — the caller compacts the bound store afterwards so the
+  // snapshot hook persists the post-drop state.
+  std::size_t dropped = 0;
+  for (auto it = data_.begin(); it != data_.end();) {
+    if (pred(it->first)) {
+      if (reroute && bounce_fn_) {
+        auto st = stamps_.find(it->first);
+        bounce_fn_(false, it->first, it->second,
+                   st != stamps_.end() ? st->second : Stamp{});
+      }
+      stamps_.erase(it->first);
+      it = data_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = tombstones_.begin(); it != tombstones_.end();) {
+    if (pred(it->first)) {
+      if (reroute && bounce_fn_) {
+        bounce_fn_(true, it->first, std::string(), it->second);
+      }
+      it = tombstones_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // The own-write ledger and recovery shadow follow the keys out — a later
+  // reconcile/reassert must not resurrect what this partition handed off.
+  for (auto it = my_writes_.begin(); it != my_writes_.end();) {
+    it = pred(it->first) ? my_writes_.erase(it) : std::next(it);
+  }
+  for (auto it = shadow_.begin(); it != shadow_.end();) {
+    it = pred(it->first) ? shadow_.erase(it) : std::next(it);
+  }
+  for (auto it = shadow_tombs_.begin(); it != shadow_tombs_.end();) {
+    it = pred(it->first) ? shadow_tombs_.erase(it) : std::next(it);
+  }
+  return dropped;
+}
+
+void ReplicatedMap::reroute_strangers() {
+  if (!bounce_fn_ || (!owner_fn_ && !retain_fn_)) return;
+  for (const auto& [k, v] : data_) {
+    if (retained_here(k)) continue;
+    auto st = stamps_.find(k);
+    bounce_fn_(false, k, v, st != stamps_.end() ? st->second : Stamp{});
+  }
+  for (const auto& [k, st] : tombstones_) {
+    if (retained_here(k)) continue;
+    bounce_fn_(true, k, std::string(), st);
+  }
+}
+
+void ReplicatedMap::strip_foreign(std::map<std::string, std::string>& data,
+                                  std::map<std::string, Stamp>& stamps,
+                                  std::map<std::string, Stamp>& tombs) const {
+  if (!owner_fn_ && !retain_fn_) return;
+  for (auto it = data.begin(); it != data.end();) {
+    if (!retained_here(it->first)) {
+      stamps.erase(it->first);
+      it = data.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = tombs.begin(); it != tombs.end();) {
+    if (!retained_here(it->first)) {
+      it = tombs.erase(it);
+    } else {
+      ++it;
     }
   }
 }

@@ -45,6 +45,33 @@ class ReplicatedMap {
                                       const std::optional<std::string>& value,
                                       NodeId origin)>;
 
+  /// Total order over mutations of one key across histories: Lamport clock
+  /// first, origin id as the deterministic tiebreak.
+  struct Stamp {
+    std::uint64_t lamport = 0;
+    NodeId origin = 0;
+    friend bool operator<(const Stamp& a, const Stamp& b) {
+      if (a.lamport != b.lamport) return a.lamport < b.lamport;
+      return a.origin < b.origin;
+    }
+  };
+
+  /// Current owner partition of a key under live migration state. Returns
+  /// the partition index the key must apply on; anything else is skipped at
+  /// the apply point (and re-routed by the origin via the bounce handler).
+  using OwnerFn = std::function<std::size_t(const std::string& key)>;
+  /// Origin-side re-route of a skipped own mutation, with its ORIGINAL
+  /// stamp so last-writer-wins resolves races identically everywhere.
+  using BounceFn = std::function<void(bool erase, const std::string& key,
+                                      const std::string& value, Stamp stamp)>;
+  using KeyPred = std::function<bool(const std::string& key)>;
+  /// Retention predicate for wholesale adoptions (snapshot / reconcile /
+  /// recovered shadow): true = keep the key on this partition. Deliberately
+  /// WIDER than the apply-owner while a migration window is open — a frozen
+  /// range's source copy is the chunk ground truth until UNFREEZE drops it,
+  /// so stripping it at a joiner sync would lose moved data.
+  using RetainFn = std::function<bool(const std::string& key)>;
+
   ReplicatedMap(ChannelMux& mux, Channel channel);
 
   /// Replicated mutations (applied locally when the own multicast returns
@@ -75,6 +102,62 @@ class ReplicatedMap {
   metrics::Registry& metrics() { return metrics_; }
   const metrics::Registry& metrics() const { return metrics_; }
 
+  // --- elastic-resharding hooks (DESIGN.md §5j) ----------------------------
+
+  /// Installs the migration filter for partition `self_shard`: at every
+  /// apply point, mutations whose owner is another partition are skipped
+  /// (all replicas compute the same owner from ring-ordered state), and the
+  /// origin re-routes its own skipped mutation through `bounce`. Wholesale
+  /// adoptions (snapshot/reconcile/recovered shadow) keep exactly the keys
+  /// `retain` accepts — pass a predicate wider than the apply-owner while a
+  /// window is open (frozen-out source copies stay until UNFREEZE).
+  void set_migration_filter(std::size_t self_shard, OwnerFn owner,
+                            BounceFn bounce, RetainFn retain = nullptr);
+
+  /// Re-proposes a mutation with an explicit stamp into this partition's
+  /// agreed stream (bounced writes and migration chunks ride this path —
+  /// the strict-LWW apply guards make it idempotent).
+  void migrate_propose(bool erase, const std::string& key,
+                       const std::string& value, Stamp stamp);
+
+  /// Serializes the live entries and tombstones matching `pred` into
+  /// self-contained chunks of at most `budget` bytes each (the frozen-range
+  /// snapshot the coordinator replicates into the destination stream).
+  std::vector<Bytes> collect_range_chunks(const KeyPred& pred,
+                                          std::size_t budget = 32 * 1024) const;
+  /// Applies one collect_range_chunks payload at the destination's agreed
+  /// apply point: every entry goes through the strict-LWW repropose path,
+  /// so re-sent chunks and races with newer destination writes resolve
+  /// deterministically.
+  void apply_migration_chunk(ByteReader& r);
+
+  /// Locally drops entries/tombstones/own-write ledger rows matching
+  /// `pred` (the source's copy after CUTOVER — NOT a delete: no change
+  /// events fire, no tombstones are left). Returns dropped live entries.
+  /// With `reroute` set, every dropped entry/tombstone is first re-proposed
+  /// to its current owner through `bounce` (original stamp, so LWW makes
+  /// it a no-op when the owner already has it) — scrubs use this so a
+  /// stranger whose copy is FRESHER than the owner's (a partition-merge
+  /// after both sides migrated independently) heals instead of vanishing.
+  std::size_t drop_range(const KeyPred& pred, bool reroute = false);
+
+  /// True when the key is absent because a tombstone shadows it (readers
+  /// must not fall back to the migration source in that case).
+  bool tombstoned(const std::string& key) const {
+    return tombstones_.count(key) > 0;
+  }
+
+  /// Highest Lamport value this replica has seen or sent. A writer that
+  /// starts routing a frozen range to the destination first advances the
+  /// destination's clock past the source's ceiling, so fresh writes always
+  /// outrank the frozen snapshot under LWW.
+  std::uint64_t clock_ceiling() const {
+    return lamport_ > send_lamport_ ? lamport_ : send_lamport_;
+  }
+  void advance_send_clock(std::uint64_t floor) {
+    if (send_lamport_ < floor) send_lamport_ = floor;
+  }
+
  private:
   enum class Op : std::uint8_t {
     kPut = 1,
@@ -89,17 +172,6 @@ class ReplicatedMap {
     // the proposals land in the agreed stream.
     kReproposePut = 6,
     kReproposeErase = 7,
-  };
-
-  /// Total order over mutations of one key across histories: Lamport clock
-  /// first, origin id as the deterministic tiebreak.
-  struct Stamp {
-    std::uint64_t lamport = 0;
-    NodeId origin = 0;
-    friend bool operator<(const Stamp& a, const Stamp& b) {
-      if (a.lamport != b.lamport) return a.lamport < b.lamport;
-      return a.origin < b.origin;
-    }
   };
 
   struct ShadowEntry {
@@ -145,6 +217,24 @@ class ReplicatedMap {
   void adopt_shadow_as_state();
   void reconcile_shadow();
   void reassert_own_writes();
+  /// True when the migration filter says `key` applies on this partition.
+  bool owned_here(const std::string& key) const {
+    return !owner_fn_ || owner_fn_(key) == self_shard_;
+  }
+  /// True when a wholesale adoption may keep `key` here (see RetainFn).
+  bool retained_here(const std::string& key) const {
+    return retain_fn_ ? retain_fn_(key) : owned_here(key);
+  }
+  /// Drops foreign keys from a wholesale adoption before it is installed.
+  void strip_foreign(std::map<std::string, std::string>& data,
+                     std::map<std::string, Stamp>& stamps,
+                     std::map<std::string, Stamp>& tombs) const;
+  /// Re-proposes every local entry/tombstone the retention predicate no
+  /// longer accepts to its current owner (original stamps). Called before a
+  /// wholesale adoption replaces local state: a stranger we hold may be
+  /// FRESHER than the owner's copy after a partition merge, and silently
+  /// discarding it with the replaced table would lose an acked write.
+  void reroute_strangers();
 
   ChannelMux& mux_;
   Channel channel_;
@@ -181,6 +271,10 @@ class ReplicatedMap {
   storage::ShardStore* store_ = nullptr;
   std::uint16_t stream_ = 0;
   ChangeFn on_change_;
+  std::size_t self_shard_ = 0;
+  OwnerFn owner_fn_;  ///< unset = no migration filtering
+  BounceFn bounce_fn_;
+  RetainFn retain_fn_;  ///< unset = retain exactly the apply-owned keys
   metrics::Registry metrics_;
   Counter& puts_ = metrics_.counter("data.map.puts");
   Counter& erases_ = metrics_.counter("data.map.erases");
@@ -189,6 +283,11 @@ class ReplicatedMap {
   Counter& reproposed_ = metrics_.counter("data.map.reproposed");
   /// Own writes re-asserted after a reconcile adoption lost them.
   Counter& reasserted_ = metrics_.counter("data.map.reasserted");
+  /// Mutations skipped at the apply point because the key migrated away
+  /// (the origin re-routes its own through the bounce handler).
+  Counter& bounced_ = metrics_.counter("data.map.bounced");
+  /// Entries+tombstones applied from migration chunks (LWW losers count).
+  Counter& migrated_in_ = metrics_.counter("data.map.migrated_in");
   /// Mutation multicast (put/erase) to local apply, per replica: how far
   /// this replica lags the origin's write (§3 shared-state freshness).
   Histogram& convergence_lag_ =

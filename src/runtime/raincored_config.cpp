@@ -137,6 +137,9 @@ ThreadedNodeConfig RaincoredConfig::to_node_config() const {
     nc.ring.eligible.push_back(p.node);
     nc.peers.push_back(p.node);
   }
+  // Per-shard durable delivery journals under <storage_dir>/wal; the
+  // SIGTERM drain flushes them before the process exits.
+  nc.storage.dir = storage_dir + "/wal";
   return nc;
 }
 

@@ -1,6 +1,7 @@
 #include "runtime/threaded_node.h"
 
 #include <cassert>
+#include <chrono>
 #include <future>
 #include <limits>
 
@@ -28,6 +29,37 @@ ThreadedNode::Worker::Worker(ThreadedNode& owner, std::size_t k)
   proxy.set_suspect_handler(
       [r = ring.get()](NodeId peer) { r->note_peer_suspect(peer); });
   loop.set_service_handler([p = &proxy] { p->worker_drain(); });
+  if (!owner.cfg_.storage.dir.empty()) {
+    // Per-shard durable delivery journal. The store is worker-owned: the
+    // deliver handler below runs on this worker's thread, the same thread
+    // that later executes drain()'s flush, so the ShardStore never sees two
+    // threads. Recovery hooks are trivial — a restarted raincored re-syncs
+    // from the live group; the journal is the durable trace of what this
+    // member delivered, not a bootstrap source.
+    store = std::make_unique<storage::ShardStore>(
+        owner.cfg_.storage,
+        owner.cfg_.storage.dir + "/shard" + std::to_string(k),
+        shard_prefix(k));
+    storage::ShardStore::Hooks hooks;
+    hooks.begin_recovery = [] {};
+    hooks.snapshot = [] { return Bytes{}; };
+    hooks.load_snapshot = [](ByteReader&) {};
+    hooks.replay = [](ByteReader&) {};
+    store->attach(1, std::move(hooks));
+    if (store->open()) {
+      ring->set_deliver_handler([s = store.get()](NodeId origin,
+                                                  const Slice& payload,
+                                                  session::Ordering o) {
+        if (o != session::Ordering::kAgreed) return;
+        ByteWriter w(payload.size() + 8);
+        w.u32(origin);
+        w.bytes(payload);
+        s->append(1, w.take());
+      });
+    } else {
+      store.reset();
+    }
+  }
 }
 
 ThreadedNode::ThreadedNode(ThreadedNodeConfig cfg)
@@ -109,6 +141,43 @@ void ThreadedNode::stop() {
   running_ = false;
 }
 
+bool ThreadedNode::drain(Time timeout) {
+  if (!running_) return true;
+  for (auto& w : workers_) {
+    w->loop.post([r = w->ring.get()] {
+      if (r->started()) r->leave();
+    });
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(timeout);
+  bool all_left = false;
+  while (!all_left && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    all_left = true;
+    for (std::size_t k = 0; k < workers_.size() && all_left; ++k) {
+      bool started = true;
+      run_on_shard(k, [&started](session::SessionNode& r) {
+        started = r.started();
+      });
+      all_left = !started;
+    }
+  }
+  // Flush every per-shard WAL on its owning worker, while the loops are
+  // still serving, so the journals are durable before any thread winds down.
+  for (auto& w : workers_) {
+    if (!w->store) continue;
+    std::promise<void> done;
+    auto flushed = done.get_future();
+    w->loop.post([s = w->store.get(), &done] {
+      s->flush();
+      done.set_value();
+    });
+    flushed.wait();
+  }
+  stop();
+  return all_left;
+}
+
 void ThreadedNode::post_to_shard(std::size_t k,
                                  std::function<void(session::SessionNode&)> fn) {
   Worker& w = *workers_.at(k);
@@ -157,7 +226,10 @@ bool ThreadedNode::all_converged(std::size_t n) {
 
 metrics::Snapshot ThreadedNode::metrics_snapshot() const {
   metrics::Snapshot s = transport_.metrics().snapshot();
-  for (const auto& w : workers_) s.merge(w->ring->metrics().snapshot());
+  for (const auto& w : workers_) {
+    s.merge(w->ring->metrics().snapshot());
+    if (w->store) s.merge(w->store->metrics().snapshot());
+  }
   s.merge(runtime_reg_.snapshot());
   return s;
 }

@@ -29,6 +29,7 @@
 #include "runtime/transport_proxy.h"
 #include "runtime/worker_env.h"
 #include "session/session_node.h"
+#include "storage/shard_store.h"
 
 namespace raincore::runtime {
 
@@ -51,6 +52,11 @@ struct ThreadedNodeConfig {
   std::size_t queue_capacity = 4096;
   /// PeerStatusBoard refresh period on the I/O thread.
   Time status_refresh = millis(10);
+  /// Per-shard durable delivery journal: when `storage.dir` is non-empty
+  /// each worker opens a ShardStore at <dir>/shard<k> and appends every
+  /// agreed delivery of its ring to the WAL. drain() flushes these before
+  /// the process exits; an empty dir disables the journal entirely.
+  storage::StorageConfig storage;
 };
 
 class ThreadedNode {
@@ -75,6 +81,14 @@ class ThreadedNode {
   /// Stops rings (on their workers), all loops, and joins every thread.
   /// Idempotent.
   void stop();
+  /// Graceful retirement (SIGTERM path): every ring LEAVEs its group —
+  /// pending outbound messages are attached before departure, so survivors
+  /// see a clean view shrink instead of failure-detecting a corpse — then
+  /// the per-shard WALs are flushed and the node stops. Returns true when
+  /// every ring completed its leave within `timeout`; on timeout the
+  /// remaining rings crash-stop (survivors fall back to failure detection
+  /// for those shards) but the WAL flush and stop still happen.
+  bool drain(Time timeout = seconds(5));
   bool running() const { return running_; }
 
   // --- Control plane (any thread; marshalled) ------------------------------
@@ -115,6 +129,9 @@ class ThreadedNode {
     WorkerEnv env;
     TransportProxy proxy;
     std::unique_ptr<session::SessionNode> ring;
+    /// Durable delivery journal (nullptr when storage is disabled). Owned
+    /// and touched exclusively by this worker's thread once start()ed.
+    std::unique_ptr<storage::ShardStore> store;
     std::thread thread;
 
     Worker(ThreadedNode& owner, std::size_t k);

@@ -162,6 +162,43 @@ void ChaosEngine::restart_shard(std::size_t shard) {
   if (on_shard_restart_) on_shard_restart_(shard);
 }
 
+bool ChaosEngine::inject_crash(NodeId id, Time duration) {
+  if (down_.count(id)) return false;
+  FaultEvent ev;
+  ev.at = net_.now();
+  ev.cls = FaultClass::kCrashRestart;
+  ev.a = id;
+  ev.duration = duration;
+  crash(id, duration);
+  schedule_.push_back(ev);
+  return true;
+}
+
+bool ChaosEngine::inject_partition(std::vector<NodeId> group_a, Time duration) {
+  if (!partition_groups_.empty() || group_a.empty()) return false;
+  std::vector<NodeId> group_b;
+  for (NodeId id : ids_) {
+    if (std::find(group_a.begin(), group_a.end(), id) == group_a.end()) {
+      group_b.push_back(id);
+    }
+  }
+  if (group_b.empty()) return false;
+  partition_groups_ = {std::move(group_a), std::move(group_b)};
+  net_.partition(partition_groups_);
+  FaultEvent ev;
+  ev.at = net_.now();
+  ev.cls = FaultClass::kPartition;
+  ev.a = partition_groups_[0].front();
+  ev.b = partition_groups_[1].front();
+  ev.duration = duration;
+  add_revert(duration, [this] {
+    partition_groups_.clear();
+    net_.heal_partition();
+  });
+  schedule_.push_back(ev);
+  return true;
+}
+
 void ChaosEngine::inject_one() {
   FaultClass cls = pick_class();
   Time duration = std::max<Time>(

@@ -119,6 +119,13 @@ class ChaosEngine {
     on_shard_restart_ = std::move(fn);
   }
 
+  /// Targeted injections (the migration fault schedules of DESIGN.md §5j):
+  /// same machinery, bookkeeping and auto-revert as the randomized injector,
+  /// and recorded in the replayable schedule. Return false when the fault
+  /// cannot apply right now (node already down, partition already active).
+  bool inject_crash(NodeId id, Time duration);
+  bool inject_partition(std::vector<NodeId> group_a, Time duration);
+
   /// Begins injecting faults (timers run on the network's event loop).
   void start();
   /// Stops injecting, reverts every active fault, heals the partition and

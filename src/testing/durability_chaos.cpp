@@ -42,11 +42,18 @@ DurabilityChaosCluster::DurabilityChaosCluster(std::vector<NodeId> ids,
     st->map = std::make_unique<data::ShardedMap>(*st->plane, kMapChannel);
     st->locks =
         std::make_unique<data::ShardedLockManager>(*st->plane, kLockChannel);
+    data::ReshardConfig rcfg;
+    rcfg.initial_shards = dur_cfg_.n_shards;
+    st->mgr = std::make_unique<data::ReshardManager>(*st->plane, *st->map,
+                                                     *st->locks, rcfg);
     st->traffic_rng = setup_rng.fork();
-    st->map->set_change_handler(
-        [this, id](const std::string& key,
+    // Shard-aware ack tracking: during a migration window a write can bounce
+    // and apply on a different shard than it routed to at issue time, and
+    // the durable-LSN gate must watch the store it actually landed in.
+    st->map->set_shard_change_handler(
+        [this, id](std::size_t shard, const std::string& key,
                    const std::optional<std::string>& value, NodeId origin) {
-          on_map_change(id, key, value, origin);
+          on_map_change(id, shard, key, value, origin);
         });
     stacks_.emplace(id, std::move(st));
   }
@@ -60,6 +67,8 @@ DurabilityChaosCluster::DurabilityChaosCluster(std::vector<NodeId> ids,
 DurabilityChaosCluster::~DurabilityChaosCluster() {
   traffic_on_ = false;
   if (sweep_timer_) net_.loop().cancel(sweep_timer_);
+  if (resize_timer_) net_.loop().cancel(resize_timer_);
+  if (watch_timer_) net_.loop().cancel(watch_timer_);
   for (auto& [id, st] : stacks_) {
     if (st->traffic_timer) net_.loop().cancel(st->traffic_timer);
   }
@@ -100,7 +109,10 @@ void DurabilityChaosCluster::start_traffic(NodeId id) {
     Stack& st = *stacks_.at(id);
     st.traffic_timer = 0;
     if (!traffic_on_) return;
-    if (!st.crashed) issue_op(id);
+    if (!st.crashed) {
+      issue_op(id);
+      st.mgr->tick();  // coordinator re-drive rides the traffic cadence
+    }
     start_traffic(id);
   });
 }
@@ -111,7 +123,7 @@ void DurabilityChaosCluster::issue_op(NodeId id) {
   const std::string key =
       "d" + std::to_string(id) + ":" + std::to_string(slot);
   if (pending_.count(key)) return;  // one outstanding op per slot
-  const std::size_t shard = st.map->shard_of(key);
+  const std::size_t shard = st.map->write_shard_of(key);
   if (st.shards_down.count(shard)) return;
   session::SessionNode& ring = st.plane->ring(shard);
   if (!ring.started() || !ring.view().has(id)) return;
@@ -123,12 +135,16 @@ void DurabilityChaosCluster::issue_op(NodeId id) {
   p.key = key;
   p.shard = shard;
   p.issued_at = net_.now();
+  p.saw_migration = migration_open();
 
   OpRecord op;
   op.id = p.op_id;
-  // Erase only a key that has a history — deleting a never-written key
-  // exercises nothing and muddies the oracle's tombstone cases less often.
-  op.is_erase = !history_[key].empty() && st.traffic_rng.chance(0.25);
+  // Erase only a key whose newest issued op was a put: a never-written key
+  // exercises nothing, and erasing an already-erased key is a no-op the map
+  // never reports (no change callback fires), so the client would sit on a
+  // write that cannot ack until the timeout voids it.
+  op.is_erase = !history_[key].empty() && !history_[key].back().is_erase &&
+                st.traffic_rng.chance(0.25);
   if (!op.is_erase) op.value = "v" + std::to_string(p.op_id) + "-" + key;
   p.applied = false;
   history_[key].push_back(op);
@@ -151,7 +167,7 @@ void DurabilityChaosCluster::issue_op(NodeId id) {
 }
 
 void DurabilityChaosCluster::on_map_change(
-    NodeId id, const std::string& key,
+    NodeId id, std::size_t shard, const std::string& key,
     const std::optional<std::string>& value, NodeId origin) {
   if (key.empty() || origin != id) return;
   auto it = pending_.find(key);
@@ -163,9 +179,13 @@ void DurabilityChaosCluster::on_map_change(
                                    : (value.has_value() && *value == op.value);
   if (!matches) return;
   p.applied = true;
+  // A bounced write applies on its destination shard, not the one it routed
+  // to at issue time — the durable-LSN gate must watch the store that holds
+  // the journal record.
+  p.shard = shard;
   // The journal record was appended inside the apply, just before this
   // handler ran — the store's head LSN IS that record's LSN.
-  p.applied_lsn = stacks_.at(id)->plane->store(p.shard)->lsn();
+  p.applied_lsn = stacks_.at(id)->plane->store(shard)->lsn();
 }
 
 void DurabilityChaosCluster::ack(Pending& p) {
@@ -177,6 +197,18 @@ void DurabilityChaosCluster::ack(Pending& p) {
     }
   }
   ++acked_ops_;
+  if (p.saw_migration || migration_open()) {
+    ack_lat_migration_.push_back(to_millis(net_.now() - p.issued_at));
+  } else {
+    ack_lat_steady_.push_back(to_millis(net_.now() - p.issued_at));
+  }
+}
+
+bool DurabilityChaosCluster::migration_open() const {
+  for (const auto& [id, st] : stacks_) {
+    if (!st->crashed && st->plane->vrouter().migrating()) return true;
+  }
+  return false;
 }
 
 void DurabilityChaosCluster::sweep_acks(NodeId id) {
@@ -235,6 +267,12 @@ void DurabilityChaosCluster::void_stale_pending() {
   // allows — exactly the real-world unknown-outcome window.
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (net_.now() - it->second.issued_at > dur_cfg_.op_timeout) {
+      if (::getenv("DCHAOS_DEBUG_VOID")) {
+        std::fprintf(stderr, "VOID key=%s node=%u shard=%zu applied=%d issued_at=%.1fms lsn=%llu\n",
+                     it->first.c_str(), it->second.node, it->second.shard,
+                     it->second.applied ? 1 : 0, to_millis(it->second.issued_at),
+                     (unsigned long long)it->second.applied_lsn);
+      }
       ++voided_ops_;
       it = pending_.erase(it);
     } else {
@@ -263,7 +301,7 @@ void DurabilityChaosCluster::crash_node(NodeId id) {
   // discards the tail AFTER the durable LSN, so sweeping first is exact.
   sweep_acks(id);
   void_pending_node(id);
-  for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+  for (std::size_t s = 0; s < st.plane->shard_count(); ++s) {
     if (st.shards_down.count(s) == 0) st.plane->crash_store(s);
   }
   st.mux->set_enabled(false);
@@ -278,10 +316,18 @@ void DurabilityChaosCluster::restart_node(NodeId id) {
   // Shards that are down CLUSTER-WIDE stay down on this node too; the
   // shard-restart hook will bring them back everywhere at once.
   st.shards_down = global_shards_down_;
-  for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+  for (std::size_t s = 0; s < st.plane->shard_count(); ++s) {
     if (global_shards_down_.count(s)) continue;
     st.plane->open_store(s);
     st.plane->recover_store(s);  // shadow ready before the ring forms
+  }
+  // Rebuild the migration window from the recovered filter journals before
+  // any ring re-forms — a node that died mid-migration must classify its
+  // first post-restart applies with the journaled state, not the stale
+  // in-memory one.
+  st.mgr->after_recovery();
+  for (std::size_t s = 0; s < st.plane->shard_count(); ++s) {
+    if (global_shards_down_.count(s)) continue;
     if (!st.plane->ring(s).started()) st.plane->ring(s).found();
   }
 }
@@ -293,6 +339,7 @@ void DurabilityChaosCluster::crash_shard(std::size_t shard) {
   for (NodeId id : ids_) {
     Stack& st = *stacks_.at(id);
     if (st.crashed || st.shards_down.count(shard)) continue;
+    if (shard >= st.plane->shard_count()) continue;
     st.plane->crash_store(shard);
     st.plane->ring(shard).stop();
     st.shards_down.insert(shard);
@@ -306,8 +353,118 @@ void DurabilityChaosCluster::restart_shard(std::size_t shard) {
     if (st.crashed || st.shards_down.count(shard) == 0) continue;
     st.plane->open_store(shard);
     st.plane->recover_store(shard);
+    st.mgr->after_recovery();
     if (!st.plane->ring(shard).started()) st.plane->ring(shard).found();
     st.shards_down.erase(shard);
+  }
+}
+
+// --- live resize ------------------------------------------------------------
+
+void DurabilityChaosCluster::schedule_resize(Time delay) {
+  resize_timer_ = net_.loop().schedule(delay, [this] {
+    resize_timer_ = 0;
+    if (!traffic_on_ || resize_requested_) return;
+    ensure_resize_requested();
+    if (!resize_requested_) schedule_resize(millis(50));  // everyone down
+  });
+}
+
+void DurabilityChaosCluster::ensure_resize_requested() {
+  if (dur_cfg_.resize_to <= dur_cfg_.n_shards) return;
+  if (resize_requested_) {
+    // The request can die with its proposer (crashed, or stranded on the
+    // doomed side of a split). Re-ask when nothing anywhere shows a trace
+    // of it — start_resize is ignored while in flight or once grown, so
+    // re-requesting is idempotent.
+    for (auto& [id, st] : stacks_) {
+      if (st->mgr->migrating() || st->mgr->epoch() > 0 ||
+          st->plane->shard_count() > dur_cfg_.n_shards) {
+        return;
+      }
+    }
+    if (net_.now() - resize_requested_at_ < millis(400)) return;
+  }
+  for (NodeId id : ids_) {
+    Stack& st = *stacks_.at(id);
+    if (st.crashed) continue;
+    st.mgr->start_resize(dur_cfg_.resize_to);
+    resize_requested_ = true;
+    resize_requested_at_ = net_.now();
+    return;
+  }
+}
+
+void DurabilityChaosCluster::schedule_migration_watch() {
+  watch_timer_ = net_.loop().schedule(millis(2), [this] {
+    watch_timer_ = 0;
+    if (!traffic_on_) return;
+    ensure_resize_requested();
+    if (migration_open()) {
+      if (mig_first_open_ == 0) mig_first_open_ = net_.now();
+      mig_last_open_ = net_.now();
+    }
+    watch_migration_fault();
+    schedule_migration_watch();
+  });
+}
+
+void DurabilityChaosCluster::watch_migration_fault() {
+  if (migration_fault_fired_ || !engine_->running()) return;
+  if (dur_cfg_.migration_fault == MigrationFault::kNone) return;
+  // Observe the coordinator's routing window (lowest live id drives).
+  NodeId coord = kInvalidNode;
+  for (NodeId id : ids_) {
+    if (!stacks_.at(id)->crashed) {
+      coord = id;
+      break;
+    }
+  }
+  if (coord == kInvalidNode) return;
+  Stack& st = *stacks_.at(coord);
+  const data::VersionedRouter& vr = st.plane->vrouter();
+  if (!vr.migrating()) return;
+  bool any_frozen = false;
+  bool any_cut = false;
+  for (const auto& [r, rs] : vr.ranges()) {
+    if (rs == data::RangeState::kFrozen) any_frozen = true;
+    if (rs == data::RangeState::kCut) any_cut = true;
+  }
+  const Time dur = dur_cfg_.migration_fault_duration;
+  switch (dur_cfg_.migration_fault) {
+    case MigrationFault::kKillSourceMidSnapshot: {
+      // Chunks have left the coordinator but the range is not yet cut: the
+      // replica the snapshot is being read from dies mid-transfer.
+      const std::uint64_t chunks = st.mgr->metrics()
+                                       .counter("data.reshard.chunks_sent")
+                                       .value();
+      if (any_frozen && chunks > 0) {
+        migration_fault_fired_ = engine_->inject_crash(coord, dur);
+      }
+      break;
+    }
+    case MigrationFault::kKillDestBeforeCutover: {
+      if (!any_frozen) break;
+      // Every node replicates the destination ring; kill the one farthest
+      // from the coordinator so the ring loses a destination replica while
+      // the CUTOVER record is still in flight.
+      for (auto it = ids_.rbegin(); it != ids_.rend(); ++it) {
+        if (*it != coord && !stacks_.at(*it)->crashed) {
+          migration_fault_fired_ = engine_->inject_crash(*it, dur);
+          break;
+        }
+      }
+      break;
+    }
+    case MigrationFault::kPartitionDuringUnfreeze: {
+      if (!any_cut) break;
+      std::vector<NodeId> half(ids_.begin(),
+                               ids_.begin() + (ids_.size() + 1) / 2);
+      migration_fault_fired_ = engine_->inject_partition(std::move(half), dur);
+      break;
+    }
+    case MigrationFault::kNone:
+      break;
   }
 }
 
@@ -317,6 +474,10 @@ void DurabilityChaosCluster::run_chaos(Time duration) {
   traffic_on_ = true;
   for (NodeId id : ids_) start_traffic(id);
   schedule_sweep();
+  if (dur_cfg_.resize_to > dur_cfg_.n_shards) {
+    schedule_resize(dur_cfg_.resize_at);
+    schedule_migration_watch();
+  }
   engine_->start();
   Time end = net_.now() + duration;
   while (net_.now() < end) net_.loop().run_for(millis(10));
@@ -325,7 +486,25 @@ void DurabilityChaosCluster::run_chaos(Time duration) {
 void DurabilityChaosCluster::heal_and_check(Time converge_timeout) {
   engine_->stop_and_heal();
   auto converged = [&] {
+    // An in-flight migration must finish before the oracles run: every
+    // node idle, agreeing on the final epoch and shard count, and every
+    // ROUTER actually landed on the final table (a node can retire its
+    // partitions yet keep a stale current table after an ill-timed crash —
+    // the tick below lets the manager's self-heal paths run).
+    const Stack& ref = *stacks_.at(ids_.front());
+    const std::size_t k = ref.plane->shard_count();
+    const std::uint64_t ep = ref.mgr->epoch();
+    if (resize_requested_ && k != dur_cfg_.resize_to) return false;
     for (auto& [id, st] : stacks_) {
+      if (!st->crashed) st->mgr->tick();
+      if (st->mgr->migrating()) return false;
+      if (st->plane->shard_count() != k || st->mgr->epoch() != ep) {
+        return false;
+      }
+      if (st->plane->vrouter().migrating() ||
+          st->plane->vrouter().current().shard_count() != k) {
+        return false;
+      }
       if (!st->plane->all_converged(ids_.size()) || !st->map->synced()) {
         return false;
       }
@@ -347,6 +526,14 @@ void DurabilityChaosCluster::heal_and_check(Time converge_timeout) {
   if (!converged()) {
     violation("heal: not every shard ring re-converged to the full set");
   }
+  final_shards_ = stacks_.at(ids_.front())->plane->shard_count();
+  final_epoch_ = stacks_.at(ids_.front())->mgr->epoch();
+  if (resize_requested_ && final_shards_ != dur_cfg_.resize_to) {
+    violation("resize: cluster healed at " + std::to_string(final_shards_) +
+              " shards, epoch " + std::to_string(final_epoch_) +
+              " — the requested resize to " +
+              std::to_string(dur_cfg_.resize_to) + " never completed");
+  }
   // Quiesce the clients, let re-proposals and re-assertions circulate.
   traffic_on_ = false;
   net_.loop().run_for(millis(400));
@@ -362,6 +549,7 @@ void DurabilityChaosCluster::heal_and_check(Time converge_timeout) {
           static_cast<unsigned long long>(voided_ops_),
           static_cast<unsigned long>(unresolved));
   check_map_convergence(ids_);
+  check_ownership();
   run_oracle();
 }
 
@@ -369,11 +557,13 @@ void DurabilityChaosCluster::check_map_convergence(
     const std::vector<NodeId>& live) {
   // Wait until every shard's replicas agree everywhere, then assert it.
   Time deadline = net_.now() + millis(6000);
+  const std::size_t n_shards = stacks_.at(live.front())->plane->shard_count();
   auto settled = [&] {
     const Stack& ref = *stacks_.at(live.front());
     for (NodeId id : live) {
       const Stack& st = *stacks_.at(id);
-      for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+      if (st.map->shard_count() != n_shards) return false;
+      for (std::size_t s = 0; s < n_shards; ++s) {
         if (!st.map->shard(s).synced()) return false;
         if (st.map->shard(s).contents() != ref.map->shard(s).contents()) {
           return false;
@@ -386,7 +576,13 @@ void DurabilityChaosCluster::check_map_convergence(
   const Stack& ref = *stacks_.at(live.front());
   for (NodeId id : live) {
     const Stack& st = *stacks_.at(id);
-    for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+    if (st.map->shard_count() != n_shards) {
+      violation("convergence: node " + std::to_string(id) + " holds " +
+                std::to_string(st.map->shard_count()) +
+                " partitions, expected " + std::to_string(n_shards));
+      continue;
+    }
+    for (std::size_t s = 0; s < n_shards; ++s) {
       if (!st.map->shard(s).synced()) {
         violation("convergence: node " + std::to_string(id) + " shard " +
                   std::to_string(s) + " never synced");
@@ -402,12 +598,47 @@ void DurabilityChaosCluster::check_map_convergence(
   }
 }
 
+void DurabilityChaosCluster::check_ownership() {
+  // Ownership uniqueness after a completed resize: every surviving key
+  // lives on exactly the shard the FINAL routing table owns it to. A key
+  // also present on its old home is a double-apply (the unfreeze never
+  // dropped it); a key only on the old home never migrated. Replicas are
+  // already known identical (check_map_convergence), so one node suffices.
+  const Stack& ref = *stacks_.at(ids_.front());
+  if (ref.plane->vrouter().migrating()) return;  // heal violation already
+  const data::ShardRouter& router = ref.plane->router();
+  bool any = false;
+  for (std::size_t s = 0; s < ref.plane->shard_count(); ++s) {
+    for (const auto& [key, value] : ref.map->shard(s).contents()) {
+      const std::size_t owner = router.shard_of(key);
+      if (owner != s) {
+        any = true;
+        violation("ownership: key '" + key + "' resides on shard " +
+                  std::to_string(s) + " but the final table (k=" +
+                  std::to_string(router.shard_count()) + ") owns it to " +
+                  std::to_string(owner));
+      }
+    }
+  }
+  if (any) {
+    for (const auto& [id, st] : stacks_) {
+      RC_WARN(kMod,
+              "  node %u: rings=%lu cur_k=%lu migrating=%d epoch=%llu",
+              id, static_cast<unsigned long>(st->plane->shard_count()),
+              static_cast<unsigned long>(
+                  st->plane->vrouter().current().shard_count()),
+              st->mgr->migrating() ? 1 : 0,
+              static_cast<unsigned long long>(st->mgr->epoch()));
+    }
+  }
+}
+
 void DurabilityChaosCluster::run_oracle() {
   // Judge the converged final state (reference node) against every key's
   // issue history. See the header for the acked-loss / phantom rules.
   std::map<std::string, std::string> finals;
   const Stack& ref = *stacks_.at(ids_.front());
-  for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+  for (std::size_t s = 0; s < ref.plane->shard_count(); ++s) {
     for (const auto& [k, v] : ref.map->shard(s).contents()) finals[k] = v;
   }
   for (const auto& [key, ops] : history_) {
@@ -467,7 +698,8 @@ metrics::Snapshot DurabilityChaosCluster::metrics_snapshot() const {
   for (const auto& [id, st] : stacks_) {
     out.merge(st->mux->metrics_snapshot());
     out.merge(st->plane->storage_snapshot());
-    for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+    out.merge(st->mgr->metrics().snapshot());
+    for (std::size_t s = 0; s < st->map->shard_count(); ++s) {
       out.merge(st->map->shard(s).metrics().snapshot());
       out.merge(st->locks->shard(s).metrics().snapshot());
     }
@@ -486,7 +718,7 @@ std::string DurabilityChaosCluster::failure_report() const {
   out += engine_->describe_schedule();
   session::RingIntrospector ri;
   for (const auto& [id, st] : stacks_) {
-    for (std::size_t s = 0; s < dur_cfg_.n_shards; ++s) {
+    for (std::size_t s = 0; s < st->plane->shard_count(); ++s) {
       ri.watch(st->plane->ring(s));
     }
   }
@@ -556,6 +788,76 @@ DurabilityRoundResult run_durability_round(std::uint64_t seed,
   res.acked_lost = cluster.acked_lost();
   res.phantom_resurrections = cluster.phantom_resurrections();
   res.metrics = cluster.metrics_snapshot();
+  res.final_epoch = cluster.final_epoch();
+  res.final_shards = cluster.final_shard_count();
+  res.resize_completed = cluster.resize_completed();
+  if (!res.violations.empty()) res.report = cluster.failure_report();
+  return res;
+}
+
+DurabilityRoundResult run_reshard_round(std::uint64_t seed,
+                                        const std::string& dir,
+                                        ReshardRoundOptions opts,
+                                        Time chaos_duration,
+                                        std::size_t n_nodes,
+                                        std::size_t n_shards) {
+  ChaosConfig ccfg;
+  ccfg.seed = seed;
+  // Lighter background storm than the pure restart rounds: the migration
+  // must make progress between faults, and the targeted schedule supplies
+  // the interesting kill on top.
+  ccfg.mean_gap = millis(320);
+  ccfg.mean_duration = millis(260);
+  ccfg.min_alive = n_nodes > 1 ? n_nodes - 1 : 1;
+  ccfg.n_shards = n_shards;
+  auto w = [&ccfg](FaultClass c) -> double& {
+    return ccfg.weights[static_cast<std::size_t>(c)];
+  };
+  for (std::size_t i = 0; i < static_cast<std::size_t>(FaultClass::kCount);
+       ++i) {
+    ccfg.weights[i] = 0.0;
+  }
+  w(FaultClass::kCrashRestart) = 1.0;
+  w(FaultClass::kDropBurst) = 0.5;
+  w(FaultClass::kLatencyStorm) = 0.4;
+  w(FaultClass::kLinkCut) = 0.3;
+  w(FaultClass::kShardRestart) = 0.3;
+
+  DurabilityConfig dcfg;
+  dcfg.n_shards = n_shards;
+  dcfg.storage.fsync_every = 4;
+  dcfg.storage.snapshot_every = 64;
+  dcfg.resize_to = opts.resize_to;
+  dcfg.resize_at = opts.resize_at;
+  dcfg.migration_fault = opts.fault;
+
+  net::SimNetConfig ncfg;
+  ncfg.seed = seed ^ 0xe7037ed1a0b428dbULL;
+  session::SessionConfig scfg;
+  scfg.transport.adaptive = true;
+
+  std::vector<NodeId> ids;
+  for (std::size_t i = 1; i <= n_nodes; ++i) {
+    ids.push_back(static_cast<NodeId>(i));
+  }
+  DurabilityChaosCluster cluster(ids, dir, ccfg, dcfg, scfg, ncfg);
+  if (cluster.bootstrap()) {
+    cluster.run_chaos(chaos_duration);
+    cluster.heal_and_check(millis(30000));
+  }
+  DurabilityRoundResult res;
+  res.violations = cluster.violations();
+  res.schedule = cluster.engine().describe_schedule();
+  res.faults = cluster.engine().faults_injected();
+  res.classes = cluster.engine().classes_seen();
+  res.acked_ops = cluster.acked_ops();
+  res.voided_ops = cluster.voided_ops();
+  res.acked_lost = cluster.acked_lost();
+  res.phantom_resurrections = cluster.phantom_resurrections();
+  res.metrics = cluster.metrics_snapshot();
+  res.final_epoch = cluster.final_epoch();
+  res.final_shards = cluster.final_shard_count();
+  res.resize_completed = cluster.resize_completed();
   if (!res.violations.empty()) res.report = cluster.failure_report();
   return res;
 }

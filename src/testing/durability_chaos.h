@@ -37,12 +37,29 @@
 #include <string>
 #include <vector>
 
+#include "data/reshard.h"
 #include "data/shard_router.h"
 #include "net/sim_network.h"
 #include "session/session_mux.h"
 #include "testing/chaos.h"
 
 namespace raincore::testing {
+
+/// Targeted migration fault schedules (DESIGN.md §5j), layered on top of
+/// the background restart storm. Each fires once per round, triggered by
+/// the observed phase of the live migration rather than by wall time.
+enum class MigrationFault : std::uint8_t {
+  kNone = 0,
+  /// Crash the coordinator while a frozen range's snapshot chunks are in
+  /// flight to the destination ring (the source-side replica the chunks
+  /// are being read from dies mid-transfer).
+  kKillSourceMidSnapshot,
+  /// Crash a destination replica after the freeze landed but before the
+  /// CUTOVER record does.
+  kKillDestBeforeCutover,
+  /// Split the fabric while ranges are cut over and unfreezing.
+  kPartitionDuringUnfreeze,
+};
 
 struct DurabilityConfig {
   std::size_t n_shards = 2;
@@ -52,6 +69,16 @@ struct DurabilityConfig {
   /// Ack sweep cadence.
   Time sweep_every = millis(2);
   storage::StorageConfig storage;  ///< dir filled in by the harness
+  /// Elastic resharding under the storm: when resize_to > n_shards the
+  /// harness asks a live node to start_resize(resize_to) at resize_at into
+  /// the chaos phase (re-requesting if the request dies with its proposer)
+  /// and the heal phase waits for the migration to finish before judging
+  /// the oracles over the FINAL shard count.
+  std::size_t resize_to = 0;
+  Time resize_at = millis(400);
+  MigrationFault migration_fault = MigrationFault::kNone;
+  /// Crash/partition length of the targeted migration fault.
+  Time migration_fault_duration = millis(250);
 };
 
 class DurabilityChaosCluster {
@@ -81,6 +108,28 @@ class DurabilityChaosCluster {
   std::uint64_t acked_lost() const { return acked_lost_; }
   std::uint64_t phantom_resurrections() const { return phantoms_; }
 
+  /// Issue→ack latencies (ms) of every acked op, split by whether the
+  /// migration window was open at issue or ack time. bench_reshard compares
+  /// the two populations to bound the resize "blip"; chaos rounds ignore
+  /// them.
+  const std::vector<double>& ack_latencies_steady_ms() const {
+    return ack_lat_steady_;
+  }
+  const std::vector<double>& ack_latencies_migration_ms() const {
+    return ack_lat_migration_;
+  }
+  /// First/last sim time the migration window was observed open (0 if the
+  /// watch never saw it — e.g. no resize was configured).
+  Time migration_first_open() const { return mig_first_open_; }
+  Time migration_last_open() const { return mig_last_open_; }
+
+  /// Final migration outcome, valid after heal_and_check.
+  std::uint64_t final_epoch() const { return final_epoch_; }
+  std::size_t final_shard_count() const { return final_shards_; }
+  bool resize_completed() const {
+    return dur_cfg_.resize_to > 0 && final_shards_ == dur_cfg_.resize_to;
+  }
+
   /// Merged storage.* + data.* + session/transport instruments of every
   /// node (the storage counters ride the per-shard registries).
   metrics::Snapshot metrics_snapshot() const;
@@ -92,6 +141,7 @@ class DurabilityChaosCluster {
     std::unique_ptr<data::ShardedDataPlane> plane;
     std::unique_ptr<data::ShardedMap> map;
     std::unique_ptr<data::ShardedLockManager> locks;
+    std::unique_ptr<data::ReshardManager> mgr;
     std::uint64_t epoch = 0;
     bool crashed = false;
     /// Shards whose store+ring are down on THIS node (shard fault, or
@@ -118,11 +168,12 @@ class DurabilityChaosCluster {
     bool applied = false;        ///< own apply observed
     std::uint64_t applied_lsn = 0;  ///< store LSN of the journal record
     Time issued_at = 0;
+    bool saw_migration = false;  ///< migration window open at issue or ack
   };
 
   void start_traffic(NodeId id);
   void issue_op(NodeId id);
-  void on_map_change(NodeId id, const std::string& key,
+  void on_map_change(NodeId id, std::size_t shard, const std::string& key,
                      const std::optional<std::string>& value, NodeId origin);
   /// Acks every applied pending op of `id` whose record is durable now.
   void sweep_acks(NodeId id);
@@ -133,12 +184,25 @@ class DurabilityChaosCluster {
   void ack(Pending& p);
   void schedule_sweep();
 
+  /// True while any live node's router window is open (old+new tables
+  /// coexisting).
+  bool migration_open() const;
+
   void crash_node(NodeId id);
   void restart_node(NodeId id);
   void crash_shard(std::size_t shard);
   void restart_shard(std::size_t shard);
 
+  void schedule_resize(Time delay);
+  void schedule_migration_watch();
+  /// Re-requests the resize when no node shows any trace of it (the first
+  /// request can die with its proposer); idempotent once it took hold.
+  void ensure_resize_requested();
+  /// Fires the targeted migration fault once its trigger phase is observed.
+  void watch_migration_fault();
+
   void check_map_convergence(const std::vector<NodeId>& live);
+  void check_ownership();
   void run_oracle();
   void violation(std::string what);
 
@@ -153,12 +217,24 @@ class DurabilityChaosCluster {
   std::set<std::size_t> global_shards_down_;
   bool traffic_on_ = false;
   net::TimerId sweep_timer_ = 0;
+  net::TimerId resize_timer_ = 0;
+  net::TimerId watch_timer_ = 0;
+  bool resize_requested_ = false;
+  Time resize_requested_at_ = 0;
+  bool migration_fault_fired_ = false;
+  std::uint64_t final_epoch_ = 0;
+  std::size_t final_shards_ = 0;
 
   std::uint64_t next_op_id_ = 1;
   /// key -> pending op (one outstanding per slot == per key).
   std::map<std::string, Pending> pending_;
   /// key -> full issue history, oldest first.
   std::map<std::string, std::vector<OpRecord>> history_;
+
+  std::vector<double> ack_lat_steady_;
+  std::vector<double> ack_lat_migration_;
+  Time mig_first_open_ = 0;
+  Time mig_last_open_ = 0;
 
   std::uint64_t acked_ops_ = 0;
   std::uint64_t voided_ops_ = 0;
@@ -184,6 +260,10 @@ struct DurabilityRoundResult {
   /// histograms — compare counters/violations across seeds, not this.
   metrics::Snapshot metrics;
   std::string report;  ///< non-empty only when the round had violations
+  /// Migration outcome (zero / n_shards / false for plain rounds).
+  std::uint64_t final_epoch = 0;
+  std::size_t final_shards = 0;
+  bool resize_completed = false;
 };
 
 DurabilityRoundResult run_durability_round(std::uint64_t seed,
@@ -191,5 +271,23 @@ DurabilityRoundResult run_durability_round(std::uint64_t seed,
                                            Time chaos_duration = millis(2200),
                                            std::size_t n_nodes = 4,
                                            std::size_t n_shards = 2);
+
+/// One live-resize chaos round: the cluster grows n_shards -> resize_to
+/// mid-storm while one targeted migration fault (plus a lighter background
+/// schedule) fires at its trigger phase. The heal phase additionally
+/// requires every node to agree on the final epoch and shard count and
+/// every surviving key to live on exactly its final owner shard.
+struct ReshardRoundOptions {
+  std::size_t resize_to = 4;
+  Time resize_at = millis(350);
+  MigrationFault fault = MigrationFault::kNone;
+};
+
+DurabilityRoundResult run_reshard_round(std::uint64_t seed,
+                                        const std::string& dir,
+                                        ReshardRoundOptions opts = {},
+                                        Time chaos_duration = millis(1800),
+                                        std::size_t n_nodes = 4,
+                                        std::size_t n_shards = 2);
 
 }  // namespace raincore::testing

@@ -9,12 +9,22 @@
 //
 // Usage: cluster_harness <path-to-raincored> [--nodes N] [--shards K]
 //          [--base-port P] [--dir D] [--kill9] [--timeout-s T]
+//          [--poll-ms M] [--respawn-delay-s R]
+//
+// Environment fallbacks (flags win): CLUSTER_TIMEOUT_S, CLUSTER_POLL_MS,
+// CLUSTER_RESPAWN_DELAY_S. CI on a loaded machine raises the timeout via
+// env without touching every ctest invocation; the respawn delay models a
+// supervisor's restart backoff in the kill -9 phase. On a convergence
+// timeout the harness prints each member's last heartbeat age, so a stuck
+// run distinguishes "process dead" (stale/absent heartbeat) from "rings
+// not merging" (fresh heartbeats, wrong view sizes).
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -68,9 +78,25 @@ bool read_views(const Member& m, std::vector<std::size_t>& views) {
   return true;
 }
 
+double env_or(const char* name, double dflt) {
+  const char* v = ::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : dflt;
+}
+
+/// Age of a member's freshest heartbeat in seconds; negative when the
+/// status file does not exist (never heartbeated, or just killed).
+double heartbeat_age_s(const Member& m) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(m.status_path, ec);
+  if (ec) return -1.0;
+  const auto age = std::filesystem::file_time_type::clock::now() - mtime;
+  return std::chrono::duration<double>(age).count();
+}
+
 /// Polls until every live member reports `expect` members on all K rings.
 bool wait_converged(const std::vector<Member*>& live, std::size_t shards,
-                    std::size_t expect, double timeout_s, const char* phase) {
+                    std::size_t expect, double timeout_s, double poll_ms,
+                    const char* phase) {
   const auto t0 = std::chrono::steady_clock::now();
   for (;;) {
     bool all_ok = true;
@@ -100,9 +126,22 @@ bool wait_converged(const std::vector<Member*>& live, std::size_t shards,
     if (dt.count() > timeout_s) {
       std::fprintf(stderr, "  %-28s TIMED OUT after %.0f s\n", phase,
                    timeout_s);
+      // Distinguish "process dead" from "rings not merging": a member that
+      // stopped heartbeating is stale/absent here; fresh ages mean the
+      // processes are alive but the views never reached `expect`.
+      for (const Member* m : live) {
+        const double age = heartbeat_age_s(*m);
+        if (age < 0) {
+          std::fprintf(stderr, "    node %-3u last heartbeat: absent\n", m->id);
+        } else {
+          std::fprintf(stderr, "    node %-3u last heartbeat: %.1f s ago\n",
+                       m->id, age);
+        }
+      }
       return false;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(poll_ms));
   }
 }
 
@@ -136,7 +175,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: cluster_harness <raincored> [--nodes N] [--shards K] "
-                 "[--base-port P] [--dir D] [--kill9] [--timeout-s T]\n");
+                 "[--base-port P] [--dir D] [--kill9] [--timeout-s T] "
+                 "[--poll-ms M] [--respawn-delay-s R]\n");
     return 2;
   }
   const std::string binary = argv[1];
@@ -144,7 +184,9 @@ int main(int argc, char** argv) {
   int base_port = 0;
   std::string dir;
   bool kill9 = false;
-  double timeout_s = 90.0;
+  double timeout_s = env_or("CLUSTER_TIMEOUT_S", 90.0);
+  double poll_ms = env_or("CLUSTER_POLL_MS", 100.0);
+  double respawn_delay_s = env_or("CLUSTER_RESPAWN_DELAY_S", 0.0);
   for (int i = 2; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -165,6 +207,10 @@ int main(int argc, char** argv) {
       kill9 = true;
     } else if (std::strcmp(argv[i], "--timeout-s") == 0) {
       timeout_s = std::atof(next("--timeout-s"));
+    } else if (std::strcmp(argv[i], "--poll-ms") == 0) {
+      poll_ms = std::atof(next("--poll-ms"));
+    } else if (std::strcmp(argv[i], "--respawn-delay-s") == 0) {
+      respawn_delay_s = std::atof(next("--respawn-delay-s"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -212,7 +258,8 @@ int main(int argc, char** argv) {
   bool ok = true;
   std::vector<Member*> all;
   for (Member& m : members) all.push_back(&m);
-  ok = wait_converged(all, shards, nodes, timeout_s, "initial formation");
+  ok = wait_converged(all, shards, nodes, timeout_s, poll_ms,
+                      "initial formation");
 
   if (ok && kill9 && nodes >= 2) {
     Member& victim = members[1];
@@ -226,13 +273,21 @@ int main(int argc, char** argv) {
     for (Member& m : members) {
       if (m.pid > 0) survivors.push_back(&m);
     }
-    ok = wait_converged(survivors, shards, nodes - 1, timeout_s,
+    ok = wait_converged(survivors, shards, nodes - 1, timeout_s, poll_ms,
                         "post-kill re-formation");
 
     if (ok) {
+      if (respawn_delay_s > 0.0) {
+        // Model a supervisor's restart backoff: the rings run degraded for
+        // the whole delay before the member comes back.
+        std::printf("  respawn delay %.1f s\n", respawn_delay_s);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(respawn_delay_s));
+      }
       std::printf("  restarting node %u\n", victim.id);
       victim.pid = spawn(binary, victim.config_path);
-      ok = wait_converged(all, shards, nodes, timeout_s, "rejoin after restart");
+      ok = wait_converged(all, shards, nodes, timeout_s, poll_ms,
+                          "rejoin after restart");
     }
   }
 

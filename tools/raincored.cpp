@@ -5,10 +5,13 @@
 // founds its rings and lets BODYODOR discovery assemble the cluster. While
 // running it heartbeats <storage_dir>/status.json (atomic rename) for the
 // cluster harness to poll; on SIGTERM/SIGINT — or after --run-s seconds —
-// it writes a final metrics snapshot to <storage_dir>/metrics.json and
-// exits cleanly. kill -9 needs no handling here by design: the survivors'
-// failure detection removes the corpse, and a restarted raincored re-founds
-// singleton rings that merge back in through discovery.
+// it drains gracefully: every shard ring LEAVEs its group (survivors see a
+// clean view shrink, no failure detection needed), the per-shard WALs under
+// <storage_dir>/wal are flushed, a final metrics snapshot lands in
+// <storage_dir>/metrics.json, and the process exits 0. kill -9 still needs
+// no handling by design: the survivors' failure detection removes the
+// corpse, and a restarted raincored re-founds singleton rings that merge
+// back in through discovery.
 //
 // Usage: raincored <config.json> [--run-s N]
 #include <unistd.h>
@@ -62,6 +65,20 @@ std::string status_line(runtime::ThreadedNode& node) {
   }
   doc.set("tokens_received", JsonValue::number(static_cast<double>(tokens)));
   doc.set("delivered", JsonValue::number(static_cast<double>(delivered)));
+  // SPSC handoff health: drops and retries across every ring's
+  // TransportProxy pair. Nonzero drops flag overload (e.g. a resize
+  // doubling a member's ring count) that the session layer absorbs as
+  // loss+retransmit — visible here long before throughput degrades.
+  std::uint64_t proxy_dropped = 0, proxy_retries = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.find("runtime.proxy.") == std::string::npos) continue;
+    if (name.find("dropped") != std::string::npos) proxy_dropped += value;
+    if (name.find("retries") != std::string::npos) proxy_retries += value;
+  }
+  doc.set("proxy_dropped",
+          JsonValue::number(static_cast<double>(proxy_dropped)));
+  doc.set("proxy_retries",
+          JsonValue::number(static_cast<double>(proxy_retries)));
   return doc.dump();
 }
 
@@ -114,9 +131,17 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Graceful drain: every ring LEAVEs its group (survivors see a clean
+    // view shrink instead of failure-detecting a corpse), the per-shard
+    // WALs are flushed, and only then does the final metrics snapshot go
+    // out — so a retired member's metrics.json reflects its whole life.
+    const bool clean = node.drain(seconds(5));
+    if (!clean) {
+      std::fprintf(stderr,
+                   "raincored: drain timed out; some rings crash-stopped\n");
+    }
     write_atomically(cfg.storage_dir + "/metrics.json",
                      node.metrics_snapshot().to_jsonl());
-    node.stop();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "raincored: fatal: %s\n", e.what());
     return 1;
